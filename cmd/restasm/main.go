@@ -1,0 +1,115 @@
+// Command restasm assembles and runs a REST assembly file on the simulated
+// machine. Write programs using the textual ISA (see internal/asm), plant
+// tokens with `arm`, and watch accesses fault:
+//
+//	restasm program.s                    # run on a REST machine, secure mode
+//	restasm -mode debug program.s        # precise exceptions
+//	restasm -width 16 program.s          # 16-byte tokens
+//	restasm -dump program.s              # print the assembled program only
+//
+// Runtime services are available via rtcall (1=malloc, 2=free, 3=memcpy,
+// 4=memset, 6=exit) with arguments in r20..r22, using the libc allocator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rest/internal/alloc"
+	"rest/internal/asm"
+	"rest/internal/bpred"
+	"rest/internal/cache"
+	"rest/internal/core"
+	"rest/internal/cpu"
+	"rest/internal/mem"
+	"rest/internal/rt"
+	"rest/internal/sim"
+)
+
+func main() {
+	modeName := flag.String("mode", "secure", "REST exception mode: secure|debug")
+	width := flag.Int("width", 64, "token width in bytes: 16|32|64")
+	dump := flag.Bool("dump", false, "print the assembled program and exit")
+	timed := flag.Bool("timed", true, "run the timing model and report cycles")
+	seed := flag.Int64("seed", 1, "token generation seed")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: restasm [flags] program.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, entry, err := asm.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *dump {
+		fmt.Print(asm.Format(prog))
+		return
+	}
+
+	mode := core.Secure
+	if *modeName == "debug" {
+		mode = core.Debug
+	}
+	reg, err := core.NewTokenRegister(core.Width(*width), mode, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m := mem.New()
+	tracker := core.NewTokenTracker(reg, m)
+	engine, err := alloc.NewLibc()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	runtime := rt.New(rt.Plain, engine, nil)
+	mach, err := sim.New(sim.Config{Mem: m, Tracker: tracker, Runtime: runtime}, prog, entry)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *timed {
+		hier, err := cache.NewHierarchy(cache.DefaultHierConfig(), tracker)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ccfg := cpu.DefaultConfig()
+		ccfg.Mode = mode
+		pipe := cpu.New(ccfg, hier, bpred.New(bpred.Config{}))
+		stats := pipe.Run(mach)
+		report(mach, stats.Cycles, stats.Instructions, stats.IPC)
+		return
+	}
+	mach.Run()
+	report(mach, 0, mach.UserInstrs+mach.RTOps, 0)
+}
+
+func report(mach *sim.Machine, cycles, instrs uint64, ipc float64) {
+	switch {
+	case mach.Err() != nil:
+		fmt.Printf("error: %v\n", mach.Err())
+		os.Exit(1)
+	case mach.Exception() != nil:
+		fmt.Printf("%v\n", mach.Exception())
+	case mach.SWViolation() != nil:
+		fmt.Printf("violation: %v\n", mach.SWViolation())
+	default:
+		fmt.Printf("completed; checksum (res) = %#x\n", mach.Checksum())
+	}
+	if cycles > 0 {
+		fmt.Printf("%d instructions, %d cycles, IPC %.2f\n", instrs, cycles, ipc)
+	} else {
+		fmt.Printf("%d instructions (functional run)\n", instrs)
+	}
+}

@@ -1,0 +1,89 @@
+// Command restattack runs the §V attack suite under every defense
+// configuration and prints the detection matrix, including the documented
+// false-negative windows (pad spill, jump-over-redzone, post-recycle UAF).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rest/internal/attack"
+	"rest/internal/core"
+	"rest/internal/prog"
+	"rest/internal/world"
+)
+
+func run(a attack.Attack, pass prog.PassConfig, mode core.Mode) string {
+	w, err := world.Build(world.Spec{Pass: pass, Mode: mode}, a.Build)
+	if err != nil {
+		return "build error"
+	}
+	out := w.RunFunctional()
+	switch {
+	case out.Err != nil:
+		return "sim error"
+	case out.Exception != nil:
+		return "REST:" + out.Exception.Kind.String()
+	case out.Violation != nil:
+		return out.Violation.Tool + ":" + out.Violation.What
+	default:
+		return "-"
+	}
+}
+
+func main() {
+	modeName := flag.String("mode", "secure", "REST exception mode: secure|debug")
+	width := flag.Uint64("width", 64, "token width in bytes")
+	flag.Parse()
+
+	mode := core.Secure
+	if *modeName == "debug" {
+		mode = core.Debug
+	}
+
+	configs := []struct {
+		name string
+		pass prog.PassConfig
+	}{
+		{"plain", prog.Plain()},
+		{"asan", prog.ASanFull()},
+		{"rest-full", prog.RESTFull(*width)},
+		{"rest-heap", prog.RESTHeap(*width)},
+	}
+
+	fmt.Printf("Attack detection matrix (mode=%s, width=%dB). '-' = undetected.\n\n", mode, *width)
+	fmt.Printf("%-28s", "attack")
+	for _, c := range configs {
+		fmt.Printf("%-34s", c.name)
+	}
+	fmt.Println()
+
+	mismatch := false
+	for _, a := range attack.All() {
+		fmt.Printf("%-28s", a.Name)
+		for _, c := range configs {
+			res := run(a, c.pass, mode)
+			want := map[string]bool{
+				"plain": a.Expected.Plain, "asan": a.Expected.ASan,
+				"rest-full": a.Expected.RESTFull, "rest-heap": a.Expected.RESTHeap,
+			}[c.name]
+			got := res != "-"
+			mark := ""
+			if got != want {
+				mark = " (!)"
+				mismatch = true
+			}
+			fmt.Printf("%-34s", res+mark)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	for _, a := range attack.All() {
+		fmt.Printf("%-28s %s\n", a.Name, a.Description)
+	}
+	if mismatch {
+		fmt.Fprintln(os.Stderr, "\ndetection mismatches against expectations (marked with (!))")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,123 @@
+// Command restbench regenerates every table and figure of the paper's
+// evaluation section (§VI):
+//
+//	restbench -fig3          ASan overhead component breakdown
+//	restbench -fig7          REST vs ASan overheads, all modes and scopes
+//	restbench -fig8          token-width sweep (16/32/64B)
+//	restbench -table1        REST semantics conformance matrix
+//	restbench -table2        simulated hardware configuration
+//	restbench -table3        qualitative hardware-scheme comparison
+//	restbench -stats         §VI-B microarchitectural statistics
+//	restbench -all           everything
+//
+// Use -scale to lengthen the runs and -csv to emit machine-readable output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rest/internal/harness"
+	"rest/internal/prog"
+	"rest/internal/workload"
+)
+
+func main() {
+	fig3 := flag.Bool("fig3", false, "regenerate Figure 3")
+	fig7 := flag.Bool("fig7", false, "regenerate Figure 7")
+	fig8 := flag.Bool("fig8", false, "regenerate Figure 8")
+	table1 := flag.Bool("table1", false, "run the Table I conformance matrix")
+	table2 := flag.Bool("table2", false, "print Table II")
+	table3 := flag.Bool("table3", false, "print Table III")
+	stats := flag.Bool("stats", false, "print §VI-B microarchitectural statistics")
+	all := flag.Bool("all", false, "run everything")
+	scale := flag.Int64("scale", 5, "workload scale factor")
+	statsWL := flag.String("stats-workload", "xalanc", "workload for -stats")
+	csv := flag.Bool("csv", false, "also print raw cycle matrices as CSV")
+	jsonOut := flag.Bool("json", false, "also print machine-readable JSON reports")
+	chart := flag.Bool("chart", false, "render Figure 7/8 as ASCII bar charts")
+	variants := flag.Bool("variants", false, "expand per-input variants (Figure 7's full x-axis)")
+	flag.Parse()
+
+	if !(*fig3 || *fig7 || *fig8 || *table1 || *table2 || *table3 || *stats || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *all || *table2 {
+		fmt.Println(harness.RenderTableII())
+	}
+	if *all || *table1 {
+		out, ok := harness.RunTableI()
+		fmt.Println(out)
+		if !ok {
+			fail(fmt.Errorf("Table I conformance FAILED"))
+		}
+	}
+	if *all || *fig3 {
+		r, err := harness.RunFig3(workload.All(), *scale)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r.Render())
+	}
+	if *all || *fig7 {
+		wls := workload.All()
+		if *variants {
+			wls = workload.AllVariants()
+		}
+		m, err := harness.RunMatrix(wls, harness.Fig7Configs(), *scale)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(m.RenderOverheadTable(
+			fmt.Sprintf("Figure 7: runtime overheads over plain binaries (scale %d)", *scale)))
+		fmt.Println("headline: " + m.Summary())
+		fmt.Println()
+		if *chart {
+			fmt.Println(m.RenderBarChart("Figure 7 (bars)", 180))
+		}
+		if *csv {
+			fmt.Println(m.CSV())
+		}
+		if *jsonOut {
+			raw, err := m.JSON("figure7", *scale)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(string(raw))
+		}
+	}
+	if *all || *fig8 {
+		cfgs := append(harness.Fig8Configs(),
+			harness.BinaryConfig{Name: "plain", Pass: prog.Plain()})
+		m, err := harness.RunMatrix(workload.All(), cfgs, *scale)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(m.RenderOverheadTable(
+			fmt.Sprintf("Figure 8: token-width overheads, secure mode (scale %d)", *scale)))
+		if *csv {
+			fmt.Println(m.CSV())
+		}
+	}
+	if *all || *stats {
+		wl, err := workload.ByName(*statsWL)
+		if err != nil {
+			fail(err)
+		}
+		s, err := harness.RunMicroStats(wl, *scale)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(s.Render())
+	}
+	if *all || *table3 {
+		fmt.Println(harness.RenderTableIII())
+	}
+}

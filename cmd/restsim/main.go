@@ -1,0 +1,114 @@
+// Command restsim runs one workload under one binary configuration through
+// the full functional + timing simulation and prints a statistics report.
+//
+// Usage:
+//
+//	restsim -workload xalanc -pass rest-full -mode secure -width 64 -scale 5
+//
+// Passes: plain, asan, rest-full, rest-heap, perfecthw-full, perfecthw-heap.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rest/internal/core"
+	"rest/internal/prog"
+	"rest/internal/workload"
+	"rest/internal/world"
+)
+
+func passByName(name string, width uint64) (prog.PassConfig, error) {
+	switch name {
+	case "plain":
+		return prog.Plain(), nil
+	case "asan":
+		return prog.ASanFull(), nil
+	case "rest-full":
+		return prog.RESTFull(width), nil
+	case "rest-heap":
+		return prog.RESTHeap(width), nil
+	case "perfecthw-full":
+		return prog.PerfectHWFull(), nil
+	case "perfecthw-heap":
+		return prog.PerfectHWHeap(), nil
+	}
+	return prog.PassConfig{}, fmt.Errorf("unknown pass %q", name)
+}
+
+func main() {
+	wlName := flag.String("workload", "xalanc", "workload name (see -list)")
+	passName := flag.String("pass", "rest-full", "binary flavour: plain|asan|rest-full|rest-heap|perfecthw-full|perfecthw-heap")
+	modeName := flag.String("mode", "secure", "REST exception mode: secure|debug")
+	width := flag.Uint64("width", 64, "token width in bytes: 16|32|64")
+	scale := flag.Int64("scale", 1, "workload scale factor (~10^5 instructions per unit)")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, wl := range workload.All() {
+			fmt.Printf("%-12s %s\n", wl.Name, wl.Description)
+		}
+		return
+	}
+
+	wl, err := workload.ByName(*wlName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pass, err := passByName(*passName, *width)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mode := core.Secure
+	if *modeName == "debug" {
+		mode = core.Debug
+	}
+
+	w, err := world.Build(world.Spec{Pass: pass, Mode: mode, Width: core.Width(pass.TokenWidth)}, wl.Build(*scale))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	stats, out := w.RunTimed()
+	if out.Err != nil {
+		fmt.Fprintln(os.Stderr, out.Err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload    %s (%s)\n", wl.Name, wl.Description)
+	fmt.Printf("binary      %s, mode=%s, width=%dB\n", *passName, mode, pass.TokenWidth)
+	fmt.Printf("outcome     %s (checksum %#x)\n", out, out.Checksum)
+	fmt.Printf("cycles      %d\n", stats.Cycles)
+	fmt.Printf("instructions %d (user %d + runtime %d), IPC %.2f\n",
+		stats.Instructions, stats.UserInstrs, stats.RuntimeOps, stats.IPC)
+	fmt.Printf("branches    %d resolved, %d mispredicted (%.2f%%)\n",
+		stats.BranchLookups, stats.Mispredicts,
+		100*float64(stats.Mispredicts)/float64(max(1, stats.BranchLookups)))
+	fmt.Printf("LSQ         %d store->load forwardings\n", stats.LSQForwardings)
+	fmt.Printf("ROB blocked by stores: %d cycles\n", stats.ROBStoreBlockCycles)
+	l1d := w.Hier.L1D.Stats
+	fmt.Printf("L1-D        %d accesses, %d misses (%.2f%%), %d writebacks\n",
+		l1d.Accesses, l1d.Misses, 100*float64(l1d.Misses)/float64(max(1, l1d.Accesses)), l1d.Writebacks)
+	if w.Tracker != nil {
+		fmt.Printf("tokens      %d arms, %d disarms, %d token fills, %d token evictions\n",
+			w.Tracker.Arms, w.Tracker.Disarms, l1d.TokenFills, l1d.TokenEvicts)
+	}
+	a := w.Alloc.Stats()
+	fmt.Printf("allocator   %d mallocs, %d frees, %d quarantine pops, peak live %dB\n",
+		a.Mallocs, a.Frees, a.QuarantinePops, a.PeakBytesLive)
+	if out.Exception != nil {
+		fmt.Printf("exception   %v (detection lag %d cycles)\n",
+			out.Exception, out.Exception.DetectLagCycles)
+	}
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

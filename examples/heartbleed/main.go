@@ -1,0 +1,88 @@
+// Heartbleed: the paper's motivating example (Listing 1, Figure 1).
+//
+// A server copies `payload` bytes out of a request buffer into the response
+// without validating the attacker-controlled length. With an 64-byte request
+// and a claimed length of 512, the memcpy reads far past the buffer —
+// straight through the memory holding a neighbouring secret.
+//
+// The program is built once and run under three deployments:
+//
+//	plain      — the leak silently succeeds (the checksum exfiltrates data);
+//	asan       — the memcpy interceptor's shadow range check reports it;
+//	rest-heap  — the copy's own loads hit the token bookending the buffer
+//	             and the hardware raises a REST exception. No recompilation:
+//	             heap-only REST protection comes entirely from the
+//	             interposed allocator (the legacy-binary story, §IV-A).
+package main
+
+import (
+	"fmt"
+
+	"rest"
+)
+
+// secretValue stands in for the passwords/credentials of Figure 1.
+const secretValue = 0x5EC12E7
+
+func heartbleedServer(b *rest.ProgramBuilder) {
+	f := b.Func("main")
+	req := f.Reg()     // the SSL record buffer
+	secret := f.Reg()  // neighbouring allocation with sensitive data
+	resp := f.Reg()    // response buffer
+	payload := f.Reg() // attacker-controlled length
+	v := f.Reg()
+
+	// unsigned char *p = &s->s3->rrec.data[0];  (a 64-byte record)
+	f.CallMallocI(req, 64)
+	// Sensitive data happens to live just past it on the heap.
+	f.CallMallocI(secret, 64)
+	f.MovI(v, secretValue)
+	f.Store(secret, 0, v, 8)
+
+	// n2s(p, payload): the attacker claims 512 bytes.
+	f.MovI(payload, 512)
+	// buffer = OPENSSL_malloc(payload);
+	f.CallMalloc(resp, payload)
+	// memcpy(buffer, p, payload): the vulnerable out-of-bounds read.
+	f.CallMemcpy(resp, req, payload)
+
+	// The response is "sent": checksum what leaked into it.
+	f.ForRangeI(64, func(i rest.Reg) {
+		p := f.Reg()
+		w := f.Reg()
+		f.ShlI(p, i, 3)
+		f.Add(p, p, resp)
+		f.Load(w, p, 0, 8)
+		f.Checksum(w)
+	})
+}
+
+func main() {
+	fmt.Println("Heartbleed (Listing 1): attacker requests 512 bytes from a 64-byte record")
+	fmt.Println()
+
+	out, err := rest.RunProgram(rest.Plain(), rest.Secure, heartbleedServer)
+	check(err)
+	fmt.Printf("plain:      %s\n", out)
+	if !out.Detected() {
+		leaked := out.Checksum != 0
+		fmt.Printf("            response checksum %#x -> secret leaked: %v\n", out.Checksum, leaked)
+	}
+
+	out, err = rest.RunProgram(rest.ASanFull(), rest.Secure, heartbleedServer)
+	check(err)
+	fmt.Printf("asan:       %s\n", out)
+
+	out, err = rest.RunProgram(rest.RESTHeap(64), rest.Secure, heartbleedServer)
+	check(err)
+	fmt.Printf("rest-heap:  %s\n", out)
+	if out.Exception != nil {
+		fmt.Printf("            over-read stopped at the token bookend: %v\n", out.Exception)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: plant tokens around a stack buffer, overflow it, and watch
+// the REST hardware raise a privileged exception — the 60-second tour of
+// the primitive.
+package main
+
+import (
+	"fmt"
+
+	"rest"
+)
+
+func main() {
+	fmt.Println("REST quickstart: a protected stack buffer and a 1-element overflow")
+	fmt.Println()
+
+	overflowingProgram := func(b *rest.ProgramBuilder) {
+		f := b.Func("main")
+		// A 64-byte stack array marked vulnerable: under the REST pass the
+		// compiler bookends it with tokens and arms them in the prologue.
+		buf := f.Buffer(64, true)
+		p := f.Reg()
+		f.BufAddr(p, buf, 0)
+		// Write 9 x 8 bytes into the 64-byte buffer: the 9th store lands in
+		// the right redzone.
+		f.ForRangeI(9, func(i rest.Reg) {
+			f.Store(p, 0, i, 8)
+			f.AddI(p, p, 8)
+		})
+	}
+
+	// 1. Unprotected baseline: the overflow silently corrupts the frame.
+	out, err := rest.RunProgram(rest.Plain(), rest.Secure, overflowingProgram)
+	check(err)
+	fmt.Printf("plain binary:      %s\n", out)
+
+	// 2. REST-protected build, secure (deployment) mode.
+	out, err = rest.RunProgram(rest.RESTFull(64), rest.Secure, overflowingProgram)
+	check(err)
+	fmt.Printf("REST secure mode:  %s\n", out)
+	if out.Exception != nil {
+		fmt.Printf("                   -> %v\n", out.Exception)
+	}
+
+	// 3. Debug mode: the same detection, but with precise machine state.
+	stats, out, err := rest.RunTimed(rest.RESTFull(64), rest.Debug, overflowingProgram)
+	check(err)
+	fmt.Printf("REST debug mode:   %s (precise=%v, %d cycles simulated)\n",
+		out, out.Exception != nil && out.Exception.Precise, stats.Cycles)
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,3 @@
+module rest
+
+go 1.22

@@ -1,0 +1,390 @@
+// Package alloc implements the three heap allocators the evaluation
+// compares (paper §II, §IV-A, Figure 6):
+//
+//   - Libc: a conventional size-class freelist allocator, the "plain"
+//     baseline, tuned for speed, with immediate reuse of freed memory.
+//   - ASan: AddressSanitizer's security-oriented allocator: poisoned
+//     redzones around every allocation, freed chunks poisoned and parked in
+//     a FIFO quarantine (no immediate reuse), shadow bookkeeping on every
+//     transition. Free-pool chunks stay poisoned.
+//   - REST: the paper's adaptation of the ASan allocator: redzones are
+//     armed with tokens instead of shadow poison, freed chunks are
+//     token-filled and quarantined, and — the paper's relaxed invariant —
+//     the free pool is *zeroed* rather than blacklisted (disarm zeroes),
+//     which also prevents uninitialized-data leaks (§IV-A, §V-C).
+//   - PerfectHW: the REST allocator with every arm/disarm replaced by one
+//     regular store, the paper's zero-cost-hardware limit study (§VI-B).
+//
+// Every operation routes its memory touches through the machine's RT*
+// helpers, so allocator cost is part of the simulated instruction stream
+// rather than an assumed constant.
+package alloc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rest/internal/layout"
+	"rest/internal/sim"
+)
+
+// HeaderBytes is the in-memory chunk header region (size + state word live
+// in simulated memory; it is kept one token width wide so payloads stay
+// token-aligned).
+const HeaderBytes = 64
+
+// Chunk states stored in the header's state word.
+const (
+	stateLive  = 0x11CE
+	stateFreed = 0xDEAD
+)
+
+// Chunk describes one heap chunk.
+type Chunk struct {
+	Header  uint64 // address of the header region
+	Payload uint64 // address returned to the program
+	Req     uint64 // requested size
+	Padded  uint64 // payload size after alignment padding
+	RZ      uint64 // redzone bytes on each side (0 for libc)
+	state   int
+}
+
+// end returns the first address past the chunk (header + left rz + payload
+// + right rz).
+func (c *Chunk) end() uint64 {
+	return c.Payload + c.Padded + c.RZ
+}
+
+// Policy customizes the engine per allocator flavour.
+type Policy interface {
+	// Name identifies the allocator in stats and errors.
+	Name() string
+	// AllocAnnotate installs protection around a chunk being handed out.
+	AllocAnnotate(m *sim.Machine, c *Chunk) error
+	// FreeAnnotate blacklists a chunk entering the quarantine.
+	FreeAnnotate(m *sim.Machine, c *Chunk) error
+	// PopAnnotate prepares a chunk leaving the quarantine for the free pool.
+	PopAnnotate(m *sim.Machine, c *Chunk) error
+	// MetadataOps returns extra bookkeeping micro-ops (ALU) charged per
+	// malloc and free, reflecting the allocator's structural complexity
+	// (ASan's allocator maintains per-thread caches, stats and quarantine
+	// accounting that the libc baseline does not).
+	MetadataOps() (malloc, free int)
+	// ReportsFreeErrors selects whether double/invalid frees are reported
+	// (security allocators) or silently corrupt state (classic libc).
+	ReportsFreeErrors() bool
+}
+
+// Stats counts allocator activity.
+type Stats struct {
+	Mallocs         uint64
+	Frees           uint64
+	DoubleFrees     uint64
+	InvalidFrees    uint64
+	QuarantinePops  uint64
+	BytesRequested  uint64
+	BytesLive       uint64
+	PeakBytesLive   uint64
+	QuarantineBytes uint64
+}
+
+// GapAnnotater is an optional Policy extension: blacklist the random slack
+// the randomizing allocator leaves between chunks ("sprinkle arbitrary
+// tokens across the data region", §V-C Predictability).
+type GapAnnotater interface {
+	GapAnnotate(m *sim.Machine, addr, n uint64) error
+}
+
+// Engine is the common freelist machinery shared by all flavours.
+type Engine struct {
+	policy Policy
+	align  uint64
+	rz     uint64
+	qcap   uint64 // quarantine capacity in bytes; 0 = no quarantine
+
+	gapRNG  *rand.Rand // nil = deterministic layout
+	maxGaps int        // max random gap in align units
+
+	brk        uint64
+	free       map[uint64][]*Chunk // padded size -> chunks
+	live       map[uint64]*Chunk   // payload -> chunk
+	quarantine []*Chunk
+	qbytes     uint64
+
+	stats Stats
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	Policy        Policy
+	Align         uint64 // payload alignment (and padding granularity)
+	RedzoneBytes  uint64
+	QuarantineCap uint64
+}
+
+// NewEngine builds an allocator engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("alloc: nil policy")
+	}
+	if cfg.Align == 0 || cfg.Align&(cfg.Align-1) != 0 {
+		return nil, fmt.Errorf("alloc: alignment %d not a power of two", cfg.Align)
+	}
+	return &Engine{
+		policy: cfg.Policy,
+		align:  cfg.Align,
+		rz:     cfg.RedzoneBytes,
+		qcap:   cfg.QuarantineCap,
+		brk:    layout.HeapBase,
+		free:   make(map[uint64][]*Chunk),
+		live:   make(map[uint64]*Chunk),
+	}, nil
+}
+
+// Stats returns a snapshot of allocator statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// SetQuarantineCap overrides the quarantine capacity (ablation studies; call
+// before the first allocation).
+func (e *Engine) SetQuarantineCap(n uint64) { e.qcap = n }
+
+// SetRedzone overrides the per-side redzone size (ablation studies; must be
+// a multiple of the token width; call before the first allocation).
+func (e *Engine) SetRedzone(n uint64) { e.rz = n }
+
+// RandomizeLayout enables heap layout randomization (§V-C Predictability):
+// fresh chunks are separated by random slack of up to maxGapUnits alignment
+// units, and — when the policy supports it — the slack itself is
+// blacklisted (sprinkled tokens), so attackers who jump over redzones using
+// a precomputed stride land on a token instead of the neighbouring chunk.
+func (e *Engine) RandomizeLayout(seed int64, maxGapUnits int) {
+	e.gapRNG = rand.New(rand.NewSource(seed))
+	e.maxGaps = maxGapUnits
+}
+
+// Policy exposes the engine's policy (tests).
+func (e *Engine) Policy() Policy { return e.policy }
+
+// Live reports whether ptr is a live payload address.
+func (e *Engine) Live(ptr uint64) bool { _, ok := e.live[ptr]; return ok }
+
+// SizeOf returns the requested size of a live allocation.
+func (e *Engine) SizeOf(ptr uint64) (uint64, bool) {
+	c, ok := e.live[ptr]
+	if !ok {
+		return 0, false
+	}
+	return c.Req, true
+}
+
+// LiveChunks returns the live chunks (tests and invariant checks).
+func (e *Engine) LiveChunks() []*Chunk {
+	out := make([]*Chunk, 0, len(e.live))
+	for _, c := range e.live {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Quarantined returns the quarantined chunks (tests).
+func (e *Engine) Quarantined() []*Chunk { return e.quarantine }
+
+// FreePool returns the free-pool chunks (tests).
+func (e *Engine) FreePool() []*Chunk {
+	var out []*Chunk
+	for _, l := range e.free {
+		out = append(out, l...)
+	}
+	return out
+}
+
+func (e *Engine) pad(size uint64) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	return (size + e.align - 1) &^ (e.align - 1)
+}
+
+// Malloc allocates size bytes and returns the payload address.
+func (e *Engine) Malloc(m *sim.Machine, size uint64) (uint64, error) {
+	mOps, _ := e.policy.MetadataOps()
+	m.RTALU(sim.SvcMalloc, mOps)
+
+	padded := e.pad(size)
+	var c *Chunk
+	if list := e.free[padded]; len(list) > 0 {
+		// Freelist hit: pop head (list-head load + next-pointer load).
+		c = list[len(list)-1]
+		e.free[padded] = list[:len(list)-1]
+		if _, exc := m.RTLoad(sim.SvcMalloc, c.Header+16, 8); exc != nil {
+			return 0, exc
+		}
+	} else {
+		// Carve from the wilderness, with randomized slack when enabled.
+		if e.gapRNG != nil && e.maxGaps > 0 {
+			gap := uint64(e.gapRNG.Intn(e.maxGaps+1)) * e.align
+			if gap > 0 {
+				if ga, ok := e.policy.(GapAnnotater); ok {
+					if err := ga.GapAnnotate(m, e.brk, gap); err != nil {
+						return 0, err
+					}
+				}
+				e.brk += gap
+			}
+		}
+		c = &Chunk{
+			Header: e.brk,
+			RZ:     e.rz,
+			Padded: padded,
+		}
+		c.Payload = c.Header + HeaderBytes + e.rz
+		e.brk = c.Payload + padded + e.rz
+		if e.brk > layout.HeapLimit {
+			return 0, fmt.Errorf("alloc(%s): out of heap", e.policy.Name())
+		}
+		m.RTALU(sim.SvcMalloc, 2)
+	}
+	c.Req = size
+	c.state = stateLive
+
+	// Header writes: size and state words.
+	if exc := m.RTStore(sim.SvcMalloc, c.Header, 8, size); exc != nil {
+		return 0, exc
+	}
+	if exc := m.RTStore(sim.SvcMalloc, c.Header+8, 8, stateLive); exc != nil {
+		return 0, exc
+	}
+	if err := e.policy.AllocAnnotate(m, c); err != nil {
+		return 0, err
+	}
+
+	e.live[c.Payload] = c
+	e.stats.Mallocs++
+	e.stats.BytesRequested += size
+	e.stats.BytesLive += padded
+	if e.stats.BytesLive > e.stats.PeakBytesLive {
+		e.stats.PeakBytesLive = e.stats.BytesLive
+	}
+	return c.Payload, nil
+}
+
+// Free releases a payload pointer. Double frees and invalid frees are
+// reported as allocator-detected violations.
+func (e *Engine) Free(m *sim.Machine, ptr uint64) error {
+	_, fOps := e.policy.MetadataOps()
+	m.RTALU(sim.SvcFree, fOps)
+
+	c, ok := e.live[ptr]
+	if !ok {
+		// Header state probe: the allocator reads the state word of what
+		// the caller claims is a chunk.
+		hdr := ptr - HeaderBytes - e.rz
+		if _, exc := m.RTLoad(sim.SvcFree, hdr+8, 8); exc != nil {
+			return exc
+		}
+		for _, q := range e.quarantine {
+			if q.Payload == ptr {
+				e.stats.DoubleFrees++
+				if e.policy.ReportsFreeErrors() {
+					return &sim.Violation{Tool: e.policy.Name(), What: "double free", Addr: ptr}
+				}
+				return nil
+			}
+		}
+		e.stats.InvalidFrees++
+		if e.policy.ReportsFreeErrors() {
+			return &sim.Violation{Tool: e.policy.Name(), What: "invalid free", Addr: ptr}
+		}
+		// Classic libc: the bogus free silently corrupts freelist state
+		// (modelled as a metadata write; the chunk may be handed out twice).
+		if fc, isFree := e.findFreeChunk(ptr); isFree {
+			e.free[fc.Padded] = append(e.free[fc.Padded], fc)
+		}
+		return nil
+	}
+
+	// Verify and flip the state word.
+	if _, exc := m.RTLoad(sim.SvcFree, c.Header+8, 8); exc != nil {
+		return exc
+	}
+	if exc := m.RTStore(sim.SvcFree, c.Header+8, 8, stateFreed); exc != nil {
+		return exc
+	}
+	c.state = stateFreed
+	delete(e.live, ptr)
+	e.stats.Frees++
+	e.stats.BytesLive -= c.Padded
+
+	if err := e.policy.FreeAnnotate(m, c); err != nil {
+		return err
+	}
+
+	if e.qcap == 0 {
+		// No quarantine: immediate reuse (libc behaviour).
+		return e.toFreePool(m, c)
+	}
+	e.quarantine = append(e.quarantine, c)
+	e.qbytes += c.Padded
+	e.stats.QuarantineBytes = e.qbytes
+	// Quarantine-link stores.
+	if exc := m.RTStore(sim.SvcFree, c.Header+16, 8, 0); exc != nil {
+		return exc
+	}
+
+	// Evict oldest quarantine entries once over capacity.
+	for e.qbytes > e.qcap && len(e.quarantine) > 0 {
+		old := e.quarantine[0]
+		e.quarantine = e.quarantine[1:]
+		e.qbytes -= old.Padded
+		e.stats.QuarantinePops++
+		if err := e.policy.PopAnnotate(m, old); err != nil {
+			return err
+		}
+		if err := e.toFreePool(m, old); err != nil {
+			return err
+		}
+	}
+	e.stats.QuarantineBytes = e.qbytes
+	return nil
+}
+
+func (e *Engine) toFreePool(m *sim.Machine, c *Chunk) error {
+	// Freelist push: head load + link store.
+	if _, exc := m.RTLoad(sim.SvcFree, c.Header+16, 8); exc != nil {
+		return exc
+	}
+	if exc := m.RTStore(sim.SvcFree, c.Header+16, 8, 0); exc != nil {
+		return exc
+	}
+	e.free[c.Padded] = append(e.free[c.Padded], c)
+	return nil
+}
+
+// findFreeChunk locates a free-pool chunk by payload address.
+func (e *Engine) findFreeChunk(ptr uint64) (*Chunk, bool) {
+	for _, list := range e.free {
+		for _, c := range list {
+			if c.Payload == ptr {
+				return c, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// CheckNoOverlap verifies that no two live chunks overlap and that every
+// chunk lies inside the heap (invariant for property tests).
+func (e *Engine) CheckNoOverlap() error {
+	chunks := e.LiveChunks()
+	for i, a := range chunks {
+		if a.Header < layout.HeapBase || a.end() > layout.HeapLimit {
+			return fmt.Errorf("alloc: chunk %#x outside heap", a.Payload)
+		}
+		for _, b := range chunks[i+1:] {
+			if a.Header < b.end() && b.Header < a.end() {
+				return fmt.Errorf("alloc: chunks %#x and %#x overlap", a.Payload, b.Payload)
+			}
+		}
+	}
+	return nil
+}

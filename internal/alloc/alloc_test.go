@@ -1,0 +1,423 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"rest/internal/core"
+	"rest/internal/isa"
+	"rest/internal/mem"
+	"rest/internal/shadow"
+	"rest/internal/sim"
+)
+
+// newMachine builds a bare machine for exercising allocators directly.
+func newMachine(t *testing.T, tracker *core.TokenTracker, m *mem.Memory) *sim.Machine {
+	t.Helper()
+	mach, err := sim.New(sim.Config{Mem: m, Tracker: tracker},
+		[]isa.Instr{{Op: isa.OpHalt}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach
+}
+
+func newRESTWorld(t *testing.T, w core.Width) (*sim.Machine, *core.TokenTracker, *Engine) {
+	t.Helper()
+	reg, err := core.NewTokenRegister(w, core.Secure, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	tr := core.NewTokenTracker(reg, m)
+	mach := newMachine(t, tr, m)
+	eng, err := NewREST(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach, tr, eng
+}
+
+func newASanWorld(t *testing.T) (*sim.Machine, *shadow.Map, *Engine) {
+	t.Helper()
+	m := mem.New()
+	sh := shadow.New(m)
+	mach := newMachine(t, nil, m)
+	eng, err := NewASan(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach, sh, eng
+}
+
+func TestLibcMallocFreeReuse(t *testing.T) {
+	mach := newMachine(t, nil, mem.New())
+	eng, err := NewLibc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := eng.Malloc(mach, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1%16 != 0 {
+		t.Errorf("payload %#x not 16-aligned", p1)
+	}
+	if err := eng.Free(mach, p1); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := eng.Malloc(mach, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p1 {
+		t.Errorf("libc did not reuse freed chunk immediately: %#x != %#x", p2, p1)
+	}
+}
+
+func TestLibcNoRedzones(t *testing.T) {
+	mach := newMachine(t, nil, mem.New())
+	eng, _ := NewLibc()
+	p1, _ := eng.Malloc(mach, 64)
+	p2, _ := eng.Malloc(mach, 64)
+	// Chunks are header-separated only.
+	if p2-p1 != HeaderBytes+64 {
+		t.Errorf("libc chunk stride = %d, want %d", p2-p1, HeaderBytes+64)
+	}
+}
+
+func TestASanRedzonesPoisoned(t *testing.T) {
+	mach, sh, eng := newASanWorld(t)
+	p, err := eng.Malloc(mach, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := sh.Check(p, 8); !ok {
+		t.Error("payload poisoned after malloc")
+	}
+	if ok, pv := sh.Check(p-8, 8); ok || pv != shadow.HeapLeftRZ {
+		t.Errorf("left redzone not poisoned (ok=%v pv=%#x)", ok, pv)
+	}
+	// Padded size is 112 for a 100-byte request (16-alignment).
+	if ok, pv := sh.Check(p+112, 8); ok || pv != shadow.HeapRightRZ {
+		t.Errorf("right redzone not poisoned (ok=%v pv=%#x)", ok, pv)
+	}
+}
+
+func TestASanFreePoisonsAndQuarantines(t *testing.T) {
+	mach, sh, eng := newASanWorld(t)
+	p, _ := eng.Malloc(mach, 64)
+	if err := eng.Free(mach, p); err != nil {
+		t.Fatal(err)
+	}
+	if ok, pv := sh.Check(p, 8); ok || pv != shadow.FreedHeap {
+		t.Errorf("freed payload not poisoned (ok=%v pv=%#x)", ok, pv)
+	}
+	if len(eng.Quarantined()) != 1 {
+		t.Errorf("quarantine len = %d, want 1", len(eng.Quarantined()))
+	}
+	// No immediate reuse.
+	p2, _ := eng.Malloc(mach, 64)
+	if p2 == p {
+		t.Error("ASan reused freed chunk immediately")
+	}
+}
+
+func TestASanQuarantineEviction(t *testing.T) {
+	mach, _, eng := newASanWorld(t)
+	// Churn enough to exceed the 256KB cap with 4KB chunks.
+	ptrs := make([]uint64, 0, 100)
+	for i := 0; i < 100; i++ {
+		p, err := eng.Malloc(mach, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		if err := eng.Free(mach, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.QuarantinePops == 0 {
+		t.Error("no quarantine pops after exceeding capacity")
+	}
+	if st.QuarantineBytes > DefaultQuarantineCap {
+		t.Errorf("quarantine bytes %d over cap", st.QuarantineBytes)
+	}
+	if len(eng.FreePool()) == 0 {
+		t.Error("free pool empty after quarantine pops")
+	}
+}
+
+func TestRESTRedzonesArmed(t *testing.T) {
+	mach, tr, eng := newRESTWorld(t, core.Width64)
+	p, err := eng.Malloc(mach, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p%64 != 0 {
+		t.Errorf("REST payload %#x not token-aligned", p)
+	}
+	if !tr.Armed(p - 1) {
+		t.Error("left redzone not armed")
+	}
+	if tr.Armed(p) || tr.Armed(p+100) {
+		t.Error("payload armed after malloc")
+	}
+	// Padded to 128 for a 100-byte request.
+	if !tr.Armed(p + 128) {
+		t.Error("right redzone not armed")
+	}
+	if err := tr.VerifyConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRESTFreeArmsPayload(t *testing.T) {
+	mach, tr, eng := newRESTWorld(t, core.Width64)
+	p, _ := eng.Malloc(mach, 256)
+	if err := eng.Free(mach, p); err != nil {
+		t.Fatal(err)
+	}
+	for off := uint64(0); off < 256; off += 64 {
+		if !tr.Armed(p + off) {
+			t.Fatalf("freed payload chunk at +%d not armed", off)
+		}
+	}
+}
+
+func TestRESTQuarantinePopZeroes(t *testing.T) {
+	mach, tr, eng := newRESTWorld(t, core.Width64)
+	mm := mach.Mem
+	// Allocate, dirty, free, then churn past the quarantine cap.
+	p, _ := eng.Malloc(mach, 4096)
+	mm.WriteUint(p, 8, 0x4141414141414141)
+	if err := eng.Free(mach, p); err != nil {
+		t.Fatal(err)
+	}
+	// Churn with a different size class so p is never reallocated before
+	// we inspect it.
+	for i := 0; i < 80; i++ {
+		q, err := eng.Malloc(mach, 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Free(mach, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Stats().QuarantinePops == 0 {
+		t.Fatal("chunk never left quarantine")
+	}
+	// The popped chunk's payload must be zeroed (free-pool-zeroed
+	// invariant: no uninitialized-data leaks) and unarmed.
+	if tr.Armed(p) {
+		t.Error("popped chunk still armed")
+	}
+	if got := mm.ReadUint(p, 8); got != 0 {
+		t.Errorf("popped chunk payload = %#x, want 0 (zeroed free pool)", got)
+	}
+	if err := tr.VerifyConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRESTReallocationFromPool(t *testing.T) {
+	mach, tr, eng := newRESTWorld(t, core.Width64)
+	ptrs := make([]uint64, 0, 90)
+	for i := 0; i < 90; i++ {
+		p, _ := eng.Malloc(mach, 4096)
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		if err := eng.Free(mach, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Stats().QuarantinePops == 0 {
+		t.Fatal("no pops")
+	}
+	before := eng.Stats().Mallocs
+	p, err := eng.Malloc(mach, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = before
+	// Reallocated chunk: redzones armed again, payload clean.
+	if !tr.Armed(p-1) || !tr.Armed(p+4096) {
+		t.Error("reallocated chunk redzones not armed")
+	}
+	if tr.Armed(p) {
+		t.Error("reallocated payload armed")
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	for _, mk := range []func() (*sim.Machine, *Engine){
+		func() (*sim.Machine, *Engine) { m, _, e := newASanWorld(t); return m, e },
+		func() (*sim.Machine, *Engine) { m, _, e := newRESTWorld(t, core.Width64); return m, e },
+	} {
+		mach, eng := mk()
+		p, _ := eng.Malloc(mach, 64)
+		if err := eng.Free(mach, p); err != nil {
+			t.Fatal(err)
+		}
+		err := eng.Free(mach, p)
+		v, ok := err.(*sim.Violation)
+		if !ok || v.What != "double free" {
+			t.Errorf("%s: double free -> %v, want violation", eng.Policy().Name(), err)
+		}
+		if eng.Stats().DoubleFrees != 1 {
+			t.Errorf("%s: DoubleFrees = %d, want 1", eng.Policy().Name(), eng.Stats().DoubleFrees)
+		}
+	}
+}
+
+func TestInvalidFreeDetected(t *testing.T) {
+	mach, _, eng := newASanWorld(t)
+	err := eng.Free(mach, 0x2345_6780)
+	if v, ok := err.(*sim.Violation); !ok || v.What != "invalid free" {
+		t.Errorf("invalid free -> %v, want violation", err)
+	}
+}
+
+func TestPerfectHWEmitsPlainStores(t *testing.T) {
+	m := mem.New()
+	mach := newMachine(t, nil, m) // stock hardware: no tracker
+	eng, err := NewPerfectHW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mach.RTOps
+	p, err := eng.Malloc(mach, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mach.RTOps == before {
+		t.Error("no runtime micro-ops emitted")
+	}
+	if err := eng.Free(mach, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	if _, err := NewEngine(Config{Policy: nil, Align: 16}); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := NewEngine(Config{Policy: LibcPolicy{}, Align: 24}); err == nil {
+		t.Error("non-power-of-two alignment accepted")
+	}
+}
+
+// Property: under random malloc/free churn the engine maintains (a) no
+// overlapping live chunks, (b) REST tracker/content consistency, and (c)
+// the arming invariants for live, quarantined and free chunks.
+func TestRESTInvariantsUnderChurn(t *testing.T) {
+	mach, tr, eng := newRESTWorld(t, core.Width64)
+	r := rand.New(rand.NewSource(77))
+	var livePtrs []uint64
+	for step := 0; step < 3000; step++ {
+		if len(livePtrs) == 0 || r.Intn(2) == 0 {
+			size := uint64(1 + r.Intn(2000))
+			p, err := eng.Malloc(mach, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			livePtrs = append(livePtrs, p)
+		} else {
+			i := r.Intn(len(livePtrs))
+			if err := eng.Free(mach, livePtrs[i]); err != nil {
+				t.Fatal(err)
+			}
+			livePtrs = append(livePtrs[:i], livePtrs[i+1:]...)
+		}
+	}
+	if err := eng.CheckNoOverlap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range eng.LiveChunks() {
+		if !tr.Armed(c.Payload-1) || !tr.Armed(c.Payload+c.Padded) {
+			t.Fatalf("live chunk %#x redzones not armed", c.Payload)
+		}
+		if tr.Armed(c.Payload) {
+			t.Fatalf("live chunk %#x payload armed", c.Payload)
+		}
+	}
+	for _, c := range eng.Quarantined() {
+		if !tr.Armed(c.Payload) {
+			t.Fatalf("quarantined chunk %#x payload not armed", c.Payload)
+		}
+	}
+	for _, c := range eng.FreePool() {
+		if tr.Armed(c.Payload) || tr.Armed(c.Payload-1) || tr.Armed(c.Payload+c.Padded) {
+			t.Fatalf("free-pool chunk %#x still armed", c.Payload)
+		}
+	}
+}
+
+func TestASanInvariantsUnderChurn(t *testing.T) {
+	mach, sh, eng := newASanWorld(t)
+	r := rand.New(rand.NewSource(78))
+	var livePtrs []uint64
+	for step := 0; step < 3000; step++ {
+		if len(livePtrs) == 0 || r.Intn(2) == 0 {
+			p, err := eng.Malloc(mach, uint64(1+r.Intn(2000)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			livePtrs = append(livePtrs, p)
+		} else {
+			i := r.Intn(len(livePtrs))
+			if err := eng.Free(mach, livePtrs[i]); err != nil {
+				t.Fatal(err)
+			}
+			livePtrs = append(livePtrs[:i], livePtrs[i+1:]...)
+		}
+	}
+	if err := eng.CheckNoOverlap(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range eng.LiveChunks() {
+		if ok, _ := sh.Check(c.Payload, 8); !ok {
+			t.Fatalf("live chunk %#x payload poisoned", c.Payload)
+		}
+		if ok, _ := sh.Check(c.Payload-8, 8); ok {
+			t.Fatalf("live chunk %#x left redzone not poisoned", c.Payload)
+		}
+	}
+	// ASan invariant: quarantine AND free pool stay poisoned.
+	for _, c := range eng.Quarantined() {
+		if ok, _ := sh.Check(c.Payload, 8); ok {
+			t.Fatalf("quarantined chunk %#x not poisoned", c.Payload)
+		}
+	}
+	for _, c := range eng.FreePool() {
+		if ok, _ := sh.Check(c.Payload, 8); ok {
+			t.Fatalf("free-pool chunk %#x not poisoned", c.Payload)
+		}
+	}
+}
+
+func TestStatsTracking(t *testing.T) {
+	mach, _, eng := newASanWorld(t)
+	p1, _ := eng.Malloc(mach, 100)
+	p2, _ := eng.Malloc(mach, 200)
+	eng.Free(mach, p1)
+	st := eng.Stats()
+	if st.Mallocs != 2 || st.Frees != 1 {
+		t.Errorf("mallocs/frees = %d/%d, want 2/1", st.Mallocs, st.Frees)
+	}
+	if st.BytesRequested != 300 {
+		t.Errorf("BytesRequested = %d, want 300", st.BytesRequested)
+	}
+	if st.PeakBytesLive < st.BytesLive {
+		t.Error("peak < live")
+	}
+	_ = p2
+}

@@ -1,0 +1,234 @@
+package alloc
+
+import (
+	"rest/internal/core"
+	"rest/internal/shadow"
+	"rest/internal/sim"
+)
+
+// Default sizing. The redzone is one full cache line per side, matching
+// Figure 6; the quarantine capacity is scaled to simulation footprints (the
+// paper inherits ASan's quarantine, whose size is a runtime knob there too).
+const (
+	DefaultRedzone       = 64
+	DefaultQuarantineCap = 256 << 10
+)
+
+// --- Libc (plain baseline) ---
+
+// LibcPolicy is the conventional fast allocator: no redzones, no
+// quarantine, immediate reuse.
+type LibcPolicy struct{}
+
+// Name implements Policy.
+func (LibcPolicy) Name() string { return "libc" }
+
+// AllocAnnotate implements Policy (no protection).
+func (LibcPolicy) AllocAnnotate(*sim.Machine, *Chunk) error { return nil }
+
+// FreeAnnotate implements Policy.
+func (LibcPolicy) FreeAnnotate(*sim.Machine, *Chunk) error { return nil }
+
+// PopAnnotate implements Policy.
+func (LibcPolicy) PopAnnotate(*sim.Machine, *Chunk) error { return nil }
+
+// MetadataOps implements Policy: a lean allocator.
+func (LibcPolicy) MetadataOps() (int, int) { return 6, 4 }
+
+// ReportsFreeErrors implements Policy: classic libc corrupts silently.
+func (LibcPolicy) ReportsFreeErrors() bool { return false }
+
+// NewLibc builds the plain allocator.
+func NewLibc() (*Engine, error) {
+	return NewEngine(Config{Policy: LibcPolicy{}, Align: 16})
+}
+
+// --- ASan ---
+
+// ASanPolicy poisons redzones and freed payloads in shadow memory.
+type ASanPolicy struct {
+	Shadow *shadow.Map
+}
+
+// Name implements Policy.
+func (ASanPolicy) Name() string { return "asan" }
+
+// poisonRange poisons [addr, addr+n) in the shadow map and charges the
+// corresponding shadow stores (one 8-byte shadow store covers 64
+// application bytes).
+func (p ASanPolicy) poisonRange(m *sim.Machine, id int64, addr, n uint64, val byte) error {
+	p.Shadow.Poison(addr, n, val)
+	for a := addr; a < addr+n; a += 64 {
+		if exc := m.RTTouch(id, shadow.Addr(a), 8, true); exc != nil {
+			return exc
+		}
+	}
+	return nil
+}
+
+func (p ASanPolicy) unpoisonRange(m *sim.Machine, id int64, addr, n uint64) error {
+	p.Shadow.Unpoison(addr, n)
+	for a := addr; a < addr+n; a += 64 {
+		if exc := m.RTTouch(id, shadow.Addr(a), 8, true); exc != nil {
+			return exc
+		}
+	}
+	return nil
+}
+
+// AllocAnnotate implements Policy: poison both redzones (and the metadata
+// header, which redzones shield from the program) and unpoison the payload.
+func (p ASanPolicy) AllocAnnotate(m *sim.Machine, c *Chunk) error {
+	if err := p.poisonRange(m, sim.SvcMalloc, c.Header, HeaderBytes+c.RZ, shadow.HeapLeftRZ); err != nil {
+		return err
+	}
+	if err := p.unpoisonRange(m, sim.SvcMalloc, c.Payload, c.Padded); err != nil {
+		return err
+	}
+	return p.poisonRange(m, sim.SvcMalloc, c.Payload+c.Padded, c.RZ, shadow.HeapRightRZ)
+}
+
+// FreeAnnotate implements Policy: poison the payload as freed.
+func (p ASanPolicy) FreeAnnotate(m *sim.Machine, c *Chunk) error {
+	return p.poisonRange(m, sim.SvcFree, c.Payload, c.Padded, shadow.FreedHeap)
+}
+
+// PopAnnotate implements Policy: ASan's invariant keeps free-pool chunks
+// poisoned, so leaving quarantine costs nothing.
+func (ASanPolicy) PopAnnotate(*sim.Machine, *Chunk) error { return nil }
+
+// MetadataOps implements Policy: ASan's allocator maintains per-size-class
+// caches, quarantine accounting and allocation stats.
+func (ASanPolicy) MetadataOps() (int, int) { return 18, 14 }
+
+// ReportsFreeErrors implements Policy: ASan reports free errors.
+func (ASanPolicy) ReportsFreeErrors() bool { return true }
+
+// NewASan builds the ASan allocator over a shadow map.
+func NewASan(s *shadow.Map) (*Engine, error) {
+	return NewEngine(Config{
+		Policy:        ASanPolicy{Shadow: s},
+		Align:         16,
+		RedzoneBytes:  DefaultRedzone,
+		QuarantineCap: DefaultQuarantineCap,
+	})
+}
+
+// --- REST ---
+
+// RESTPolicy arms redzones and freed payloads with tokens (Figure 6B). With
+// PerfectHW set, every arm/disarm is replaced by a single regular store —
+// the paper's zero-cost-hardware limit study.
+type RESTPolicy struct {
+	Tracker   *core.TokenTracker
+	PerfectHW bool
+}
+
+// Name implements Policy.
+func (p RESTPolicy) Name() string {
+	if p.PerfectHW {
+		return "rest-perfecthw"
+	}
+	return "rest"
+}
+
+func (p RESTPolicy) width() uint64 {
+	if p.Tracker == nil {
+		return 64 // PerfectHW runs on stock hardware: cost model only
+	}
+	return uint64(p.Tracker.Register().Width())
+}
+
+func (p RESTPolicy) armRange(m *sim.Machine, id int64, addr, n uint64) error {
+	w := p.width()
+	for a := addr; a < addr+n; a += w {
+		if p.PerfectHW {
+			if exc := m.RTStore(id, a, 8, 0); exc != nil {
+				return exc
+			}
+			continue
+		}
+		if exc := m.RTArm(id, a); exc != nil {
+			return exc
+		}
+	}
+	return nil
+}
+
+func (p RESTPolicy) disarmRange(m *sim.Machine, id int64, addr, n uint64) error {
+	w := p.width()
+	for a := addr; a < addr+n; a += w {
+		if p.PerfectHW {
+			if exc := m.RTStore(id, a, 8, 0); exc != nil {
+				return exc
+			}
+			continue
+		}
+		if exc := m.RTDisarm(id, a); exc != nil {
+			return exc
+		}
+	}
+	return nil
+}
+
+// AllocAnnotate implements Policy: arm both redzones. The payload arrives
+// zeroed (free-pool-zeroed invariant), so no payload work is needed.
+func (p RESTPolicy) AllocAnnotate(m *sim.Machine, c *Chunk) error {
+	if err := p.armRange(m, sim.SvcMalloc, c.Payload-c.RZ, c.RZ); err != nil {
+		return err
+	}
+	return p.armRange(m, sim.SvcMalloc, c.Payload+c.Padded, c.RZ)
+}
+
+// FreeAnnotate implements Policy: fill the freed payload with tokens before
+// quarantining (Figure 6B).
+func (p RESTPolicy) FreeAnnotate(m *sim.Machine, c *Chunk) error {
+	return p.armRange(m, sim.SvcFree, c.Payload, c.Padded)
+}
+
+// PopAnnotate implements Policy: disarm payload and redzones; disarm zeroes,
+// establishing the zeroed free pool (the paper's relaxed invariant, which
+// also prevents uninitialized-data leaks on reallocation).
+func (p RESTPolicy) PopAnnotate(m *sim.Machine, c *Chunk) error {
+	if err := p.disarmRange(m, sim.SvcFree, c.Payload-c.RZ, c.RZ); err != nil {
+		return err
+	}
+	if err := p.disarmRange(m, sim.SvcFree, c.Payload, c.Padded); err != nil {
+		return err
+	}
+	return p.disarmRange(m, sim.SvcFree, c.Payload+c.Padded, c.RZ)
+}
+
+// GapAnnotate implements GapAnnotater: random inter-chunk slack is armed
+// ("sprinkled" tokens, §V-C), so layout-guessing jumps land on tokens.
+func (p RESTPolicy) GapAnnotate(m *sim.Machine, addr, n uint64) error {
+	return p.armRange(m, sim.SvcMalloc, addr, n)
+}
+
+// MetadataOps implements Policy: REST reuses the ASan allocator structure
+// (§IV-A "We chose to use the ASan allocator for convenience").
+func (RESTPolicy) MetadataOps() (int, int) { return 18, 14 }
+
+// ReportsFreeErrors implements Policy: the security allocator reports.
+func (RESTPolicy) ReportsFreeErrors() bool { return true }
+
+// NewREST builds the REST allocator over a token tracker. Alignment is the
+// token width so payloads and redzones are armable.
+func NewREST(tr *core.TokenTracker) (*Engine, error) {
+	return NewEngine(Config{
+		Policy:        RESTPolicy{Tracker: tr},
+		Align:         uint64(tr.Register().Width()),
+		RedzoneBytes:  DefaultRedzone,
+		QuarantineCap: DefaultQuarantineCap,
+	})
+}
+
+// NewPerfectHW builds the REST allocator cost model for stock hardware.
+func NewPerfectHW() (*Engine, error) {
+	return NewEngine(Config{
+		Policy:        RESTPolicy{PerfectHW: true},
+		Align:         64,
+		RedzoneBytes:  DefaultRedzone,
+		QuarantineCap: DefaultQuarantineCap,
+	})
+}

@@ -1,0 +1,359 @@
+// Package asm provides a textual assembly format for the simulated ISA, so
+// REST programs can be written directly and run with cmd/restasm:
+//
+//	; compute into the checksum register, then trip a token
+//	main:
+//	    movi  r1, 0x10000000
+//	    arm   [r1+0]          ; plant a token
+//	    load8 r2, [r1+8]      ; REST exception: load touched token
+//	    halt
+//
+// Syntax: one instruction per line; `;` or `#` start comments; `label:`
+// defines a branch target; registers are r0..r31 with aliases zero, sp, fp,
+// ra, res (the checksum register). Loads/stores write the access size into
+// the mnemonic (load1/2/4/8, store1/2/4/8). Branch/jump/call targets are
+// labels. Immediates accept decimal, hex (0x...) and negative values.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rest/internal/isa"
+	"rest/internal/layout"
+	"rest/internal/sim"
+)
+
+var regAliases = map[string]uint8{
+	"zero": isa.RZero,
+	"sp":   isa.RSP,
+	"fp":   isa.RFP,
+	"ra":   isa.RRA,
+	"res":  sim.RRes,
+}
+
+// Parse assembles source into an instruction sequence. The entry point is
+// the "main" label (or instruction 0 if no main label exists).
+func Parse(src string) ([]isa.Instr, int, error) {
+	type pending struct {
+		instr isa.Instr
+		label string // branch/call target to resolve (empty = none)
+		line  int
+	}
+	var prog []pending
+	labels := map[string]int{}
+
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			if i := strings.Index(line, ":"); i >= 0 && !strings.ContainsAny(line[:i], " \t[") {
+				name := strings.TrimSpace(line[:i])
+				if _, dup := labels[name]; dup {
+					return nil, 0, fmt.Errorf("asm: line %d: duplicate label %q", ln+1, name)
+				}
+				labels[name] = len(prog)
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		in, target, err := parseInstr(line)
+		if err != nil {
+			return nil, 0, fmt.Errorf("asm: line %d: %w", ln+1, err)
+		}
+		prog = append(prog, pending{instr: in, label: target, line: ln + 1})
+	}
+
+	out := make([]isa.Instr, len(prog))
+	for i, p := range prog {
+		in := p.instr
+		if p.label != "" {
+			idx, ok := labels[p.label]
+			if !ok {
+				return nil, 0, fmt.Errorf("asm: line %d: undefined label %q", p.line, p.label)
+			}
+			in.Imm = int64(layout.CodeBase + uint64(idx)*isa.InstrBytes)
+		}
+		if err := in.Valid(); err != nil {
+			return nil, 0, fmt.Errorf("asm: line %d: %w", p.line, err)
+		}
+		out[i] = in
+	}
+	entry := 0
+	if idx, ok := labels["main"]; ok {
+		entry = idx
+	}
+	if len(out) == 0 {
+		return nil, 0, fmt.Errorf("asm: empty program")
+	}
+	return out, entry, nil
+}
+
+// parseInstr assembles one instruction, returning an unresolved label for
+// control-flow targets.
+func parseInstr(line string) (isa.Instr, string, error) {
+	fields := strings.Fields(line)
+	mnem := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	args := splitArgs(rest)
+
+	reg := func(i int) (uint8, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("missing operand %d", i+1)
+		}
+		return parseReg(args[i])
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("missing operand %d", i+1)
+		}
+		return parseImm(args[i])
+	}
+
+	switch mnem {
+	case "nop":
+		return isa.Instr{Op: isa.OpNop}, "", nil
+	case "halt":
+		return isa.Instr{Op: isa.OpHalt}, "", nil
+	case "ret":
+		return isa.Instr{Op: isa.OpRet}, "", nil
+
+	case "movi":
+		rd, err := reg(0)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		return isa.Instr{Op: isa.OpMovI, Rd: rd, Imm: v}, "", nil
+	case "mov":
+		rd, err := reg(0)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		return isa.Instr{Op: isa.OpMov, Rd: rd, Rs: rs}, "", nil
+
+	case "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr":
+		ops := map[string]isa.Op{
+			"add": isa.OpAdd, "sub": isa.OpSub, "mul": isa.OpMul,
+			"div": isa.OpDiv, "rem": isa.OpRem, "and": isa.OpAnd,
+			"or": isa.OpOr, "xor": isa.OpXor, "shl": isa.OpShl, "shr": isa.OpShr,
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		return isa.Instr{Op: ops[mnem], Rd: rd, Rs: rs, Rt: rt}, "", nil
+
+	case "addi", "muli", "andi", "ori", "xori", "shli", "shri":
+		ops := map[string]isa.Op{
+			"addi": isa.OpAddI, "muli": isa.OpMulI, "andi": isa.OpAndI,
+			"ori": isa.OpOrI, "xori": isa.OpXorI, "shli": isa.OpShlI, "shri": isa.OpShrI,
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		return isa.Instr{Op: ops[mnem], Rd: rd, Rs: rs, Imm: v}, "", nil
+
+	case "load1", "load2", "load4", "load8":
+		rd, err := reg(0)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		rs, off, err := parseMem(args, 1)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		return isa.Instr{Op: isa.OpLoad, Rd: rd, Rs: rs, Imm: off, Size: sizeOf(mnem)}, "", nil
+	case "store1", "store2", "store4", "store8":
+		rs, off, err := parseMem(args, 0)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		return isa.Instr{Op: isa.OpStore, Rs: rs, Rt: rt, Imm: off, Size: sizeOf(mnem)}, "", nil
+
+	case "arm", "disarm":
+		rs, off, err := parseMem(args, 0)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		op := isa.OpArm
+		if mnem == "disarm" {
+			op = isa.OpDisarm
+		}
+		return isa.Instr{Op: op, Rs: rs, Imm: off}, "", nil
+
+	case "beq", "bne", "blt", "bge", "bltu", "bgeu":
+		ops := map[string]isa.Op{
+			"beq": isa.OpBeq, "bne": isa.OpBne, "blt": isa.OpBlt,
+			"bge": isa.OpBge, "bltu": isa.OpBltu, "bgeu": isa.OpBgeu,
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		if len(args) < 3 {
+			return isa.Instr{}, "", fmt.Errorf("missing branch target")
+		}
+		return isa.Instr{Op: ops[mnem], Rs: rs, Rt: rt}, args[2], nil
+	case "jmp", "call":
+		op := isa.OpJmp
+		if mnem == "call" {
+			op = isa.OpCall
+		}
+		if len(args) < 1 {
+			return isa.Instr{}, "", fmt.Errorf("missing target")
+		}
+		return isa.Instr{Op: op}, args[0], nil
+	case "callr":
+		rs, err := reg(0)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		return isa.Instr{Op: isa.OpCallR, Rs: rs}, "", nil
+
+	case "rtcall":
+		v, err := imm(0)
+		if err != nil {
+			return isa.Instr{}, "", err
+		}
+		return isa.Instr{Op: isa.OpRTCall, Imm: v}, "", nil
+	}
+	return isa.Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnem)
+}
+
+func sizeOf(mnem string) uint8 {
+	switch mnem[len(mnem)-1] {
+	case '1':
+		return 1
+	case '2':
+		return 2
+	case '4':
+		return 4
+	default:
+		return 8
+	}
+}
+
+func splitArgs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow large unsigned hex (addresses).
+		u, uerr := strconv.ParseUint(s, 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return int64(u), nil
+	}
+	return v, nil
+}
+
+// parseMem parses a "[rN+off]" or "[rN-off]" operand at args[i].
+func parseMem(args []string, i int) (uint8, int64, error) {
+	if i >= len(args) {
+		return 0, 0, fmt.Errorf("missing memory operand")
+	}
+	s := strings.TrimSpace(args[i])
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	s = s[1 : len(s)-1]
+	sign := int64(1)
+	var regPart, offPart string
+	if j := strings.IndexAny(s, "+-"); j >= 0 {
+		if s[j] == '-' {
+			sign = -1
+		}
+		regPart, offPart = s[:j], s[j+1:]
+	} else {
+		regPart, offPart = s, "0"
+	}
+	r, err := parseReg(regPart)
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := parseImm(offPart)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, sign * off, nil
+}
+
+// Format disassembles a program back to parseable text.
+func Format(prog []isa.Instr) string {
+	var b strings.Builder
+	for i, in := range prog {
+		fmt.Fprintf(&b, "%04d  %s\n", i, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,200 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rest/internal/isa"
+	"rest/internal/layout"
+)
+
+func TestParseBasics(t *testing.T) {
+	src := `
+; a tiny program
+main:
+    movi r1, 10       ; counter
+    movi r2, 0
+loop:
+    add  r2, r2, r1
+    addi r1, r1, -1
+    bne  r1, zero, loop
+    mov  res, r2
+    halt
+`
+	prog, entry, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry != 0 {
+		t.Errorf("entry = %d, want 0", entry)
+	}
+	if len(prog) != 7 {
+		t.Fatalf("instructions = %d, want 7", len(prog))
+	}
+	if prog[0].Op != isa.OpMovI || prog[0].Imm != 10 {
+		t.Errorf("instr 0 = %s", prog[0])
+	}
+	// The branch targets the loop label's absolute PC.
+	wantPC := int64(layout.CodeBase + 2*isa.InstrBytes)
+	if prog[4].Op != isa.OpBne || prog[4].Imm != wantPC {
+		t.Errorf("branch = %s (imm %#x, want %#x)", prog[4], prog[4].Imm, wantPC)
+	}
+}
+
+func TestParseMemoryOps(t *testing.T) {
+	prog, _, err := Parse(`
+main:
+    movi r1, 0x10000000
+    load8 r2, [r1+16]
+    store4 [r1-8], r2
+    arm [r1+64]
+    disarm [r1+64]
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[1].Op != isa.OpLoad || prog[1].Size != 8 || prog[1].Imm != 16 {
+		t.Errorf("load = %s", prog[1])
+	}
+	if prog[2].Op != isa.OpStore || prog[2].Size != 4 || prog[2].Imm != -8 {
+		t.Errorf("store = %s", prog[2])
+	}
+	if prog[3].Op != isa.OpArm || prog[4].Op != isa.OpDisarm {
+		t.Error("arm/disarm not parsed")
+	}
+}
+
+func TestParseCallAndAliases(t *testing.T) {
+	prog, entry, err := Parse(`
+helper:
+    addi sp, sp, -64
+    store8 [sp+0], ra
+    load8 ra, [sp+0]
+    addi sp, sp, 64
+    ret
+main:
+    call helper
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry != 5 {
+		t.Errorf("entry = %d, want 5 (main after helper)", entry)
+	}
+	if prog[5].Op != isa.OpCall || prog[5].Imm != int64(layout.CodeBase) {
+		t.Errorf("call = %s", prog[5])
+	}
+	if prog[0].Rd != isa.RSP || prog[1].Rt != isa.RRA {
+		t.Error("register aliases not resolved")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"main:\n bogus r1, r2",
+		"main:\n movi rx, 5",
+		"main:\n beq r1, r2, nowhere",
+		"main:\n load8 r1, r2", // not a memory operand
+		"dup:\ndup:\n halt",
+		"",
+		"main:\n movi r1, zzz",
+	}
+	for _, src := range cases {
+		if _, _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestRoundTripThroughFormat(t *testing.T) {
+	src := `
+main:
+    movi r1, 42
+    addi r2, r1, -7
+    halt
+`
+	prog, _, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(prog)
+	for _, want := range []string{"movi r1, 42", "addi r2, r1, -7", "halt"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRTCallAndIndirect(t *testing.T) {
+	prog, _, err := Parse(`
+main:
+    movi r20, 64
+    rtcall 1
+    mov r1, r20
+    callr r1
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[1].Op != isa.OpRTCall || prog[1].Imm != 1 {
+		t.Errorf("rtcall = %s", prog[1])
+	}
+	if prog[3].Op != isa.OpCallR || prog[3].Rs != 1 {
+		t.Errorf("callr = %s", prog[3])
+	}
+}
+
+// TestParseNeverPanics fuzzes the parser with random byte soup and mutated
+// valid programs: it must return errors, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	valid := `
+main:
+    movi r1, 10
+loop:
+    addi r1, r1, -1
+    bne r1, zero, loop
+    arm [r1+64]
+    halt
+`
+	alphabet := []byte("abcdefghijklmnopqrstuvwxyz0123456789 \t\n,:;[]+-rx#")
+	for trial := 0; trial < 2000; trial++ {
+		var src string
+		if trial%2 == 0 {
+			// Pure noise.
+			n := r.Intn(200)
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = alphabet[r.Intn(len(alphabet))]
+			}
+			src = string(buf)
+		} else {
+			// Mutated valid program.
+			buf := []byte(valid)
+			for k := 0; k < 1+r.Intn(5); k++ {
+				buf[r.Intn(len(buf))] = alphabet[r.Intn(len(alphabet))]
+			}
+			src = string(buf)
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Parse panicked on %q: %v", src, p)
+				}
+			}()
+			prog, _, err := Parse(src)
+			if err == nil {
+				// Accepted: must assemble to valid instructions.
+				for _, in := range prog {
+					if e := in.Valid(); e != nil {
+						t.Fatalf("accepted invalid instruction %s: %v", in, e)
+					}
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,392 @@
+// Package attack implements the memory-safety violation suite used to
+// evaluate detection coverage (paper §I Listing 1, §V, Figure 1): spatial
+// attacks (linear overflow/underflow on stack and heap, the Heartbleed
+// over-read, jump-over-redzone targeted access) and temporal attacks
+// (use-after-free read/write, double free, use-after-quarantine-recycle).
+//
+// Each attack is a complete program built under any pass; Expected describes
+// which defenses should catch it, so the suite simultaneously documents
+// detection coverage and the known false-negative windows (§V-C).
+package attack
+
+import (
+	"rest/internal/prog"
+)
+
+// Expectation describes which configurations must detect the attack.
+type Expectation struct {
+	Plain    bool // always false: the baseline detects nothing
+	ASan     bool
+	RESTFull bool
+	RESTHeap bool
+}
+
+// Attack is one adversarial program.
+type Attack struct {
+	Name        string
+	Description string
+	Expected    Expectation
+	Build       func(b *prog.Builder)
+}
+
+// All returns the attack suite.
+func All() []Attack {
+	return []Attack{
+		heartbleed(),
+		stackLinearOverflow(),
+		stackUnderflow(),
+		heapLinearOverflowWrite(),
+		heapOverflowRead(),
+		heapUnderflowWrite(),
+		uafRead(),
+		uafWrite(),
+		doubleFree(),
+		uafAfterRecycle(),
+		jumpOverRedzone(),
+		padSpill(),
+		useAfterReturn(),
+		strcpyOverflow(),
+	}
+}
+
+// strcpyOverflow is the classic unbounded string copy: an attacker-supplied
+// string longer than the destination buffer (the interceptor target the
+// paper names in §II).
+func strcpyOverflow() Attack {
+	return Attack{
+		Name: "strcpy-overflow",
+		Description: "unbounded strcpy of a long attacker string into a " +
+			"64-byte heap buffer",
+		Expected: Expectation{ASan: true, RESTFull: true, RESTHeap: true},
+		Build: func(b *prog.Builder) {
+			f := b.Func("main")
+			src := f.Reg()
+			dst := f.Reg()
+			v := f.Reg()
+			// Attacker string: 256 non-NUL bytes, NUL-terminated.
+			f.CallMallocI(src, 320)
+			f.MovI(v, 0x41)
+			f.ForRangeI(256, func(i prog.Reg) {
+				p := f.Reg()
+				f.Add(p, src, i)
+				f.Store(p, 0, v, 1)
+			})
+			f.Store(src, 256, prog.Reg(0), 1) // NUL
+			// Undersized destination.
+			f.CallMallocI(dst, 64)
+			f.CallStrcpy(dst, src)
+			f.Load(v, dst, 0, 8)
+			f.Checksum(v)
+		},
+	}
+}
+
+// useAfterReturn dereferences a pointer into a frame that has returned. The
+// REST epilogue correctly DISARMED the redzones (a frame must leave a clean
+// stack for its successors, Figure 6A), so the stale access hits plain
+// memory: use-after-return is outside REST's stack protection scope, as it
+// is for default-configuration ASan.
+func useAfterReturn() Attack {
+	return Attack{
+		Name: "use-after-return",
+		Description: "dereference a saved pointer into a returned frame " +
+			"(outside scope: epilogues must disarm, so nothing marks dead frames)",
+		Expected: Expectation{},
+		Build: func(b *prog.Builder) {
+			stash := b.Global(64, false)
+
+			callee := b.Func("callee")
+			{
+				buf := callee.Buffer(128, true)
+				p := callee.Reg()
+				g := callee.Reg()
+				v := callee.Reg()
+				callee.MovI(v, 0xDEAD)
+				callee.BufAddr(p, buf, 0)
+				callee.Store(p, 0, v, 8)
+				// Leak the frame pointer into a global.
+				callee.GlobalAddr(g, stash, 0)
+				callee.Store(g, 0, p, 8)
+			}
+
+			f := b.Func("main")
+			g := f.Reg()
+			p := f.Reg()
+			v := f.Reg()
+			f.Call("callee")
+			f.GlobalAddr(g, stash, 0)
+			f.Load(p, g, 0, 8) // dangling pointer into the dead frame
+			f.Load(v, p, 0, 8)
+			f.Checksum(v)
+		},
+	}
+}
+
+// ByName looks an attack up.
+func ByName(name string) (Attack, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attack{}, false
+}
+
+// heartbleed reproduces Listing 1: an attacker-controlled length drives a
+// memcpy past the end of a small heap buffer, leaking adjacent memory
+// (passwords in Figure 1). A read-only attack: canaries would not catch it.
+func heartbleed() Attack {
+	return Attack{
+		Name: "heartbleed",
+		Description: "attacker-controlled memcpy length over-reads a heap buffer " +
+			"(CVE-2014-0160 shape, Listing 1)",
+		Expected: Expectation{ASan: true, RESTFull: true, RESTHeap: true},
+		Build: func(b *prog.Builder) {
+			f := b.Func("main")
+			payload := f.Reg()
+			src := f.Reg()
+			dst := f.Reg()
+			secret := f.Reg()
+			v := f.Reg()
+			// The "SSL record": an 18-byte-ish request buffer.
+			f.CallMallocI(src, 64)
+			// A neighbouring allocation holding sensitive data.
+			f.CallMallocI(secret, 64)
+			f.MovI(v, 0x5EC4E7)
+			f.Store(secret, 0, v, 8)
+			// Response buffer sized by the attacker-controlled length.
+			f.MovI(payload, 512) // claims 512 bytes; src holds 64
+			f.CallMalloc(dst, payload)
+			// memcpy(buffer, p, payload): the vulnerable copy.
+			f.CallMemcpy(dst, src, payload)
+			// Exfiltrate (only reached if undetected).
+			f.Load(v, dst, 0, 8)
+			f.Checksum(v)
+		},
+	}
+}
+
+// stackLinearOverflow sweeps writes past a protected stack buffer.
+func stackLinearOverflow() Attack {
+	return Attack{
+		Name:        "stack-linear-overflow",
+		Description: "loop writes past the end of a stack array into the redzone",
+		Expected:    Expectation{ASan: true, RESTFull: true},
+		Build: func(b *prog.Builder) {
+			f := b.Func("main")
+			buf := f.Buffer(128, true)
+			p := f.Reg()
+			f.BufAddr(p, buf, 0)
+			f.ForRangeI(20, func(i prog.Reg) { // 160 bytes into a 128B buffer
+				f.Store(p, 0, i, 8)
+				f.AddI(p, p, 8)
+			})
+		},
+	}
+}
+
+// stackUnderflow writes before the start of a protected stack buffer.
+func stackUnderflow() Attack {
+	return Attack{
+		Name:        "stack-underflow",
+		Description: "write below the start of a stack array (left redzone)",
+		Expected:    Expectation{ASan: true, RESTFull: true},
+		Build: func(b *prog.Builder) {
+			f := b.Func("main")
+			buf := f.Buffer(128, true)
+			p := f.Reg()
+			v := f.Reg()
+			f.MovI(v, 0x41)
+			f.BufAddr(p, buf, -8)
+			f.Store(p, 0, v, 8)
+		},
+	}
+}
+
+// heapLinearOverflowWrite sweeps writes past a heap allocation.
+func heapLinearOverflowWrite() Attack {
+	return Attack{
+		Name:        "heap-linear-overflow-write",
+		Description: "loop writes past the end of a heap chunk into the redzone",
+		Expected:    Expectation{ASan: true, RESTFull: true, RESTHeap: true},
+		Build: func(b *prog.Builder) {
+			f := b.Func("main")
+			p := f.Reg()
+			q := f.Reg()
+			f.CallMallocI(p, 128)
+			f.Mov(q, p)
+			f.ForRangeI(24, func(i prog.Reg) { // 192 bytes into 128
+				f.Store(q, 0, i, 8)
+				f.AddI(q, q, 8)
+			})
+		},
+	}
+}
+
+// heapOverflowRead reads one word past a heap allocation (silent info leak).
+func heapOverflowRead() Attack {
+	return Attack{
+		Name:        "heap-overflow-read",
+		Description: "single out-of-bounds read one word past a heap chunk",
+		Expected:    Expectation{ASan: true, RESTFull: true, RESTHeap: true},
+		Build: func(b *prog.Builder) {
+			f := b.Func("main")
+			p := f.Reg()
+			v := f.Reg()
+			f.CallMallocI(p, 64)
+			f.Load(v, p, 64, 8)
+			f.Checksum(v)
+		},
+	}
+}
+
+// heapUnderflowWrite corrupts allocator metadata below the chunk.
+func heapUnderflowWrite() Attack {
+	return Attack{
+		Name:        "heap-underflow-write",
+		Description: "write below a heap chunk (metadata/left-redzone corruption)",
+		Expected:    Expectation{ASan: true, RESTFull: true, RESTHeap: true},
+		Build: func(b *prog.Builder) {
+			f := b.Func("main")
+			p := f.Reg()
+			v := f.Reg()
+			f.CallMallocI(p, 64)
+			f.MovI(v, 0xBAD)
+			f.Store(p, -8, v, 8)
+		},
+	}
+}
+
+// uafRead dereferences a dangling pointer.
+func uafRead() Attack {
+	return Attack{
+		Name:        "uaf-read",
+		Description: "read through a dangling pointer after free",
+		Expected:    Expectation{ASan: true, RESTFull: true, RESTHeap: true},
+		Build: func(b *prog.Builder) {
+			f := b.Func("main")
+			p := f.Reg()
+			v := f.Reg()
+			f.CallMallocI(p, 256)
+			f.CallFree(p)
+			f.Load(v, p, 128, 8)
+			f.Checksum(v)
+		},
+	}
+}
+
+// uafWrite writes through a dangling pointer.
+func uafWrite() Attack {
+	return Attack{
+		Name:        "uaf-write",
+		Description: "write through a dangling pointer after free",
+		Expected:    Expectation{ASan: true, RESTFull: true, RESTHeap: true},
+		Build: func(b *prog.Builder) {
+			f := b.Func("main")
+			p := f.Reg()
+			v := f.Reg()
+			f.CallMallocI(p, 256)
+			f.CallFree(p)
+			f.MovI(v, 0x41414141)
+			f.Store(p, 0, v, 8)
+		},
+	}
+}
+
+// doubleFree frees the same chunk twice.
+func doubleFree() Attack {
+	return Attack{
+		Name:        "double-free",
+		Description: "free the same pointer twice",
+		Expected:    Expectation{ASan: true, RESTFull: true, RESTHeap: true},
+		Build: func(b *prog.Builder) {
+			f := b.Func("main")
+			p := f.Reg()
+			f.CallMallocI(p, 64)
+			f.CallFree(p)
+			f.CallFree(p)
+		},
+	}
+}
+
+// uafAfterRecycle exercises the documented temporal false-negative window
+// (§V-C "Temporal Protection"): after the freed chunk leaves quarantine and
+// is reallocated, a dangling-pointer access is indistinguishable from a
+// legitimate access to the new allocation. No defense catches it.
+func uafAfterRecycle() Attack {
+	return Attack{
+		Name: "uaf-after-recycle",
+		Description: "dangling access after the chunk cycles through quarantine " +
+			"and is reallocated (documented temporal window, §V-C)",
+		Expected: Expectation{},
+		Build: func(b *prog.Builder) {
+			f := b.Func("main")
+			p := f.Reg()
+			v := f.Reg()
+			f.CallMallocI(p, 4096)
+			f.CallFree(p)
+			// Churn a different size class far past the 256KB quarantine cap
+			// so p is evicted to the free pool without being re-consumed by the
+			// churn itself.
+			f.ForRangeI(100, func(prog.Reg) {
+				q := f.Reg()
+				f.CallMallocI(q, 8192)
+				f.CallFree(q)
+			})
+			// Reallocate p's size class; the allocator hands p back.
+			q := f.Reg()
+			f.CallMallocI(q, 4096)
+			// Dangling access through the ORIGINAL pointer.
+			f.Load(v, p, 0, 8)
+			f.Checksum(v)
+			f.CallFree(q)
+		},
+	}
+}
+
+// jumpOverRedzone is the targeted (non-linear) spatial attack the tripwire
+// approach cannot see (§V-C "Predictability", §VII): the corrupted pointer
+// skips the redzone entirely and lands in the adjacent allocation.
+func jumpOverRedzone() Attack {
+	return Attack{
+		Name: "jump-over-redzone",
+		Description: "targeted access skips the redzone into a neighbouring " +
+			"chunk (tripwire blind spot; needs layout randomization)",
+		Expected: Expectation{},
+		Build: func(b *prog.Builder) {
+			f := b.Func("main")
+			p := f.Reg()
+			q := f.Reg()
+			v := f.Reg()
+			f.CallMallocI(p, 128)
+			f.CallMallocI(q, 128)
+			// Attacker computes the stride between chunks and jumps straight
+			// into q via p (no redzone touch). The stride equals the chunk
+			// spacing: header + redzones + padded payload.
+			f.Sub(v, q, p)
+			f.Add(v, v, p) // v = q computed from p
+			f.Load(v, v, 0, 8)
+			f.Checksum(v)
+		},
+	}
+}
+
+// padSpill writes into the alignment pad between a protected buffer and its
+// right redzone: the spatial false-negative window (§V-C "False Negatives").
+func padSpill() Attack {
+	return Attack{
+		Name: "pad-spill",
+		Description: "overflow lands in the token-alignment pad, short of the " +
+			"redzone (documented false negative; narrower tokens shrink it)",
+		Expected: Expectation{ASan: true}, // ASan's 8-byte shadow granularity catches it
+		Build: func(b *prog.Builder) {
+			f := b.Func("main")
+			buf := f.Buffer(100, true) // pads to 128 under 64B tokens
+			p := f.Reg()
+			v := f.Reg()
+			f.MovI(v, 0x41)
+			f.BufAddr(p, buf, 104) // inside [100,128) pad window
+			f.Store(p, 0, v, 8)
+		},
+	}
+}

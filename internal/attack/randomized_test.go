@@ -1,0 +1,104 @@
+package attack_test
+
+import (
+	"testing"
+
+	"rest/internal/core"
+	"rest/internal/prog"
+	"rest/internal/world"
+)
+
+// precomputedStrideJump models the §V-C layout-knowledge attacker: it jumps
+// from one allocation to where the *deterministic* allocator would place
+// the next (header 64 + redzone 64 + padded 128 + redzone 64 = 320 bytes),
+// never touching the redzone in between.
+func precomputedStrideJump(b *prog.Builder) {
+	f := b.Func("main")
+	p := f.Reg()
+	q := f.Reg()
+	v := f.Reg()
+	f.CallMallocI(p, 128)
+	f.CallMallocI(q, 128)
+	f.MovI(v, 0x41)
+	// Deterministic-layout stride; under randomization this lands in the
+	// sprinkled slack instead of q.
+	f.Store(p, 320, v, 8)
+	f.Load(v, p, 320, 8)
+	f.Checksum(v)
+}
+
+func TestDeterministicLayoutIsJumpable(t *testing.T) {
+	// The documented tripwire blind spot: with a predictable layout, the
+	// precomputed jump lands exactly in the neighbouring chunk.
+	w, err := world.Build(world.Spec{Pass: prog.RESTHeap(64), Mode: core.Secure},
+		precomputedStrideJump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := w.RunFunctional()
+	if out.Detected() {
+		t.Fatalf("deterministic layout detected the jump: %s", out)
+	}
+	if out.Checksum != 0x41 {
+		t.Errorf("jump did not land in the neighbour (checksum %#x)", out.Checksum)
+	}
+}
+
+func TestRandomizedLayoutCatchesPrecomputedJump(t *testing.T) {
+	// §V-C's recommended mitigations: layout randomization plus sprinkled
+	// tokens in the slack. The fixed-stride jump must now be caught for
+	// most layouts (whenever a non-zero gap displaced the neighbour).
+	caught := 0
+	const trials = 24
+	for seed := int64(0); seed < trials; seed++ {
+		s := seed
+		w, err := world.Build(world.Spec{
+			Pass: prog.RESTHeap(64), Mode: core.Secure, RandomizeHeap: &s,
+		}, precomputedStrideJump)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := w.RunFunctional()
+		if out.Err != nil {
+			t.Fatal(out.Err)
+		}
+		if out.Exception != nil {
+			caught++
+		}
+	}
+	if caught < trials/2 {
+		t.Errorf("randomized+sprinkled layout caught %d/%d precomputed jumps, want >= %d",
+			caught, trials, trials/2)
+	}
+	t.Logf("caught %d/%d precomputed-stride jumps under randomization", caught, trials)
+}
+
+func TestRandomizedLayoutBenignUnaffected(t *testing.T) {
+	// Randomization must not break correct programs.
+	benign := func(b *prog.Builder) {
+		f := b.Func("main")
+		p := f.Reg()
+		v := f.Reg()
+		f.ForRangeI(50, func(i prog.Reg) {
+			f.CallMallocI(p, 96)
+			f.Store(p, 0, i, 8)
+			f.Load(v, p, 0, 8)
+			f.Checksum(v)
+			f.CallFree(p)
+		})
+	}
+	s := int64(7)
+	w, err := world.Build(world.Spec{
+		Pass: prog.RESTHeap(64), Mode: core.Secure, RandomizeHeap: &s,
+	}, benign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := w.RunFunctional()
+	if out.Detected() || out.Err != nil {
+		t.Fatalf("benign program under randomization: %s", out)
+	}
+	if err := w.Tracker.VerifyConsistency(); err != nil {
+		t.Error(err)
+	}
+}

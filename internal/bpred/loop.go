@@ -1,0 +1,81 @@
+package bpred
+
+// Loop predictor: the "L" of L-TAGE (Seznec, CBP-2). Loops with a stable
+// trip count defeat counter- and history-based predictors exactly once per
+// iteration space (the exit). The loop predictor tags branches, learns
+// their trip counts, and overrides TAGE with "not taken on iteration N"
+// once the same count has been confirmed enough times.
+
+type loopEntry struct {
+	tag       uint32
+	tripCount uint32 // learned iterations until the exit
+	current   uint32 // iterations seen since last exit
+	confid    uint8  // confirmations of the same trip count
+	age       uint8
+	valid     bool
+}
+
+// loopPredictor is a small direct-mapped table of loop entries.
+type loopPredictor struct {
+	entries []loopEntry
+}
+
+func newLoopPredictor(bits int) *loopPredictor {
+	return &loopPredictor{entries: make([]loopEntry, 1<<bits)}
+}
+
+func (lp *loopPredictor) index(pc uint64) int {
+	return int((pc >> 4) & uint64(len(lp.entries)-1))
+}
+
+func (lp *loopPredictor) tag(pc uint64) uint32 {
+	return uint32(pc>>4) & 0x3FFF
+}
+
+// confidenceThreshold: trip count must repeat this many times before the
+// loop predictor overrides TAGE.
+const loopConfidence = 3
+
+// predict returns (taken, confident). Confident predictions override TAGE.
+func (lp *loopPredictor) predict(pc uint64) (bool, bool) {
+	e := &lp.entries[lp.index(pc)]
+	if !e.valid || e.tag != lp.tag(pc) || e.confid < loopConfidence {
+		return false, false
+	}
+	// Predict taken until the learned trip count, not-taken at the exit.
+	return e.current+1 < e.tripCount, true
+}
+
+// update trains the loop predictor with the branch outcome (loop branches
+// are taken while looping and not-taken once at the exit).
+func (lp *loopPredictor) update(pc uint64, taken bool) {
+	e := &lp.entries[lp.index(pc)]
+	if !e.valid || e.tag != lp.tag(pc) {
+		// Allocate on a not-taken outcome (a potential loop exit) when the
+		// slot is replaceable.
+		if e.valid && e.age > 0 {
+			e.age--
+			return
+		}
+		*e = loopEntry{tag: lp.tag(pc), valid: true, age: 3}
+		return
+	}
+	if taken {
+		e.current++
+		return
+	}
+	// Loop exit: confirm or re-learn the trip count.
+	count := e.current + 1
+	if count == e.tripCount {
+		if e.confid < 7 {
+			e.confid++
+		}
+		if e.age < 7 {
+			e.age++
+		}
+	} else {
+		e.tripCount = count
+		e.confid = 0
+	}
+	e.current = 0
+}

@@ -1,0 +1,395 @@
+package cache
+
+import (
+	"testing"
+)
+
+// flatMem is a fixed-latency Level for isolating one cache in tests.
+type flatMem struct {
+	lat      uint64
+	accesses int
+	writes   int
+}
+
+func (f *flatMem) Access(now uint64, lineAddr uint64, write bool) uint64 {
+	f.accesses++
+	if write {
+		f.writes++
+	}
+	return now + f.lat
+}
+
+// fakeTokens is a scriptable TokenSource.
+type fakeTokens struct {
+	masks  map[uint64]uint8
+	chunks int
+}
+
+func (f *fakeTokens) LineTokenMask(lineAddr uint64) uint8 {
+	return f.masks[lineAddr&^uint64(LineBytes-1)]
+}
+func (f *fakeTokens) ChunksPerLine() int { return f.chunks }
+
+func newTestCache(t *testing.T, rest bool, tok TokenSource) (*Cache, *flatMem) {
+	t.Helper()
+	next := &flatMem{lat: 100}
+	c, err := New(Config{
+		Name: "L1-D", SizeBytes: 4096, Ways: 2, HitCycles: 2, MSHRs: 4,
+		WriteBuf: 8, RESTEnabled: rest,
+	}, next, tok)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c, next
+}
+
+func TestBadGeometry(t *testing.T) {
+	if _, err := New(Config{SizeBytes: 0, Ways: 1}, &flatMem{}, nil); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := New(Config{SizeBytes: 4096 - 64, Ways: 1}, &flatMem{}, nil); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+}
+
+func TestHitMissLatency(t *testing.T) {
+	c, next := newTestCache(t, false, nil)
+	r1 := c.Load(0, 0x1000, 8)
+	if r1.Hit {
+		t.Error("cold load hit")
+	}
+	// Critical-word first: the requested word arrives CWFAdvanceCycles
+	// before the full line.
+	if r1.Done < 100-CWFAdvanceCycles {
+		t.Errorf("miss done = %d, want >= %d", r1.Done, 100-CWFAdvanceCycles)
+	}
+	if r1.FillDone < r1.Done+CWFAdvanceCycles {
+		t.Errorf("FillDone %d not after critical word %d", r1.FillDone, r1.Done)
+	}
+	r2 := c.Load(r1.Done, 0x1008, 8)
+	if !r2.Hit {
+		t.Error("warm load missed")
+	}
+	if got := r2.Done - r1.Done; got != 2 {
+		t.Errorf("hit latency = %d, want 2", got)
+	}
+	if next.accesses != 1 {
+		t.Errorf("lower-level accesses = %d, want 1", next.accesses)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c, _ := newTestCache(t, false, nil)
+	// 2 ways; three conflicting lines in one set. Set count = 4096/64/2 = 32;
+	// conflict stride = 32*64 = 2048.
+	a, b, x := uint64(0x0), uint64(0x800), uint64(0x1000)
+	c.Load(0, a, 8)
+	c.Load(10, b, 8)
+	c.Load(20, a, 8) // touch a -> b is LRU
+	c.Load(30, x, 8) // evicts b
+	if !c.Contains(a) {
+		t.Error("a evicted, want kept (MRU)")
+	}
+	if c.Contains(b) {
+		t.Error("b still resident, want evicted (LRU)")
+	}
+	if !c.Contains(x) {
+		t.Error("x not resident after fill")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	c, next := newTestCache(t, false, nil)
+	c.Store(0, 0x0, 8)     // dirty line a
+	c.Load(200, 0x800, 8)  // second way
+	c.Load(400, 0x1000, 8) // evicts a -> writeback
+	if next.writes != 1 {
+		t.Errorf("writebacks to lower level = %d, want 1", next.writes)
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("Stats.Writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+}
+
+func TestCleanEvictionSilent(t *testing.T) {
+	c, next := newTestCache(t, false, nil)
+	c.Load(0, 0x0, 8)
+	c.Load(200, 0x800, 8)
+	c.Load(400, 0x1000, 8) // evicts clean line
+	if next.writes != 0 {
+		t.Errorf("writebacks = %d, want 0 for clean eviction", next.writes)
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	c, next := newTestCache(t, false, nil)
+	r1 := c.Load(0, 0x2000, 8)
+	r2 := c.Load(1, 0x2010, 8) // same line, while miss in flight
+	if next.accesses != 1 {
+		t.Errorf("lower accesses = %d, want 1 (merged)", next.accesses)
+	}
+	_ = r1
+	_ = r2
+	if c.Stats.MergedMisses != 0 && c.Stats.MergedMisses != 1 {
+		t.Errorf("MergedMisses = %d", c.Stats.MergedMisses)
+	}
+}
+
+func TestMSHRLimitStalls(t *testing.T) {
+	next := &flatMem{lat: 100}
+	c, err := New(Config{SizeBytes: 4096, Ways: 2, HitCycles: 2, MSHRs: 2}, next, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three distinct-line misses at cycle 0 with only 2 MSHRs: the third
+	// must start after one of the first completes.
+	c.Load(0, 0x0000, 8)
+	c.Load(0, 0x0040, 8)
+	r3 := c.Load(0, 0x0080, 8)
+	if r3.FillDone < 200 {
+		t.Errorf("third miss fill done = %d, want >= 200 (MSHR stall)", r3.FillDone)
+	}
+	if c.Stats.MSHRStalls == 0 {
+		t.Error("MSHRStalls = 0, want > 0")
+	}
+}
+
+func TestStraddlingAccessTouchesBothLines(t *testing.T) {
+	c, _ := newTestCache(t, false, nil)
+	r := c.Load(0, 0x103c, 8) // crosses 0x1040 line boundary
+	if c.Stats.Misses != 2 {
+		t.Errorf("misses = %d, want 2 for straddling access", c.Stats.Misses)
+	}
+	if !c.Contains(0x1000) || !c.Contains(0x1040) {
+		t.Error("straddling access did not fill both lines")
+	}
+	_ = r
+}
+
+func TestChunkMask(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		size uint8
+		n    int
+		want uint8
+	}{
+		{0x1000, 8, 1, 0b1},
+		{0x1000, 8, 4, 0b0001},
+		{0x1010, 8, 4, 0b0010},
+		{0x103f, 1, 4, 0b1000},
+		{0x1008, 16, 4, 0b0011}, // spans chunks 0 and 1
+		{0x1000, 64, 4, 0b1111},
+		{0x1020, 8, 2, 0b10},
+	}
+	for _, cse := range cases {
+		if got := chunkMask(cse.addr, cse.size, cse.n); got != cse.want {
+			t.Errorf("chunkMask(%#x,%d,%d) = %04b, want %04b", cse.addr, cse.size, cse.n, got, cse.want)
+		}
+	}
+}
+
+// --- Table I conformance at the cache level ---
+
+func TestTableI_ArmHitSetsTokenBit(t *testing.T) {
+	tok := &fakeTokens{masks: map[uint64]uint8{}, chunks: 1}
+	c, _ := newTestCache(t, true, tok)
+	c.Load(0, 0x1000, 8) // make it a hit
+	r := c.Arm(100, 0x1000)
+	if !r.Hit {
+		t.Error("arm on resident line reported miss")
+	}
+	if r.Done-100 != 1 {
+		t.Errorf("arm hit latency = %d, want 1 (single cycle despite wide write)", r.Done-100)
+	}
+	m, ok := c.TokenMask(0x1000)
+	if !ok || m != 1 {
+		t.Errorf("token mask = %d/%v, want 1/true", m, ok)
+	}
+}
+
+func TestTableI_ArmMissFetchesLine(t *testing.T) {
+	tok := &fakeTokens{masks: map[uint64]uint8{}, chunks: 1}
+	c, next := newTestCache(t, true, tok)
+	r := c.Arm(0, 0x2000)
+	if r.Hit {
+		t.Error("arm on absent line reported hit")
+	}
+	if next.accesses != 1 {
+		t.Errorf("lower accesses = %d, want 1 (write-allocate fetch)", next.accesses)
+	}
+	if m, ok := c.TokenMask(0x2000); !ok || m != 1 {
+		t.Errorf("token mask after arm miss = %d/%v, want 1/true", m, ok)
+	}
+}
+
+func TestTableI_DisarmHitClearsAndZeroes(t *testing.T) {
+	tok := &fakeTokens{masks: map[uint64]uint8{}, chunks: 1}
+	c, _ := newTestCache(t, true, tok)
+	c.Arm(0, 0x1000)
+	r, ok := c.Disarm(100, 0x1000)
+	if !ok {
+		t.Fatal("disarm of armed line flagged as violation")
+	}
+	if r.Done-100 != 2 {
+		t.Errorf("disarm latency = %d, want 2 (1 + all-bank zeroing cycle)", r.Done-100)
+	}
+	if m, _ := c.TokenMask(0x1000); m != 0 {
+		t.Errorf("token mask after disarm = %d, want 0", m)
+	}
+	if c.Stats.DisarmZeroes != 1 {
+		t.Errorf("DisarmZeroes = %d, want 1", c.Stats.DisarmZeroes)
+	}
+}
+
+func TestTableI_DisarmUnarmedRaises(t *testing.T) {
+	tok := &fakeTokens{masks: map[uint64]uint8{}, chunks: 1}
+	c, _ := newTestCache(t, true, tok)
+	c.Load(0, 0x1000, 8)
+	if _, ok := c.Disarm(100, 0x1000); ok {
+		t.Error("disarm of unarmed resident line did not raise")
+	}
+	// Miss path: fill finds no token in the line -> raise.
+	if _, ok := c.Disarm(500, 0x3000); ok {
+		t.Error("disarm of unarmed absent line did not raise")
+	}
+}
+
+func TestTableI_DisarmMissWithTokenInMemory(t *testing.T) {
+	// Line not resident, but memory holds a token (detector sets the bit on
+	// fill): disarm must then succeed, per Table I "fetch line, set token
+	// bit if it has token. Proceed as hit."
+	tok := &fakeTokens{masks: map[uint64]uint8{0x3000: 1}, chunks: 1}
+	c, _ := newTestCache(t, true, tok)
+	if _, ok := c.Disarm(0, 0x3000); !ok {
+		t.Error("disarm of armed-in-memory line raised")
+	}
+	if m, _ := c.TokenMask(0x3000); m != 0 {
+		t.Error("token bit not cleared after disarm")
+	}
+}
+
+func TestTableI_LoadTokenLineRaises(t *testing.T) {
+	tok := &fakeTokens{masks: map[uint64]uint8{0x4000: 1}, chunks: 1}
+	c, _ := newTestCache(t, true, tok)
+	// Miss: fill detects token, access flags.
+	r := c.Load(0, 0x4010, 8)
+	if !r.TokenHit {
+		t.Error("load of token line (miss path) not flagged")
+	}
+	// Hit path.
+	r = c.Load(r.Done, 0x4020, 4)
+	if !r.TokenHit {
+		t.Error("load of token line (hit path) not flagged")
+	}
+	if c.Stats.TokenFills != 1 {
+		t.Errorf("TokenFills = %d, want 1", c.Stats.TokenFills)
+	}
+	if c.Stats.TokenHits != 2 {
+		t.Errorf("TokenHits = %d, want 2", c.Stats.TokenHits)
+	}
+}
+
+func TestTableI_StoreTokenLineRaises(t *testing.T) {
+	tok := &fakeTokens{masks: map[uint64]uint8{0x5000: 1}, chunks: 1}
+	c, _ := newTestCache(t, true, tok)
+	r := c.Store(0, 0x5000, 8)
+	if !r.TokenHit {
+		t.Error("store to token line not flagged")
+	}
+}
+
+func TestTableI_EvictionCarriesToken(t *testing.T) {
+	tok := &fakeTokens{masks: map[uint64]uint8{}, chunks: 1}
+	c, next := newTestCache(t, true, tok)
+	c.Arm(0, 0x0)          // token line in set 0
+	c.Load(100, 0x800, 8)  // second way of set 0
+	c.Load(300, 0x1000, 8) // evict token line
+	if c.Stats.TokenEvicts != 1 {
+		t.Errorf("TokenEvicts = %d, want 1", c.Stats.TokenEvicts)
+	}
+	// Token line eviction produces a writeback (the token value is filled
+	// into the outgoing packet).
+	if next.writes != 1 {
+		t.Errorf("writes = %d, want 1", next.writes)
+	}
+}
+
+func TestSubLineTokenChunks(t *testing.T) {
+	// 16-byte tokens: 4 chunks/line. Arm only chunk 2; accesses to other
+	// chunks of the same line must NOT raise.
+	tok := &fakeTokens{masks: map[uint64]uint8{}, chunks: 4}
+	c, _ := newTestCache(t, true, tok)
+	c.Load(0, 0x1000, 8)
+	c.Arm(10, 0x1020) // chunk 2
+	if r := c.Load(20, 0x1000, 8); r.TokenHit {
+		t.Error("access to unarmed chunk flagged")
+	}
+	if r := c.Load(30, 0x1020, 4); !r.TokenHit {
+		t.Error("access to armed chunk not flagged")
+	}
+	if r := c.Load(40, 0x1030, 8); r.TokenHit {
+		t.Error("access to chunk 3 flagged")
+	}
+}
+
+func TestWriteBufferStalls(t *testing.T) {
+	next := &flatMem{lat: 1000}
+	c, err := New(Config{SizeBytes: 4096, Ways: 2, HitCycles: 2, MSHRs: 8, WriteBuf: 1}, next, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Load(0, 0x0, 8)
+	c.Load(0, 0x800, 8)
+	// Two dirty evictions in quick succession with a single write-buffer
+	// entry: second must stall.
+	c.Store(3000, 0x0, 8)
+	c.Store(3010, 0x800, 8)
+	c.Load(3020, 0x1000, 8) // evict dirty
+	c.Load(3030, 0x1800, 8) // evict dirty -> wbuf stall
+	if c.Stats.WBufStalls == 0 {
+		t.Error("WBufStalls = 0, want > 0")
+	}
+}
+
+func TestHierarchyDefault(t *testing.T) {
+	h, err := NewHierarchy(DefaultHierConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instruction fetch path touches L1-I then L2 then DRAM.
+	done := h.FetchInstr(0, 0x400000)
+	if done == 0 {
+		t.Error("fetch done = 0")
+	}
+	if h.L1I.Stats.Misses != 1 || h.L2.Stats.Misses != 1 || h.DRAM.Accesses != 1 {
+		t.Errorf("miss path = L1I:%d L2:%d DRAM:%d, want 1/1/1",
+			h.L1I.Stats.Misses, h.L2.Stats.Misses, h.DRAM.Accesses)
+	}
+	warm := h.FetchInstr(done, 0x400000)
+	if warm-done != 2 {
+		t.Errorf("warm fetch latency = %d, want 2", warm-done)
+	}
+	// Data side: L1-D load misses to L2 (which now holds nothing at that
+	// address) then DRAM.
+	r := h.L1D.Load(0, 0x2000_0000, 8)
+	if r.Hit {
+		t.Error("cold data load hit")
+	}
+	if h.TokenL2MemCrossings() != 0 {
+		t.Error("token crossings non-zero on non-REST hierarchy")
+	}
+}
+
+func TestHierarchyInclusionOfDataInL2(t *testing.T) {
+	h, err := NewHierarchy(DefaultHierConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := h.L1D.Load(0, 0x1234000, 8)
+	// A second core-side structure (L1-I) asking L2 for the same line hits.
+	before := h.DRAM.Accesses
+	h.L2.Access(r1.Done, 0x1234000, false)
+	if h.DRAM.Accesses != before {
+		t.Error("L2 re-fetched a line it should hold")
+	}
+}

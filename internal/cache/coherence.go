@@ -1,0 +1,140 @@
+package cache
+
+// Multicore coherence. The paper claims REST integrates without modifying
+// "the coherence and consistency implementations of the cache, even for
+// multicore, out-of-order processors" (§III), and that "adversaries cannot
+// exploit inter-process, inter-core, or inter-cache interactions to bypass
+// token semantics" (§V-B). Table I's coherence row is simply "as usual".
+//
+// This file provides an MSI-style snooping group over private L1-D caches
+// sharing an L2. The REST-relevant property falls out of the content-based
+// design: a token line migrating between cores carries its value in the
+// data (dirty lines write it back; the receiving L1-D's fill-time detector
+// re-derives the token bits from content), so detection works on whichever
+// core touches the token — with zero token-specific coherence machinery.
+
+// SnoopStats counts coherence activity for one cache.
+type SnoopStats struct {
+	Invalidations    uint64 // lines invalidated by a peer's write
+	Interventions    uint64 // dirty lines supplied/written back for a peer
+	TokenInvalidated uint64 // invalidated lines that carried token bits
+	UpgradeRequests  uint64 // writes that had to invalidate peer copies
+}
+
+// snoopGroup connects peer caches.
+type snoopGroup struct {
+	members []*Cache
+}
+
+// ConnectPeers places the caches into one snooping coherence group. All
+// caches must share the same lower level (the L2).
+func ConnectPeers(caches ...*Cache) {
+	g := &snoopGroup{members: caches}
+	for _, c := range caches {
+		c.group = g
+	}
+}
+
+// interventionCycles is the bus latency to fetch a dirty line from a peer
+// or invalidate remote copies.
+const interventionCycles = 12
+
+// snoopRead is called when cache `self` fills lineAddr for reading: peers
+// with a dirty copy write it back (the fill is then sourced coherently) and
+// keep a shared copy. Returns extra latency.
+func (c *Cache) snoopRead(now uint64, lineAddr uint64) uint64 {
+	if c.group == nil {
+		return 0
+	}
+	var extra uint64
+	for _, peer := range c.group.members {
+		if peer == c {
+			continue
+		}
+		if l := peer.lookup(lineAddr); l != nil {
+			l.shared = true
+			if l.dirty {
+				// Intervention: the dirty peer supplies the line (and pushes
+				// it to the shared level); token content travels with it.
+				peer.Stats.Interventions++
+				peer.next.Access(peer.wbufAdmit(now), lineAddr, true)
+				l.dirty = false
+				extra = interventionCycles
+			}
+		}
+	}
+	return extra
+}
+
+// snoopInvalidate is called before `self` writes lineAddr: every peer copy
+// is invalidated (dirty copies write back first). Returns extra latency.
+func (c *Cache) snoopInvalidate(now uint64, lineAddr uint64) uint64 {
+	if c.group == nil {
+		return 0
+	}
+	var extra uint64
+	requested := false
+	for _, peer := range c.group.members {
+		if peer == c {
+			continue
+		}
+		if l := peer.lookup(lineAddr); l != nil {
+			if !requested {
+				c.Stats.UpgradeRequests++
+				requested = true
+				extra = interventionCycles
+			}
+			peer.Stats.Invalidations++
+			if l.tokenMask != 0 {
+				peer.Stats.TokenInvalidated++
+			}
+			if l.dirty || l.tokenMask != 0 {
+				// The departing copy (token value included) reaches the
+				// shared level so the next reader sees current content.
+				peer.next.Access(peer.wbufAdmit(now), lineAddr, true)
+			}
+			l.valid = false
+			l.dirty = false
+			l.tokenMask = 0
+		}
+	}
+	return extra
+}
+
+// MultiHierarchy is an N-core machine: private L1-I/L1-D per core over one
+// shared L2 and DRAM, with the L1-Ds in a snooping coherence group. All
+// L1-Ds share one token source (§IV-B's single system-wide token).
+type MultiHierarchy struct {
+	Cores []*Hierarchy
+	L2    *Cache
+}
+
+// NewMultiHierarchy builds an n-core hierarchy from the per-core L1 configs
+// of cfg over one shared L2.
+func NewMultiHierarchy(n int, cfg HierConfig, tokens TokenSource) (*MultiHierarchy, error) {
+	base, err := NewHierarchy(cfg, tokens)
+	if err != nil {
+		return nil, err
+	}
+	mh := &MultiHierarchy{L2: base.L2, Cores: []*Hierarchy{base}}
+	l1ds := []*Cache{base.L1D}
+	for i := 1; i < n; i++ {
+		l1iCfg := cfg.L1I
+		l1i, err := New(l1iCfg, base.L2, nil)
+		if err != nil {
+			return nil, err
+		}
+		l1dCfg := cfg.L1D
+		l1dCfg.RESTEnabled = tokens != nil
+		l1d, err := New(l1dCfg, base.L2, tokens)
+		if err != nil {
+			return nil, err
+		}
+		mh.Cores = append(mh.Cores, &Hierarchy{
+			L1I: l1i, L1D: l1d, L2: base.L2, DRAM: base.DRAM, tokens: tokens,
+		})
+		l1ds = append(l1ds, l1d)
+	}
+	ConnectPeers(l1ds...)
+	return mh, nil
+}

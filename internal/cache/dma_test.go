@@ -1,0 +1,47 @@
+package cache
+
+import "testing"
+
+// TestDMABypassesDetector pins the §V-B detector-placement caveat: a DMA
+// transfer over an armed region completes without any REST exception, while
+// the same access through the L1-D faults.
+func TestDMABypassesDetector(t *testing.T) {
+	tok := &fakeTokens{masks: map[uint64]uint8{0x2000_0000: 1}, chunks: 1}
+	h, err := NewHierarchy(DefaultHierConfig(), tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Through the core: caught.
+	if r := h.L1D.Load(0, 0x2000_0000, 8); !r.TokenHit {
+		t.Fatal("L1-D path did not detect the token")
+	}
+
+	// Through DMA below the L1s: silent.
+	dma := NewDMAEngine(h.L2)
+	done := dma.Transfer(1000, 0x2000_0000-64, 256, tok)
+	if done <= 1000 {
+		t.Error("transfer took no time")
+	}
+	if dma.LinesMoved != 4 {
+		t.Errorf("lines moved = %d, want 4 (256B span)", dma.LinesMoved)
+	}
+	if dma.TokenLineHits != 1 {
+		t.Errorf("token lines silently moved = %d, want 1 (the documented blind spot)", dma.TokenLineHits)
+	}
+}
+
+func TestDMACleanRegion(t *testing.T) {
+	h, err := NewHierarchy(DefaultHierConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dma := NewDMAEngine(h.L2)
+	dma.Transfer(0, 0x3000_0000, 512, nil)
+	if dma.TokenLineHits != 0 {
+		t.Error("token hits on a non-REST machine")
+	}
+	if dma.LinesMoved != 8 {
+		t.Errorf("lines moved = %d, want 8", dma.LinesMoved)
+	}
+}

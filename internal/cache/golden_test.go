@@ -1,0 +1,137 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCache is an obviously-correct reference model of a set-associative LRU
+// cache: per-set slices ordered most-recent-first. The real cache's
+// residency must match it access-for-access.
+type refCache struct {
+	sets  [][]uint64 // line addresses, MRU first
+	ways  int
+	nSets uint64
+}
+
+func newRefCache(sizeBytes, ways int) *refCache {
+	nSets := uint64(sizeBytes / LineBytes / ways)
+	return &refCache{sets: make([][]uint64, nSets), ways: ways, nSets: nSets}
+}
+
+func (r *refCache) setOf(line uint64) int { return int((line >> 6) % r.nSets) }
+
+// access touches a line, returns whether it hit, and applies LRU fill.
+func (r *refCache) access(line uint64) bool {
+	si := r.setOf(line)
+	set := r.sets[si]
+	for i, l := range set {
+		if l == line {
+			// Move to MRU.
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return true
+		}
+	}
+	// Miss: install at MRU, evict LRU if full.
+	if len(set) >= r.ways {
+		set = set[:r.ways-1]
+	}
+	r.sets[si] = append([]uint64{line}, set...)
+	return false
+}
+
+func (r *refCache) contains(line uint64) bool {
+	for _, l := range r.sets[r.setOf(line)] {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCacheMatchesGoldenModel drives the real cache and the reference model
+// with the same random access stream and checks hit/miss verdicts and
+// residency agree at every step.
+func TestCacheMatchesGoldenModel(t *testing.T) {
+	next := &flatMem{lat: 0} // zero latency: no in-flight-fill ambiguity
+	c, err := New(Config{SizeBytes: 8192, Ways: 4, HitCycles: 1, MSHRs: 64}, next, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefCache(8192, 4)
+	r := rand.New(rand.NewSource(6))
+	now := uint64(0)
+	for step := 0; step < 20000; step++ {
+		now += 10
+		line := uint64(r.Intn(512)) * 64 // 512 lines over a 128-line cache
+		var hit bool
+		if r.Intn(2) == 0 {
+			hit = c.Load(now, line+uint64(r.Intn(56)), 8).Hit
+		} else {
+			hit = c.Store(now, line+uint64(r.Intn(56)), 8).Hit
+		}
+		refHit := ref.access(line)
+		if hit != refHit {
+			t.Fatalf("step %d line %#x: cache hit=%v, golden=%v", step, line, hit, refHit)
+		}
+		// Spot-check residency of a random line.
+		probe := uint64(r.Intn(512)) * 64
+		if c.Contains(probe) != ref.contains(probe) {
+			t.Fatalf("step %d: residency of %#x diverges", step, probe)
+		}
+	}
+}
+
+// TestCacheGoldenWithTokens repeats the differential run with arm/disarm
+// mixed in: token operations must not perturb LRU/residency behaviour
+// (they are stores microarchitecturally).
+func TestCacheGoldenWithTokens(t *testing.T) {
+	tok := &fakeTokens{masks: map[uint64]uint8{}, chunks: 1}
+	next := &flatMem{lat: 0}
+	c, err := New(Config{SizeBytes: 8192, Ways: 4, HitCycles: 1, MSHRs: 64, RESTEnabled: true}, next, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefCache(8192, 4)
+	armed := map[uint64]bool{}
+	r := rand.New(rand.NewSource(8))
+	now := uint64(0)
+	for step := 0; step < 20000; step++ {
+		now += 10
+		line := uint64(r.Intn(256)) * 64
+		switch r.Intn(4) {
+		case 0: // arm
+			c.Arm(now, line)
+			tok.masks[line] = 1
+			armed[line] = true
+			ref.access(line)
+		case 1: // disarm armed lines only (avoid architectural faults)
+			if armed[line] {
+				c.Disarm(now, line)
+				delete(tok.masks, line)
+				delete(armed, line)
+				ref.access(line)
+			}
+		default: // regular access to unarmed lines
+			if !armed[line] {
+				hit := c.Load(now, line, 8).Hit
+				if hit != ref.access(line) {
+					t.Fatalf("step %d: hit/miss diverges at %#x", step, line)
+				}
+			}
+		}
+	}
+	// Final full-state audit: every armed line's token bit matches, every
+	// resident line agrees with the golden model.
+	for line := uint64(0); line < 256*64; line += 64 {
+		if c.Contains(line) != ref.contains(line) {
+			t.Fatalf("final residency of %#x diverges", line)
+		}
+		if c.Contains(line) && armed[line] {
+			if m, _ := c.TokenMask(line); m == 0 {
+				t.Fatalf("armed resident line %#x lost its token bit", line)
+			}
+		}
+	}
+}

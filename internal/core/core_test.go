@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rest/internal/mem"
+)
+
+func newTracker(t *testing.T, w Width, mode Mode) (*TokenTracker, *mem.Memory) {
+	t.Helper()
+	reg, err := NewTokenRegister(w, mode, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatalf("NewTokenRegister: %v", err)
+	}
+	m := mem.New()
+	return NewTokenTracker(reg, m), m
+}
+
+func TestWidthValid(t *testing.T) {
+	for _, w := range []Width{Width16, Width32, Width64} {
+		if !w.Valid() {
+			t.Errorf("Width %d should be valid", w)
+		}
+	}
+	for _, w := range []Width{0, 8, 24, 128} {
+		if w.Valid() {
+			t.Errorf("Width %d should be invalid", w)
+		}
+	}
+	if Width64.ChunksPerLine() != 1 || Width32.ChunksPerLine() != 2 || Width16.ChunksPerLine() != 4 {
+		t.Error("ChunksPerLine wrong")
+	}
+}
+
+func TestNewTokenRegisterRejectsBadWidth(t *testing.T) {
+	if _, err := NewTokenRegister(Width(8), Secure, nil); err == nil {
+		t.Error("expected error for width 8")
+	}
+}
+
+func TestTokenValueNonZeroAndWidth(t *testing.T) {
+	reg, err := NewTokenRegister(Width32, Secure, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.Value()) != 32 {
+		t.Errorf("token value len = %d, want 32", len(reg.Value()))
+	}
+	if allZero(reg.Value()) {
+		t.Error("token value is all zero")
+	}
+	old := append([]byte(nil), reg.Value()...)
+	reg.Rotate(rand.New(rand.NewSource(9)))
+	if allZero(reg.Value()) {
+		t.Error("rotated token is all zero")
+	}
+	same := true
+	for i := range old {
+		if old[i] != reg.Value()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("Rotate did not change token value")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Secure.String() != "secure" || Debug.String() != "debug" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestArmWritesTokenToMemory(t *testing.T) {
+	tr, m := newTracker(t, Width64, Secure)
+	if exc := tr.Arm(0x1000, 1); exc != nil {
+		t.Fatalf("Arm: %v", exc)
+	}
+	if !m.Equal(0x1000, tr.Register().Value()) {
+		t.Error("memory does not contain token after Arm")
+	}
+	if !tr.Armed(0x1000) || !tr.Armed(0x103f) {
+		t.Error("Armed() false within armed chunk")
+	}
+	if tr.Armed(0x1040) {
+		t.Error("Armed() true outside armed chunk")
+	}
+}
+
+func TestArmMisaligned(t *testing.T) {
+	tr, _ := newTracker(t, Width64, Secure)
+	exc := tr.Arm(0x1008, 1)
+	if exc == nil || exc.Kind != ViolationMisaligned {
+		t.Fatalf("Arm(misaligned) = %v, want misaligned exception", exc)
+	}
+	if !exc.Precise {
+		t.Error("misaligned arm exception must be precise")
+	}
+}
+
+func TestDisarmZeroesAndClears(t *testing.T) {
+	tr, m := newTracker(t, Width64, Secure)
+	tr.Arm(0x2000, 1)
+	if exc := tr.Disarm(0x2000, 2); exc != nil {
+		t.Fatalf("Disarm: %v", exc)
+	}
+	if tr.Armed(0x2000) {
+		t.Error("still armed after disarm")
+	}
+	if !m.Equal(0x2000, make([]byte, 64)) {
+		t.Error("chunk not zeroed after disarm")
+	}
+}
+
+func TestDisarmUnarmedFaults(t *testing.T) {
+	tr, _ := newTracker(t, Width64, Secure)
+	exc := tr.Disarm(0x3000, 1)
+	if exc == nil || exc.Kind != ViolationDisarmUnarmed {
+		t.Fatalf("Disarm(unarmed) = %v, want disarm-unarmed exception", exc)
+	}
+}
+
+func TestCheckAccess(t *testing.T) {
+	tr, _ := newTracker(t, Width64, Secure)
+	tr.Arm(0x1000, 1)
+
+	// Loads and stores inside the chunk fault with the right kinds.
+	if exc := tr.CheckAccess(0x1010, 8, false, 5); exc == nil || exc.Kind != ViolationLoad {
+		t.Errorf("load in token = %v, want load violation", exc)
+	}
+	if exc := tr.CheckAccess(0x1010, 8, true, 5); exc == nil || exc.Kind != ViolationStore {
+		t.Errorf("store in token = %v, want store violation", exc)
+	}
+	// Access straddling into the chunk faults.
+	if exc := tr.CheckAccess(0xffc, 8, false, 5); exc == nil {
+		t.Error("straddling access not detected")
+	}
+	// Access just outside does not fault.
+	if exc := tr.CheckAccess(0xff8, 8, false, 5); exc != nil {
+		t.Errorf("access before token faulted: %v", exc)
+	}
+	if exc := tr.CheckAccess(0x1040, 8, false, 5); exc != nil {
+		t.Errorf("access after token faulted: %v", exc)
+	}
+}
+
+func TestCheckAccessPrecisionByMode(t *testing.T) {
+	trS, _ := newTracker(t, Width64, Secure)
+	trS.Arm(0x1000, 1)
+	if exc := trS.CheckAccess(0x1000, 1, false, 1); exc.Precise {
+		t.Error("secure-mode violation reported precise")
+	}
+	trD, _ := newTracker(t, Width64, Debug)
+	trD.Arm(0x1000, 1)
+	if exc := trD.CheckAccess(0x1000, 1, false, 1); !exc.Precise {
+		t.Error("debug-mode violation reported imprecise")
+	}
+}
+
+func TestSubLineWidths(t *testing.T) {
+	tr, _ := newTracker(t, Width16, Secure)
+	tr.Arm(0x1010, 1) // second 16B chunk of the line
+
+	// Access to the armed chunk faults.
+	if exc := tr.CheckAccess(0x1018, 4, false, 1); exc == nil {
+		t.Error("access to armed 16B chunk not detected")
+	}
+	// Access to a different chunk of the same line does not fault: the
+	// per-chunk token bits give chunk granularity (§III-B token widths).
+	if exc := tr.CheckAccess(0x1000, 8, false, 1); exc != nil {
+		t.Errorf("access to unarmed chunk of same line faulted: %v", exc)
+	}
+	if exc := tr.CheckAccess(0x1020, 8, true, 1); exc != nil {
+		t.Errorf("access to unarmed chunk of same line faulted: %v", exc)
+	}
+}
+
+func TestLineTokenMask(t *testing.T) {
+	tr, _ := newTracker(t, Width16, Secure)
+	tr.Arm(0x1000, 1)
+	tr.Arm(0x1030, 1)
+	want := uint8(0b1001)
+	if got := tr.LineTokenMask(0x1000); got != want {
+		t.Errorf("LineTokenMask = %04b, want %04b", got, want)
+	}
+	if got := tr.ArmedMaskForLine(0x1017); got != want {
+		t.Errorf("ArmedMaskForLine = %04b, want %04b", got, want)
+	}
+}
+
+func TestArmDisarmRange(t *testing.T) {
+	tr, _ := newTracker(t, Width32, Secure)
+	if exc := tr.ArmRange(0x2000, 128, 1); exc != nil {
+		t.Fatalf("ArmRange: %v", exc)
+	}
+	if tr.ArmedCount() != 4 {
+		t.Errorf("ArmedCount = %d, want 4", tr.ArmedCount())
+	}
+	if exc := tr.DisarmRange(0x2000, 128, 1); exc != nil {
+		t.Fatalf("DisarmRange: %v", exc)
+	}
+	if tr.ArmedCount() != 0 {
+		t.Errorf("ArmedCount after disarm = %d, want 0", tr.ArmedCount())
+	}
+	if exc := tr.ArmRange(0x2010, 32, 1); exc == nil || exc.Kind != ViolationMisaligned {
+		t.Errorf("misaligned ArmRange = %v, want misaligned", exc)
+	}
+}
+
+// Property (DESIGN.md decision 2): after any random sequence of arm/disarm
+// operations, the armed set and the memory content agree chunk-for-chunk.
+func TestTrackerContentEquivalence(t *testing.T) {
+	for _, w := range []Width{Width16, Width32, Width64} {
+		reg, _ := NewTokenRegister(w, Secure, rand.New(rand.NewSource(int64(w))))
+		m := mem.New()
+		tr := NewTokenTracker(reg, m)
+		r := rand.New(rand.NewSource(99))
+		f := func() bool {
+			addr := uint64(r.Intn(64)) * uint64(w) // stay in a small arena
+			if r.Intn(2) == 0 {
+				tr.Arm(addr, 0)
+			} else {
+				tr.Disarm(addr, 0) // may fault; ignored
+			}
+			// Check every chunk of the arena both ways.
+			for a := uint64(0); a < 64*uint64(w); a += uint64(w) {
+				contentIsToken := m.Equal(a, reg.Value())
+				if tr.Armed(a) != contentIsToken {
+					return false
+				}
+			}
+			return tr.VerifyConsistency() == nil
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("width %d: %v", w, err)
+		}
+	}
+}
+
+// Property: LineTokenMask (content view) equals ArmedMaskForLine (set view)
+// for random arm patterns.
+func TestMaskEquivalenceProperty(t *testing.T) {
+	tr, _ := newTracker(t, Width16, Secure)
+	r := rand.New(rand.NewSource(5))
+	f := func() bool {
+		line := uint64(r.Intn(32)) * LineBytes
+		chunk := line + uint64(r.Intn(4))*16
+		if r.Intn(2) == 0 {
+			tr.Arm(chunk, 0)
+		} else {
+			tr.Disarm(chunk, 0)
+		}
+		return tr.LineTokenMask(line) == tr.ArmedMaskForLine(line)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExceptionError(t *testing.T) {
+	e := &Exception{Kind: ViolationLoad, Addr: 0x1000, PC: 0x400000, Precise: false}
+	s := e.Error()
+	if s == "" || e.Kind.String() != "load touched token" {
+		t.Errorf("unexpected exception formatting: %q", s)
+	}
+	if ViolationKind(100).String() == "" {
+		t.Error("unknown violation kind has empty string")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	tr, _ := newTracker(t, Width64, Secure)
+	tr.Arm(0, 0)
+	tr.Arm(64, 0)
+	tr.Disarm(0, 0)
+	tr.CheckAccess(64, 8, false, 0)
+	if tr.Arms != 2 || tr.Disarms != 1 || tr.Checks != 1 {
+		t.Errorf("stats = %d/%d/%d, want 2/1/1", tr.Arms, tr.Disarms, tr.Checks)
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"rest/internal/mem"
+)
+
+// TokenTracker enforces architectural REST semantics over a memory image: it
+// executes ARM and DISARM, answers "does this access touch a token?", and
+// keeps the token content in memory consistent with its armed set.
+//
+// Hardware equivalence: the armed set is exactly the information the L1-D
+// token bits plus the fill-time content detector reconstruct. Because Arm
+// writes the token value into memory and Disarm zeroes it, membership in the
+// armed set and content-equality with the token register coincide (checked
+// by TestTrackerContentEquivalence).
+type TokenTracker struct {
+	reg   *TokenRegister
+	m     *mem.Memory
+	armed map[uint64]struct{} // keys are token-width-aligned chunk addresses
+
+	// Stats.
+	Arms    uint64
+	Disarms uint64
+	Checks  uint64
+}
+
+// NewTokenTracker binds a tracker to a token register and memory image.
+func NewTokenTracker(reg *TokenRegister, m *mem.Memory) *TokenTracker {
+	return &TokenTracker{reg: reg, m: m, armed: make(map[uint64]struct{})}
+}
+
+// Register returns the bound token register.
+func (t *TokenTracker) Register() *TokenRegister { return t.reg }
+
+// Arm plants a token at addr (§III-A). addr must be token-width aligned.
+// Re-arming an already-armed chunk is idempotent in the architecture (the
+// line simply still holds the token).
+func (t *TokenTracker) Arm(addr, pc uint64) *Exception {
+	if !t.reg.Aligned(addr) {
+		return &Exception{Kind: ViolationMisaligned, Addr: addr, PC: pc, Precise: true}
+	}
+	t.m.Write(addr, t.reg.value)
+	t.armed[addr] = struct{}{}
+	t.Arms++
+	return nil
+}
+
+// Disarm removes the token at addr, zeroing the chunk (§III-A/B: disarm
+// "overwrites a token ... with the value zero" and faults if no token is
+// present, preventing brute-force disarms, §V-C).
+func (t *TokenTracker) Disarm(addr, pc uint64) *Exception {
+	if !t.reg.Aligned(addr) {
+		return &Exception{Kind: ViolationMisaligned, Addr: addr, PC: pc, Precise: true}
+	}
+	if _, ok := t.armed[addr]; !ok {
+		return &Exception{Kind: ViolationDisarmUnarmed, Addr: addr, PC: pc, Precise: true}
+	}
+	t.m.Zero(addr, uint64(t.reg.width))
+	delete(t.armed, addr)
+	t.Disarms++
+	return nil
+}
+
+// Armed reports whether the token-width chunk containing addr is armed.
+func (t *TokenTracker) Armed(addr uint64) bool {
+	_, ok := t.armed[t.reg.Align(addr)]
+	return ok
+}
+
+// CheckAccess tests whether a size-byte access at addr touches any armed
+// chunk, returning the violation (load or store flavoured) or nil. This is
+// the architectural contract the cache-level detector implements in the
+// timing model.
+func (t *TokenTracker) CheckAccess(addr uint64, size uint8, isStore bool, pc uint64) *Exception {
+	t.Checks++
+	if len(t.armed) == 0 {
+		return nil
+	}
+	w := uint64(t.reg.width)
+	first := t.reg.Align(addr)
+	last := t.reg.Align(addr + uint64(size) - 1)
+	for a := first; a <= last; a += w {
+		if _, ok := t.armed[a]; ok {
+			kind := ViolationLoad
+			if isStore {
+				kind = ViolationStore
+			}
+			// Precision is resolved by the timing model; architecturally we
+			// report the faulting chunk.
+			return &Exception{Kind: kind, Addr: a, PC: pc, Precise: t.reg.mode == Debug}
+		}
+	}
+	return nil
+}
+
+// LineTokenMask reconstructs the per-chunk token bits for the 64-byte line
+// containing addr, exactly as the fill-time content detector would: by
+// comparing each token-width chunk of line content against the token value.
+// Bit i corresponds to chunk i of the line.
+func (t *TokenTracker) LineTokenMask(lineAddr uint64) uint8 {
+	lineAddr &^= LineBytes - 1
+	var mask uint8
+	w := uint64(t.reg.width)
+	for i := 0; i < t.reg.width.ChunksPerLine(); i++ {
+		if t.m.Equal(lineAddr+uint64(i)*w, t.reg.value) {
+			mask |= 1 << i
+		}
+	}
+	return mask
+}
+
+// ArmedMaskForLine returns the same mask from the armed set instead of
+// memory content; the two must agree (property-tested) as long as all token
+// manipulation goes through Arm/Disarm.
+func (t *TokenTracker) ArmedMaskForLine(lineAddr uint64) uint8 {
+	lineAddr &^= LineBytes - 1
+	var mask uint8
+	w := uint64(t.reg.width)
+	for i := 0; i < t.reg.width.ChunksPerLine(); i++ {
+		if _, ok := t.armed[lineAddr+uint64(i)*w]; ok {
+			mask |= 1 << i
+		}
+	}
+	return mask
+}
+
+// ChunksPerLine reports how many token chunks one cache line holds; together
+// with LineTokenMask this satisfies the timing model's TokenSource contract.
+func (t *TokenTracker) ChunksPerLine() int { return t.reg.width.ChunksPerLine() }
+
+// ArmedCount reports how many chunks are currently armed.
+func (t *TokenTracker) ArmedCount() int { return len(t.armed) }
+
+// ArmedChunks returns the addresses of all armed chunks (order undefined).
+// Used by the OS layer (§IV-B) when cloning processes or rotating tokens:
+// each armed chunk must be re-written with the new context's token value.
+func (t *TokenTracker) ArmedChunks() []uint64 {
+	out := make([]uint64, 0, len(t.armed))
+	for a := range t.armed {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Rebind atomically rewrites every armed chunk with the register's current
+// token value (after a Rotate) and keeps the armed set intact. This is the
+// privileged re-arming pass OS code performs on token rotation or when
+// adopting a cloned address space.
+func (t *TokenTracker) Rebind() {
+	for a := range t.armed {
+		t.m.Write(a, t.reg.value)
+	}
+}
+
+// ArmRange arms every token-width chunk in [addr, addr+n). addr and n must
+// be token-width aligned. It is the building block for redzone installation
+// and quarantine fills.
+func (t *TokenTracker) ArmRange(addr, n, pc uint64) *Exception {
+	w := uint64(t.reg.width)
+	if addr%w != 0 || n%w != 0 {
+		return &Exception{Kind: ViolationMisaligned, Addr: addr, PC: pc, Precise: true}
+	}
+	for a := addr; a < addr+n; a += w {
+		if exc := t.Arm(a, pc); exc != nil {
+			return exc
+		}
+	}
+	return nil
+}
+
+// DisarmRange disarms every token-width chunk in [addr, addr+n).
+func (t *TokenTracker) DisarmRange(addr, n, pc uint64) *Exception {
+	w := uint64(t.reg.width)
+	if addr%w != 0 || n%w != 0 {
+		return &Exception{Kind: ViolationMisaligned, Addr: addr, PC: pc, Precise: true}
+	}
+	for a := addr; a < addr+n; a += w {
+		if exc := t.Disarm(a, pc); exc != nil {
+			return exc
+		}
+	}
+	return nil
+}
+
+// VerifyConsistency exhaustively checks the tracker/content invariant for
+// every armed chunk and returns an error naming the first divergence. Used
+// by tests and the harness's self-check mode.
+func (t *TokenTracker) VerifyConsistency() error {
+	for a := range t.armed {
+		if !t.m.Equal(a, t.reg.value) {
+			return fmt.Errorf("core: chunk %#x armed but memory does not hold token", a)
+		}
+	}
+	return nil
+}

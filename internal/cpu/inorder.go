@@ -1,0 +1,141 @@
+package cpu
+
+import (
+	"rest/internal/bpred"
+	"rest/internal/cache"
+	"rest/internal/core"
+	"rest/internal/isa"
+	"rest/internal/trace"
+)
+
+// InOrder is the simple in-order core model. The paper's Figure 3 breakdown
+// was measured "on an in-order core" (footnote 1) with the Table II memory
+// configuration; this model provides that machine: single-issue, stall-on-
+// use, blocking loads, with the same caches, DRAM and branch predictor as
+// the out-of-order model.
+type InOrder struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	pred *bpred.Predictor
+}
+
+// NewInOrder builds the in-order core over a hierarchy and predictor. Width
+// fields of cfg are ignored (single issue); latencies and Mode apply.
+func NewInOrder(cfg Config, hier *cache.Hierarchy, pred *bpred.Predictor) *InOrder {
+	cfg.applyDefaults()
+	return &InOrder{cfg: cfg, hier: hier, pred: pred}
+}
+
+// Run replays the trace through the in-order pipeline and returns timing
+// statistics. Loads block until data returns; stores write through the
+// L1-D at execute (there is no ROB, so secure/debug differ only in
+// exception precision, which is always achievable in order).
+func (p *InOrder) Run(r trace.Reader) *Stats {
+	cfg := p.cfg
+	st := &Stats{}
+
+	var regReady [isa.NumRegs]uint64
+	var now uint64
+	lastFetchLine := ^uint64(0)
+
+	for {
+		e, ok := r.Next()
+		if !ok {
+			break
+		}
+		st.Instructions++
+		if e.Kind == trace.KindUser {
+			st.UserInstrs++
+		} else {
+			st.RuntimeOps++
+		}
+
+		// Fetch: one instruction per cycle, I-cache modelled per line.
+		now++
+		line := e.PC &^ (cache.LineBytes - 1)
+		if line != lastFetchLine {
+			done := p.hier.FetchInstr(now, e.PC)
+			if done > now+2 {
+				now = done
+			}
+			lastFetchLine = line
+		}
+
+		// Stall-on-use: wait for source operands.
+		if e.Src1 != isa.NoReg && regReady[e.Src1] > now {
+			now = regReady[e.Src1]
+		}
+		if e.Src2 != isa.NoReg && regReady[e.Src2] > now {
+			now = regReady[e.Src2]
+		}
+
+		var complete uint64
+		var detect uint64
+		switch e.Op.Class() {
+		case isa.ClassLoad:
+			res := p.hier.L1D.Load(now, e.Addr, e.Size)
+			complete = res.Done
+			if res.TokenHit || e.Faults {
+				detect = res.FillDone
+			}
+			now = complete // blocking load (critical word releases it)
+		case isa.ClassStore:
+			res := p.hier.L1D.Store(now, e.Addr, e.Size)
+			complete = now + 1
+			if res.TokenHit || e.Faults {
+				detect = res.Done
+			}
+		case isa.ClassArm:
+			res := p.hier.L1D.Arm(now, e.Addr)
+			complete = res.Done
+			if e.Faults {
+				detect = res.Done
+			}
+			now = complete
+		case isa.ClassDisarm:
+			res, okD := p.hier.L1D.Disarm(now, e.Addr)
+			complete = res.Done
+			if !okD || e.Faults {
+				detect = res.Done
+			}
+			now = complete
+		case isa.ClassMul:
+			complete = now + cfg.MulLat
+		case isa.ClassDiv:
+			complete = now + cfg.DivLat
+		default:
+			complete = now + cfg.ALULat
+		}
+
+		if e.Dst != isa.NoReg {
+			regReady[e.Dst] = complete
+		}
+
+		if e.Op.IsBranch() {
+			st.BranchLookups++
+			if p.pred.Resolve(e.PC, e.Op, e.Taken, e.Target, e.PC+isa.InstrBytes) {
+				st.Mispredicts++
+				// In-order redirect: flush the (short) front end.
+				now += cfg.FrontendDepth
+			}
+			lastFetchLine = ^uint64(0)
+		}
+
+		if e.Faults || detect != 0 {
+			exc := &core.Exception{Addr: e.Addr, PC: e.PC, Kind: faultKind(e.Op)}
+			// In-order execution always provides precise exceptions.
+			exc.Precise = true
+			st.Exception = exc
+			if detect > now {
+				now = detect
+			}
+			break
+		}
+	}
+
+	st.Cycles = now
+	if st.Cycles > 0 {
+		st.IPC = float64(st.Instructions) / float64(st.Cycles)
+	}
+	return st
+}

@@ -1,0 +1,94 @@
+package cpu
+
+import (
+	"testing"
+
+	"rest/internal/bpred"
+	"rest/internal/cache"
+	"rest/internal/core"
+	"rest/internal/isa"
+	"rest/internal/trace"
+)
+
+func newInOrder(t *testing.T, mode core.Mode) *InOrder {
+	t.Helper()
+	h, err := cache.NewHierarchy(cache.DefaultHierConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Mode = mode
+	return NewInOrder(cfg, h, bpred.New(bpred.Config{}))
+}
+
+func TestInOrderIPCAtMostOne(t *testing.T) {
+	p := newInOrder(t, core.Secure)
+	st := p.Run(trace.NewSliceReader(aluChain(20000, false)))
+	if st.IPC > 1.0 {
+		t.Errorf("in-order IPC = %.2f, want <= 1", st.IPC)
+	}
+	if st.Instructions != 20000 {
+		t.Errorf("instructions = %d, want 20000", st.Instructions)
+	}
+}
+
+func TestInOrderSlowerThanOoO(t *testing.T) {
+	// On an ILP-rich stream the OoO core must be several times faster.
+	entries := aluChain(20000, false)
+	inSt := newInOrder(t, core.Secure).Run(trace.NewSliceReader(entries))
+	ooSt := newPipeline(t, core.Secure, nil).Run(trace.NewSliceReader(entries))
+	if inSt.Cycles < 3*ooSt.Cycles {
+		t.Errorf("in-order (%d cyc) not >> OoO (%d cyc)", inSt.Cycles, ooSt.Cycles)
+	}
+}
+
+func TestInOrderBlockingLoads(t *testing.T) {
+	// Pointer-chase misses dominate completely on a blocking-load core.
+	es := make([]trace.Entry, 500)
+	for i := range es {
+		es[i] = trace.Entry{
+			PC: 0x400000 + uint64(i%32)*16, Op: isa.OpLoad, Dst: 1, Src1: 1,
+			Src2: isa.NoReg, Addr: 0x3000_0000 + uint64(i)*8192, Size: 8,
+		}
+	}
+	st := newInOrder(t, core.Secure).Run(trace.NewSliceReader(es))
+	if st.Cycles < 500*50 {
+		t.Errorf("miss-chain cycles = %d, want >= %d", st.Cycles, 500*50)
+	}
+}
+
+func TestInOrderPreciseExceptions(t *testing.T) {
+	es := []trace.Entry{
+		{PC: 0x400000, Op: isa.OpLoad, Dst: 1, Src1: isa.NoReg, Src2: isa.NoReg,
+			Addr: 0x2000_0000, Size: 8, Faults: true},
+	}
+	st := newInOrder(t, core.Secure).Run(trace.NewSliceReader(es))
+	if st.Exception == nil || !st.Exception.Precise {
+		t.Fatalf("exception = %+v, want precise (in-order is always precise)", st.Exception)
+	}
+}
+
+func TestInOrderArmDisarm(t *testing.T) {
+	es := []trace.Entry{
+		{PC: 0x400000, Op: isa.OpArm, Addr: 0x2000_0000, Size: 64, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg},
+		{PC: 0x400010, Op: isa.OpDisarm, Addr: 0x2000_0000, Size: 64, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg},
+		{PC: 0x400020, Op: isa.OpAddI, Dst: 1, Src1: isa.NoReg, Src2: isa.NoReg},
+	}
+	st := newInOrder(t, core.Secure).Run(trace.NewSliceReader(es))
+	if st.Exception != nil {
+		t.Fatalf("benign arm/disarm raised: %v", st.Exception)
+	}
+	if st.Instructions != 3 {
+		t.Errorf("instructions = %d, want 3", st.Instructions)
+	}
+}
+
+func TestInOrderMispredictPenalty(t *testing.T) {
+	biased := newInOrder(t, core.Secure).Run(trace.NewSliceReader(
+		branchTrace(3000, func(i int) bool { return true })))
+	random := newInOrder(t, core.Secure).Run(trace.NewSliceReader(
+		branchTrace(3000, func(i int) bool { return i*2654435761%97 < 48 })))
+	if random.Cycles <= biased.Cycles {
+		t.Errorf("random-branch cycles (%d) not > biased (%d)", random.Cycles, biased.Cycles)
+	}
+}

@@ -1,0 +1,117 @@
+package cpu
+
+// slotTable enforces per-cycle bandwidth limits (fetch/issue/commit widths,
+// cache ports) without a cycle-by-cycle loop. reserve(at) returns the first
+// cycle >= at with a free slot and consumes it. The table is a hash-free
+// direct-mapped window over recent cycles; a collision with a *future*
+// reservation (rare, and only possible across > window cycles of skew) is
+// treated as free, which can only under-count bandwidth pressure slightly.
+type slotTable struct {
+	width uint16
+	cyc   []uint64
+	cnt   []uint16
+}
+
+func newSlotTable(width int) *slotTable {
+	const window = 8192
+	return &slotTable{width: uint16(width), cyc: make([]uint64, window), cnt: make([]uint16, window)}
+}
+
+func (s *slotTable) reserve(at uint64) uint64 {
+	for {
+		idx := at % uint64(len(s.cyc))
+		switch {
+		case s.cyc[idx] != at:
+			if s.cyc[idx] > at {
+				// Future reservation occupies this index; treat as free.
+				return at
+			}
+			s.cyc[idx] = at
+			s.cnt[idx] = 1
+			return at
+		case s.cnt[idx] < s.width:
+			s.cnt[idx]++
+			return at
+		default:
+			at++
+		}
+	}
+}
+
+// ring tracks the completion cycles of the last N entries of a FIFO-freed
+// resource (ROB, LQ, SQ): entry i can allocate only once entry i-N has
+// freed. get returns the constraint for the next allocation; set records the
+// new entry's free cycle.
+type ring struct {
+	buf  []uint64
+	head uint64
+}
+
+func newRing(n int) *ring { return &ring{buf: make([]uint64, n)} }
+
+// next returns the cycle the oldest entry frees (0 while not full) and
+// advances, recording freeAt for the new entry.
+func (r *ring) next(freeAt uint64) (constraint uint64) {
+	idx := r.head % uint64(len(r.buf))
+	constraint = r.buf[idx]
+	r.buf[idx] = freeAt
+	r.head++
+	return constraint
+}
+
+// peek returns the constraint without advancing.
+func (r *ring) peek() uint64 {
+	return r.buf[r.head%uint64(len(r.buf))]
+}
+
+// minHeap is a small min-heap of cycles, used for IQ occupancy (entries
+// leave the IQ out of order, at issue).
+type minHeap struct {
+	a []uint64
+}
+
+func (h *minHeap) push(v uint64) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *minHeap) pop() uint64 {
+	v := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		sm := i
+		if l < last && h.a[l] < h.a[sm] {
+			sm = l
+		}
+		if r < last && h.a[r] < h.a[sm] {
+			sm = r
+		}
+		if sm == i {
+			break
+		}
+		h.a[i], h.a[sm] = h.a[sm], h.a[i]
+		i = sm
+	}
+	return v
+}
+
+func (h *minHeap) len() int { return len(h.a) }
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+// Package dram models main-memory timing: a DDR3-style device with banks,
+// row buffers, and a shared data bus, configured per Table II of the paper
+// (DDR3, 800 MHz, 13.75ns CAS latency and row precharge, 35ns RAS latency).
+// Latencies are expressed in CPU cycles at the core clock (2 GHz).
+package dram
+
+// Config sizes the DRAM model. Zero values take Table II defaults at a
+// 2 GHz core clock.
+type Config struct {
+	Banks       int    // number of banks (default 8)
+	RowBits     int    // log2 bytes per row (default 13 -> 8KiB rows)
+	CASCycles   uint64 // column access latency (13.75ns -> 28 cycles)
+	RPCycles    uint64 // row precharge (13.75ns -> 28 cycles)
+	RASCycles   uint64 // row activate (35ns -> 70 cycles)
+	BurstCycles uint64 // data-bus occupancy per 64B line (DDR3-800 x64: 10ns -> 20 cycles)
+	FrontCycles uint64 // controller/queueing fixed overhead (default 10)
+}
+
+func (c *Config) applyDefaults() {
+	if c.Banks == 0 {
+		c.Banks = 8
+	}
+	if c.RowBits == 0 {
+		c.RowBits = 13
+	}
+	if c.CASCycles == 0 {
+		c.CASCycles = 28
+	}
+	if c.RPCycles == 0 {
+		c.RPCycles = 28
+	}
+	if c.RASCycles == 0 {
+		c.RASCycles = 70
+	}
+	if c.BurstCycles == 0 {
+		c.BurstCycles = 20
+	}
+	if c.FrontCycles == 0 {
+		c.FrontCycles = 10
+	}
+}
+
+type bank struct {
+	openRow int64 // -1 = closed
+	readyAt uint64
+}
+
+// DRAM is the main-memory timing model. Access returns the completion cycle
+// of a 64-byte line transfer that begins no earlier than `now`.
+type DRAM struct {
+	cfg   Config
+	banks []bank
+	busAt uint64 // cycle at which the data bus is next free
+
+	// Stats.
+	Accesses  uint64
+	RowHits   uint64
+	RowMisses uint64
+}
+
+// New builds a DRAM model.
+func New(cfg Config) *DRAM {
+	cfg.applyDefaults()
+	d := &DRAM{cfg: cfg, banks: make([]bank, cfg.Banks)}
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	return d
+}
+
+// Access schedules a 64-byte line read or write beginning at cycle `now` and
+// returns the cycle at which the data transfer completes.
+func (d *DRAM) Access(now uint64, addr uint64) uint64 {
+	d.Accesses++
+	row := int64(addr >> uint(d.cfg.RowBits))
+	b := &d.banks[int(row)%len(d.banks)]
+
+	start := now + d.cfg.FrontCycles
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+
+	var lat uint64
+	if b.openRow == row {
+		d.RowHits++
+		lat = d.cfg.CASCycles
+	} else {
+		d.RowMisses++
+		if b.openRow >= 0 {
+			lat = d.cfg.RPCycles + d.cfg.RASCycles + d.cfg.CASCycles
+		} else {
+			lat = d.cfg.RASCycles + d.cfg.CASCycles
+		}
+		b.openRow = row
+	}
+
+	dataStart := start + lat
+	if d.busAt > dataStart {
+		dataStart = d.busAt
+	}
+	done := dataStart + d.cfg.BurstCycles
+	d.busAt = done
+	b.readyAt = done
+	return done
+}
+
+// RowHitRate reports the fraction of accesses that hit an open row.
+func (d *DRAM) RowHitRate() float64 {
+	if d.Accesses == 0 {
+		return 0
+	}
+	return float64(d.RowHits) / float64(d.Accesses)
+}

@@ -1,0 +1,80 @@
+package dram
+
+import "testing"
+
+func TestColdAccessLatency(t *testing.T) {
+	d := New(Config{})
+	done := d.Access(0, 0x1000)
+	// front(10) + RAS(70) + CAS(28) + burst(20) = 128
+	if done != 128 {
+		t.Errorf("cold access done = %d, want 128", done)
+	}
+	if d.RowMisses != 1 || d.RowHits != 0 {
+		t.Errorf("hits/misses = %d/%d, want 0/1", d.RowHits, d.RowMisses)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	d := New(Config{})
+	first := d.Access(0, 0x1000)
+	hit := d.Access(first, 0x1040) - first // same 8KiB row
+	d2 := New(Config{})
+	d2.Access(0, 0x1000)
+	miss := d2.Access(first, 0x1000+1<<13) - first // same bank, new row
+	if hit >= miss {
+		t.Errorf("row hit latency %d not faster than row miss %d", hit, miss)
+	}
+	if d.RowHits != 1 {
+		t.Errorf("RowHits = %d, want 1", d.RowHits)
+	}
+}
+
+func TestOpenRowMissPaysPrecharge(t *testing.T) {
+	cfg := Config{}
+	d := New(cfg)
+	d.Access(0, 0x0)                         // opens row 0 of bank 0
+	start := uint64(10_000)                  // after bank is idle
+	done := d.Access(start, uint64(8)<<13*8) // bank 0 (row 64), different row
+	lat := done - start
+	// front(10) + RP(28) + RAS(70) + CAS(28) + burst(20) = 156
+	if lat != 156 {
+		t.Errorf("open-row conflict latency = %d, want 156", lat)
+	}
+}
+
+func TestBusSerializesTransfers(t *testing.T) {
+	d := New(Config{})
+	// Two accesses to different banks at the same time: data transfers must
+	// not overlap on the shared bus.
+	aDone := d.Access(0, 0x0000) // bank 0
+	bDone := d.Access(0, 0x2000) // bank 1 (row 1)
+	if bDone < aDone+20 {
+		t.Errorf("second transfer done=%d overlaps first (done=%d)", bDone, aDone)
+	}
+}
+
+func TestBankConflictQueues(t *testing.T) {
+	d := New(Config{})
+	a := d.Access(0, 0x0)
+	b := d.Access(1, 0x0) // same bank, same row: row hit but bank busy
+	if b <= a {
+		t.Errorf("bank-conflicting access done=%d not after first=%d", b, a)
+	}
+	if d.RowHits != 1 {
+		t.Errorf("RowHits = %d, want 1 (second access hits open row)", d.RowHits)
+	}
+}
+
+func TestRowHitRate(t *testing.T) {
+	d := New(Config{})
+	if d.RowHitRate() != 0 {
+		t.Error("empty hit rate != 0")
+	}
+	now := uint64(0)
+	for i := 0; i < 10; i++ {
+		now = d.Access(now, 0x1000+uint64(i)*64) // streaming within one row
+	}
+	if r := d.RowHitRate(); r < 0.89 {
+		t.Errorf("streaming row hit rate = %f, want >= 0.9", r)
+	}
+}

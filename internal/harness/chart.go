@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderBarChart draws the overhead matrix as horizontal ASCII bars, one
+// group per benchmark — a terminal rendition of Figure 7/8's bar groups.
+// Bars are clipped at clipPct (the paper clips at 180% and annotates the
+// clipped values, which we reproduce).
+func (m *Matrix) RenderBarChart(title string, clipPct float64) string {
+	const width = 50
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "(bar = overhead over plain, full scale %.0f%%, '>' = clipped)\n\n", clipPct)
+	for _, wl := range m.Workloads {
+		fmt.Fprintf(&b, "%s\n", wl)
+		for _, c := range m.Configs {
+			if c == "plain" {
+				continue
+			}
+			ov := m.Overhead(wl, c)
+			clipped := ov > clipPct
+			frac := ov / clipPct
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			n := int(frac * width)
+			bar := strings.Repeat("#", n)
+			mark := " "
+			if clipped {
+				mark = ">"
+			}
+			fmt.Fprintf(&b, "  %-16s|%-*s|%s %6.1f%%\n", c, width, bar, mark, ov)
+		}
+	}
+	return b.String()
+}

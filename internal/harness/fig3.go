@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"rest/internal/prog"
+	"rest/internal/workload"
+)
+
+// Fig3Components are ASan's four overhead sources (paper Figure 3), applied
+// cumulatively so each component's marginal cost can be stacked.
+var Fig3Components = []string{
+	"Allocator",
+	"Stack Frame Setup",
+	"Memory Access Validation",
+	"API Intercept",
+}
+
+// fig3Configs returns the cumulative build levels: plain baseline, then one
+// more ASan component per level. All levels run on the in-order core, as
+// the paper's Figure 3 does (footnote 1).
+func fig3Configs() []BinaryConfig {
+	no := false
+	yes := true
+	return []BinaryConfig{
+		{Name: "plain", Pass: prog.Plain(), InOrder: true},
+		{Name: "alloc", Pass: prog.ASanComponents(false, false), InterceptLibc: &no, InOrder: true},
+		{Name: "alloc+stack", Pass: prog.ASanComponents(true, false), InterceptLibc: &no, InOrder: true},
+		{Name: "alloc+stack+checks", Pass: prog.ASanComponents(true, true), InterceptLibc: &no, InOrder: true},
+		{Name: "asan-full", Pass: prog.ASanComponents(true, true), InterceptLibc: &yes, InOrder: true},
+	}
+}
+
+// Fig3Result holds the component breakdown: Breakdown[workload][i] is the
+// marginal overhead (percentage points over plain) of Fig3Components[i].
+type Fig3Result struct {
+	Workloads []string
+	Breakdown map[string][]float64
+	Total     map[string]float64
+}
+
+// RunFig3 regenerates Figure 3's ASan overhead breakdown.
+func RunFig3(wls []workload.Workload, scale int64) (*Fig3Result, error) {
+	m, err := RunMatrix(wls, fig3Configs(), scale)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{
+		Workloads: m.Workloads,
+		Breakdown: make(map[string][]float64),
+		Total:     make(map[string]float64),
+	}
+	levels := []string{"alloc", "alloc+stack", "alloc+stack+checks", "asan-full"}
+	for _, wl := range m.Workloads {
+		prev := 0.0
+		parts := make([]float64, len(levels))
+		for i, lv := range levels {
+			ov := m.Overhead(wl, lv)
+			parts[i] = ov - prev
+			prev = ov
+		}
+		res.Breakdown[wl] = parts
+		res.Total[wl] = prev
+	}
+	return res, nil
+}
+
+// Render prints the stacked breakdown.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: breakdown of ASan overhead sources (% over plain/libc)\n")
+	fmt.Fprintf(&b, "%-12s", "benchmark")
+	for _, c := range Fig3Components {
+		fmt.Fprintf(&b, "%26s", c)
+	}
+	fmt.Fprintf(&b, "%10s\n", "total")
+	for _, wl := range r.Workloads {
+		fmt.Fprintf(&b, "%-12s", wl)
+		for _, v := range r.Breakdown[wl] {
+			fmt.Fprintf(&b, "%25.1f%%", v)
+		}
+		fmt.Fprintf(&b, "%9.1f%%\n", r.Total[wl])
+	}
+	return b.String()
+}

@@ -1,0 +1,233 @@
+// Package harness runs the paper's experiment matrix and regenerates every
+// table and figure of the evaluation (§VI): Figure 3 (ASan overhead
+// breakdown), Figure 7 (REST vs ASan overheads in all modes and scopes),
+// Figure 8 (token-width sweep), Table I (semantics conformance), Table II
+// (configuration) and Table III (qualitative comparison), plus the §VI-B
+// microarchitectural statistics.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"rest/internal/core"
+	"rest/internal/cpu"
+	"rest/internal/prog"
+	"rest/internal/workload"
+	"rest/internal/world"
+)
+
+// BinaryConfig names one bar of Figure 7/8: a pass + mode combination.
+type BinaryConfig struct {
+	Name string
+	Pass prog.PassConfig
+	Mode core.Mode
+	// InterceptLibc: nil = flavour default; Figure 3 toggles it.
+	InterceptLibc *bool
+	// InOrder selects the in-order core (Figure 3 was measured on one,
+	// paper footnote 1).
+	InOrder bool
+}
+
+// Fig7Configs returns the eight per-benchmark bars of Figure 7 (plain is
+// the normalization baseline).
+func Fig7Configs() []BinaryConfig {
+	return []BinaryConfig{
+		{Name: "plain", Pass: prog.Plain()},
+		{Name: "asan", Pass: prog.ASanFull()},
+		{Name: "debug-full", Pass: prog.RESTFull(64), Mode: core.Debug},
+		{Name: "secure-full", Pass: prog.RESTFull(64), Mode: core.Secure},
+		{Name: "perfecthw-full", Pass: prog.PerfectHWFull()},
+		{Name: "debug-heap", Pass: prog.RESTHeap(64), Mode: core.Debug},
+		{Name: "secure-heap", Pass: prog.RESTHeap(64), Mode: core.Secure},
+		{Name: "perfecthw-heap", Pass: prog.PerfectHWHeap()},
+	}
+}
+
+// Fig8Configs returns the six token-width bars of Figure 8 (secure mode).
+func Fig8Configs() []BinaryConfig {
+	var out []BinaryConfig
+	for _, w := range []uint64{16, 32, 64} {
+		out = append(out,
+			BinaryConfig{Name: fmt.Sprintf("%d-full", w), Pass: prog.RESTFull(w)},
+			BinaryConfig{Name: fmt.Sprintf("%d-heap", w), Pass: prog.RESTHeap(w)},
+		)
+	}
+	return out
+}
+
+// RunResult is one cell of the experiment matrix.
+type RunResult struct {
+	Workload string
+	Config   string
+	Cycles   uint64
+	Stats    *cpu.Stats
+	Outcome  world.Outcome
+	World    *world.World
+}
+
+// Run executes one workload under one configuration at the given scale.
+func Run(wl workload.Workload, cfg BinaryConfig, scale int64) (*RunResult, error) {
+	w, err := world.Build(world.Spec{
+		Pass:          cfg.Pass,
+		Mode:          cfg.Mode,
+		Width:         core.Width(cfg.Pass.TokenWidth),
+		InterceptLibc: cfg.InterceptLibc,
+		InOrder:       cfg.InOrder,
+	}, wl.Build(scale))
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name, cfg.Name, err)
+	}
+	stats, out := w.RunTimed()
+	if out.Err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %v", wl.Name, cfg.Name, out.Err)
+	}
+	if out.Detected() {
+		return nil, fmt.Errorf("harness: %s/%s: spurious detection: %s", wl.Name, cfg.Name, out)
+	}
+	return &RunResult{
+		Workload: wl.Name, Config: cfg.Name,
+		Cycles: stats.Cycles, Stats: stats, Outcome: out, World: w,
+	}, nil
+}
+
+// Matrix holds a full sweep: cycles[workload][config].
+type Matrix struct {
+	Workloads []string
+	Configs   []string
+	Cycles    map[string]map[string]uint64
+	Results   map[string]map[string]*RunResult
+}
+
+// RunMatrix sweeps the workloads × configs grid. Baseline ("plain") must be
+// among the configs for overhead computation.
+func RunMatrix(wls []workload.Workload, cfgs []BinaryConfig, scale int64) (*Matrix, error) {
+	m := &Matrix{
+		Cycles:  make(map[string]map[string]uint64),
+		Results: make(map[string]map[string]*RunResult),
+	}
+	for _, c := range cfgs {
+		m.Configs = append(m.Configs, c.Name)
+	}
+	for _, wl := range wls {
+		m.Workloads = append(m.Workloads, wl.Name)
+		m.Cycles[wl.Name] = make(map[string]uint64)
+		m.Results[wl.Name] = make(map[string]*RunResult)
+		for _, cfg := range cfgs {
+			r, err := Run(wl, cfg, scale)
+			if err != nil {
+				return nil, err
+			}
+			m.Cycles[wl.Name][cfg.Name] = r.Cycles
+			m.Results[wl.Name][cfg.Name] = r
+		}
+	}
+	return m, nil
+}
+
+// Overhead returns the percent slowdown of config vs the plain baseline for
+// one workload.
+func (m *Matrix) Overhead(wl, config string) float64 {
+	base := m.Cycles[wl]["plain"]
+	if base == 0 {
+		return 0
+	}
+	return (float64(m.Cycles[wl][config])/float64(base) - 1) * 100
+}
+
+// WtdAriMeanOverhead computes the paper's weighted arithmetic mean overhead
+// (footnote 5): AriMean(normalized runtime × plain runtime / Σ plain
+// runtimes) − 1, i.e. total-cycles ratio across the suite.
+func (m *Matrix) WtdAriMeanOverhead(config string) float64 {
+	var sumPlain, sumCfg float64
+	for _, wl := range m.Workloads {
+		sumPlain += float64(m.Cycles[wl]["plain"])
+		sumCfg += float64(m.Cycles[wl][config])
+	}
+	if sumPlain == 0 {
+		return 0
+	}
+	return (sumCfg/sumPlain - 1) * 100
+}
+
+// GeoMeanOverhead computes the geometric mean overhead (footnote 6):
+// GeoMean(plain-normalized runtime) − 1.
+func (m *Matrix) GeoMeanOverhead(config string) float64 {
+	logSum := 0.0
+	n := 0
+	for _, wl := range m.Workloads {
+		base := float64(m.Cycles[wl]["plain"])
+		if base == 0 {
+			continue
+		}
+		logSum += math.Log(float64(m.Cycles[wl][config]) / base)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return (math.Exp(logSum/float64(n)) - 1) * 100
+}
+
+// RenderOverheadTable prints the matrix as percent overheads over plain,
+// one row per workload plus the two means, matching Figure 7/8's layout.
+func (m *Matrix) RenderOverheadTable(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	cfgs := make([]string, 0, len(m.Configs))
+	for _, c := range m.Configs {
+		if c != "plain" {
+			cfgs = append(cfgs, c)
+		}
+	}
+	fmt.Fprintf(&b, "%-12s", "benchmark")
+	for _, c := range cfgs {
+		fmt.Fprintf(&b, "%16s", c)
+	}
+	b.WriteString("\n")
+	for _, wl := range m.Workloads {
+		fmt.Fprintf(&b, "%-12s", wl)
+		for _, c := range cfgs {
+			fmt.Fprintf(&b, "%15.1f%%", m.Overhead(wl, c))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-12s", "WtdAriMean")
+	for _, c := range cfgs {
+		fmt.Fprintf(&b, "%15.1f%%", m.WtdAriMeanOverhead(c))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-12s", "GeoMean")
+	for _, c := range cfgs {
+		fmt.Fprintf(&b, "%15.1f%%", m.GeoMeanOverhead(c))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// CSV renders the raw cycle matrix as CSV.
+func (m *Matrix) CSV() string {
+	var b strings.Builder
+	b.WriteString("benchmark")
+	for _, c := range m.Configs {
+		fmt.Fprintf(&b, ",%s", c)
+	}
+	b.WriteString("\n")
+	for _, wl := range m.Workloads {
+		b.WriteString(wl)
+		for _, c := range m.Configs {
+			fmt.Fprintf(&b, ",%d", m.Cycles[wl][c])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SortedConfigNames returns config names alphabetically (stable output).
+func (m *Matrix) SortedConfigNames() []string {
+	out := append([]string(nil), m.Configs...)
+	sort.Strings(out)
+	return out
+}

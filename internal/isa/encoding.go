@@ -1,0 +1,85 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encoding: 16 bytes per instruction, little endian.
+//
+//	byte 0    opcode
+//	byte 1    rd
+//	byte 2    rs
+//	byte 3    rt
+//	byte 4    size
+//	bytes 5-7 reserved (zero)
+//	bytes 8-15 imm (two's-complement int64)
+//
+// A fixed-width encoding keeps instruction fetch modelling trivial (a 64B
+// I-cache line holds exactly four instructions) at the cost of code density,
+// which is irrelevant to the experiments.
+
+// Encode writes the instruction into dst, which must be at least InstrBytes
+// long. It returns an error for malformed instructions.
+func Encode(in Instr, dst []byte) error {
+	if len(dst) < InstrBytes {
+		return fmt.Errorf("isa: encode buffer too small: %d < %d", len(dst), InstrBytes)
+	}
+	if err := in.Valid(); err != nil {
+		return err
+	}
+	dst[0] = uint8(in.Op)
+	dst[1] = in.Rd
+	dst[2] = in.Rs
+	dst[3] = in.Rt
+	dst[4] = in.Size
+	dst[5], dst[6], dst[7] = 0, 0, 0
+	binary.LittleEndian.PutUint64(dst[8:16], uint64(in.Imm))
+	return nil
+}
+
+// Decode reads one instruction from src (at least InstrBytes long).
+func Decode(src []byte) (Instr, error) {
+	if len(src) < InstrBytes {
+		return Instr{}, fmt.Errorf("isa: decode buffer too small: %d < %d", len(src), InstrBytes)
+	}
+	in := Instr{
+		Op:   Op(src[0]),
+		Rd:   src[1],
+		Rs:   src[2],
+		Rt:   src[3],
+		Size: src[4],
+		Imm:  int64(binary.LittleEndian.Uint64(src[8:16])),
+	}
+	if err := in.Valid(); err != nil {
+		return Instr{}, err
+	}
+	return in, nil
+}
+
+// EncodeProgram encodes a whole instruction sequence contiguously.
+func EncodeProgram(prog []Instr) ([]byte, error) {
+	out := make([]byte, len(prog)*InstrBytes)
+	for i, in := range prog {
+		if err := Encode(in, out[i*InstrBytes:]); err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// DecodeProgram decodes a contiguous instruction image.
+func DecodeProgram(img []byte) ([]Instr, error) {
+	if len(img)%InstrBytes != 0 {
+		return nil, fmt.Errorf("isa: image length %d not a multiple of %d", len(img), InstrBytes)
+	}
+	prog := make([]Instr, 0, len(img)/InstrBytes)
+	for off := 0; off < len(img); off += InstrBytes {
+		in, err := Decode(img[off:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: at offset %d: %w", off, err)
+		}
+		prog = append(prog, in)
+	}
+	return prog, nil
+}

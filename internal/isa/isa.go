@@ -1,0 +1,333 @@
+// Package isa defines the instruction set of the simulated machine.
+//
+// The paper (REST, ISCA 2018) implements arm/disarm by appropriating x86
+// encodings inside gem5; the mechanism itself is ISA-agnostic, so we use a
+// compact RISC-style ISA: 32 general 64-bit registers, loads and stores of
+// 1/2/4/8 bytes, the usual ALU and control-flow operations, and the two REST
+// instructions ARM and DISARM (§III-A of the paper). Instructions have a
+// fixed 16-byte binary encoding (see encoding.go) so programs occupy
+// simulated memory and instruction fetch can be modelled through the L1-I
+// cache.
+package isa
+
+import "fmt"
+
+// Register names. R0 is hardwired to zero; SP/FP/RA follow RISC convention.
+const (
+	RZero = 0  // always reads zero, writes discarded
+	RSP   = 29 // stack pointer
+	RFP   = 30 // frame pointer
+	RRA   = 31 // return address (link register)
+
+	// NumRegs is the architectural register count.
+	NumRegs = 32
+
+	// NoReg marks an unused register slot in an instruction or trace entry.
+	NoReg = 0xFF
+)
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcode space. Grouped by class; Class() derives the execution class.
+const (
+	OpNop Op = iota
+	OpHalt
+
+	// ALU register-register.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+
+	// ALU register-immediate. Rd = Rs <op> Imm.
+	OpAddI
+	OpMulI
+	OpAndI
+	OpOrI
+	OpXorI
+	OpShlI
+	OpShrI
+
+	// Moves. OpMovI: Rd = Imm. OpMov: Rd = Rs.
+	OpMovI
+	OpMov
+
+	// Memory. OpLoad: Rd = mem[Rs+Imm] (Size bytes, zero-extended).
+	// OpStore: mem[Rs+Imm] = Rt (Size bytes).
+	OpLoad
+	OpStore
+
+	// Branches compare Rs to Rt and jump to Imm (absolute address).
+	OpBeq
+	OpBne
+	OpBlt // signed
+	OpBge // signed
+	OpBltu
+	OpBgeu
+
+	// Unconditional control flow. OpJmp: pc = Imm. OpCall: RA = pc+16,
+	// pc = Imm. OpCallR: RA = pc+16, pc = Rs. OpRet: pc = RA.
+	OpJmp
+	OpCall
+	OpCallR
+	OpRet
+
+	// REST primitive (paper §III-A). ARM stores the (implicit) token at the
+	// token-width-aligned address Rs+Imm. DISARM overwrites the token at
+	// Rs+Imm with zero, faulting if no token is present.
+	OpArm
+	OpDisarm
+
+	// OpRTCall invokes a simulator runtime service (allocator, interceptor);
+	// Imm selects the service. It stands in for a call into runtime-library
+	// code: the service executes functionally and injects its own memory
+	// micro-ops into the dynamic trace so its cost is modelled faithfully.
+	OpRTCall
+
+	numOps
+)
+
+// NumOps reports the number of defined opcodes.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	OpNop: "nop", OpHalt: "halt",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpAddI: "addi", OpMulI: "muli", OpAndI: "andi", OpOrI: "ori",
+	OpXorI: "xori", OpShlI: "shli", OpShrI: "shri",
+	OpMovI: "movi", OpMov: "mov",
+	OpLoad: "load", OpStore: "store",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpBltu: "bltu", OpBgeu: "bgeu",
+	OpJmp: "jmp", OpCall: "call", OpCallR: "callr", OpRet: "ret",
+	OpArm: "arm", OpDisarm: "disarm",
+	OpRTCall: "rtcall",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class partitions opcodes by execution resource and latency.
+type Class uint8
+
+// Execution classes used by the timing model.
+const (
+	ClassNop Class = iota
+	ClassALU
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassArm    // functionally a store (paper §III-B, "LSQ Modification")
+	ClassDisarm // functionally a store
+	ClassOther
+)
+
+// Class reports the execution class of the opcode.
+func (o Op) Class() Class {
+	switch o {
+	case OpNop, OpHalt:
+		return ClassNop
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpAddI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI, OpMovI, OpMov:
+		return ClassALU
+	case OpMul, OpMulI:
+		return ClassMul
+	case OpDiv, OpRem:
+		return ClassDiv
+	case OpLoad:
+		return ClassLoad
+	case OpStore:
+		return ClassStore
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu, OpJmp, OpCall, OpCallR, OpRet:
+		return ClassBranch
+	case OpArm:
+		return ClassArm
+	case OpDisarm:
+		return ClassDisarm
+	default:
+		return ClassOther
+	}
+}
+
+// IsBranch reports whether the opcode redirects control flow.
+func (o Op) IsBranch() bool { return o.Class() == ClassBranch }
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (o Op) IsCondBranch() bool {
+	switch o {
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the opcode accesses data memory (including the REST
+// instructions, which are wide stores microarchitecturally).
+func (o Op) IsMem() bool {
+	switch o.Class() {
+	case ClassLoad, ClassStore, ClassArm, ClassDisarm:
+		return true
+	}
+	return false
+}
+
+// Instr is one decoded instruction.
+//
+// Field usage by class:
+//
+//	ALU rr:  Rd = Rs <op> Rt
+//	ALU ri:  Rd = Rs <op> Imm
+//	movi:    Rd = Imm
+//	load:    Rd = mem[Rs+Imm], Size bytes
+//	store:   mem[Rs+Imm] = Rt, Size bytes
+//	branch:  if Rs <cmp> Rt { pc = Imm }
+//	call:    Imm = target; callr: Rs = target
+//	arm/disarm: address = Rs+Imm
+//	rtcall:  Imm = runtime service id
+type Instr struct {
+	Op   Op
+	Rd   uint8
+	Rs   uint8
+	Rt   uint8
+	Size uint8 // load/store access size: 1, 2, 4 or 8
+	Imm  int64
+}
+
+// InstrBytes is the fixed encoded size of one instruction in simulated
+// memory. PCs advance by this amount.
+const InstrBytes = 16
+
+// Valid performs a structural sanity check and returns a descriptive error
+// for malformed instructions (bad register indices or access sizes).
+func (in Instr) Valid() error {
+	checkReg := func(name string, r uint8, used bool) error {
+		if used && r >= NumRegs {
+			return fmt.Errorf("isa: %s: register %s=%d out of range", in.Op, name, r)
+		}
+		return nil
+	}
+	d, s, t := in.usesRegs()
+	if err := checkReg("rd", in.Rd, d); err != nil {
+		return err
+	}
+	if err := checkReg("rs", in.Rs, s); err != nil {
+		return err
+	}
+	if err := checkReg("rt", in.Rt, t); err != nil {
+		return err
+	}
+	if in.Op == OpLoad || in.Op == OpStore {
+		switch in.Size {
+		case 1, 2, 4, 8:
+		default:
+			return fmt.Errorf("isa: %s: invalid access size %d", in.Op, in.Size)
+		}
+	}
+	if in.Op >= numOps {
+		return fmt.Errorf("isa: invalid opcode %d", uint8(in.Op))
+	}
+	return nil
+}
+
+// usesRegs reports which register fields are meaningful for the opcode.
+func (in Instr) usesRegs() (rd, rs, rt bool) {
+	switch in.Op {
+	case OpNop, OpHalt, OpJmp, OpCall, OpRTCall:
+		return false, false, false
+	case OpRet:
+		return false, false, false
+	case OpMovI:
+		return true, false, false
+	case OpMov:
+		return true, true, false
+	case OpAddI, OpMulI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI:
+		return true, true, false
+	case OpLoad:
+		return true, true, false
+	case OpStore:
+		return false, true, true
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return false, true, true
+	case OpCallR:
+		return false, true, false
+	case OpArm, OpDisarm:
+		return false, true, false
+	default: // ALU rr
+		return true, true, true
+	}
+}
+
+// DstReg returns the destination register index, or NoReg if none. Writes to
+// R0 are treated as having no destination.
+func (in Instr) DstReg() uint8 {
+	d, _, _ := in.usesRegs()
+	if in.Op == OpCall || in.Op == OpCallR {
+		return RRA
+	}
+	if !d || in.Rd == RZero {
+		return NoReg
+	}
+	return in.Rd
+}
+
+// SrcRegs returns the source register indices (NoReg where unused). R0 is
+// reported as NoReg since it is always ready.
+func (in Instr) SrcRegs() (a, b uint8) {
+	_, s, t := in.usesRegs()
+	a, b = NoReg, NoReg
+	if s && in.Rs != RZero {
+		a = in.Rs
+	}
+	if t && in.Rt != RZero {
+		b = in.Rt
+	}
+	if in.Op == OpRet {
+		a = RRA
+	}
+	return a, b
+}
+
+// String disassembles the instruction.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNop, OpHalt, OpRet:
+		return in.Op.String()
+	case OpMovI:
+		return fmt.Sprintf("movi r%d, %d", in.Rd, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov r%d, r%d", in.Rd, in.Rs)
+	case OpAddI, OpMulI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("load%d r%d, [r%d%+d]", in.Size, in.Rd, in.Rs, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("store%d [r%d%+d], r%d", in.Size, in.Rs, in.Imm, in.Rt)
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return fmt.Sprintf("%s r%d, r%d, 0x%x", in.Op, in.Rs, in.Rt, uint64(in.Imm))
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s 0x%x", in.Op, uint64(in.Imm))
+	case OpCallR:
+		return fmt.Sprintf("callr r%d", in.Rs)
+	case OpArm, OpDisarm:
+		return fmt.Sprintf("%s [r%d%+d]", in.Op, in.Rs, in.Imm)
+	case OpRTCall:
+		return fmt.Sprintf("rtcall %d", in.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs, in.Rt)
+	}
+}

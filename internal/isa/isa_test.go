@@ -1,0 +1,251 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "add" {
+		t.Errorf("OpAdd.String() = %q, want %q", OpAdd.String(), "add")
+	}
+	if OpArm.String() != "arm" {
+		t.Errorf("OpArm.String() = %q, want %q", OpArm.String(), "arm")
+	}
+	if got := Op(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown op String() = %q, want to contain 200", got)
+	}
+}
+
+func TestOpClass(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{OpNop, ClassNop},
+		{OpHalt, ClassNop},
+		{OpAdd, ClassALU},
+		{OpMovI, ClassALU},
+		{OpMul, ClassMul},
+		{OpDiv, ClassDiv},
+		{OpRem, ClassDiv},
+		{OpLoad, ClassLoad},
+		{OpStore, ClassStore},
+		{OpBeq, ClassBranch},
+		{OpRet, ClassBranch},
+		{OpCall, ClassBranch},
+		{OpArm, ClassArm},
+		{OpDisarm, ClassDisarm},
+	}
+	for _, c := range cases {
+		if got := c.op.Class(); got != c.want {
+			t.Errorf("%s.Class() = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	for _, op := range []Op{OpLoad, OpStore, OpArm, OpDisarm} {
+		if !op.IsMem() {
+			t.Errorf("%s.IsMem() = false, want true", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpBeq, OpNop, OpCall} {
+		if op.IsMem() {
+			t.Errorf("%s.IsMem() = true, want false", op)
+		}
+	}
+}
+
+func TestIsBranch(t *testing.T) {
+	for _, op := range []Op{OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu, OpJmp, OpCall, OpCallR, OpRet} {
+		if !op.IsBranch() {
+			t.Errorf("%s.IsBranch() = false, want true", op)
+		}
+	}
+	if OpAdd.IsBranch() {
+		t.Error("OpAdd.IsBranch() = true, want false")
+	}
+	if !OpBeq.IsCondBranch() || OpJmp.IsCondBranch() {
+		t.Error("IsCondBranch misclassifies beq/jmp")
+	}
+}
+
+func TestDstSrcRegs(t *testing.T) {
+	in := Instr{Op: OpAdd, Rd: 3, Rs: 4, Rt: 5}
+	if in.DstReg() != 3 {
+		t.Errorf("add DstReg = %d, want 3", in.DstReg())
+	}
+	a, b := in.SrcRegs()
+	if a != 4 || b != 5 {
+		t.Errorf("add SrcRegs = %d,%d, want 4,5", a, b)
+	}
+
+	// Writes to R0 have no architectural destination.
+	in = Instr{Op: OpMovI, Rd: RZero, Imm: 7}
+	if in.DstReg() != NoReg {
+		t.Errorf("movi r0 DstReg = %d, want NoReg", in.DstReg())
+	}
+
+	// Call defines RA.
+	in = Instr{Op: OpCall, Imm: 0x1000}
+	if in.DstReg() != RRA {
+		t.Errorf("call DstReg = %d, want RA", in.DstReg())
+	}
+
+	// Ret reads RA.
+	in = Instr{Op: OpRet}
+	a, b = in.SrcRegs()
+	if a != RRA || b != NoReg {
+		t.Errorf("ret SrcRegs = %d,%d, want RA,NoReg", a, b)
+	}
+
+	// Store reads base and data, defines nothing.
+	in = Instr{Op: OpStore, Rs: 7, Rt: 8, Size: 8}
+	if in.DstReg() != NoReg {
+		t.Errorf("store DstReg = %d, want NoReg", in.DstReg())
+	}
+	a, b = in.SrcRegs()
+	if a != 7 || b != 8 {
+		t.Errorf("store SrcRegs = %d,%d, want 7,8", a, b)
+	}
+
+	// R0 sources are reported as always-ready (NoReg).
+	in = Instr{Op: OpAdd, Rd: 1, Rs: RZero, Rt: RZero}
+	a, b = in.SrcRegs()
+	if a != NoReg || b != NoReg {
+		t.Errorf("add r0,r0 SrcRegs = %d,%d, want NoReg,NoReg", a, b)
+	}
+}
+
+func TestValid(t *testing.T) {
+	good := []Instr{
+		{Op: OpNop},
+		{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3},
+		{Op: OpLoad, Rd: 1, Rs: 2, Size: 8},
+		{Op: OpStore, Rs: 1, Rt: 2, Size: 1},
+		{Op: OpArm, Rs: 5},
+	}
+	for _, in := range good {
+		if err := in.Valid(); err != nil {
+			t.Errorf("Valid(%s) = %v, want nil", in, err)
+		}
+	}
+	bad := []Instr{
+		{Op: OpAdd, Rd: 40, Rs: 2, Rt: 3},
+		{Op: OpLoad, Rd: 1, Rs: 2, Size: 3},
+		{Op: OpStore, Rs: 1, Rt: 2, Size: 0},
+		{Op: Op(250)},
+	}
+	for _, in := range bad {
+		if err := in.Valid(); err == nil {
+			t.Errorf("Valid(%+v) = nil, want error", in)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	prog := []Instr{
+		{Op: OpMovI, Rd: 1, Imm: -42},
+		{Op: OpLoad, Rd: 2, Rs: 1, Imm: 0x1000, Size: 4},
+		{Op: OpStore, Rs: 1, Rt: 2, Imm: -8, Size: 8},
+		{Op: OpArm, Rs: 3, Imm: 64},
+		{Op: OpDisarm, Rs: 3, Imm: 64},
+		{Op: OpBeq, Rs: 1, Rt: 2, Imm: 0x400040},
+		{Op: OpHalt},
+	}
+	img, err := EncodeProgram(prog)
+	if err != nil {
+		t.Fatalf("EncodeProgram: %v", err)
+	}
+	if len(img) != len(prog)*InstrBytes {
+		t.Fatalf("image size = %d, want %d", len(img), len(prog)*InstrBytes)
+	}
+	back, err := DecodeProgram(img)
+	if err != nil {
+		t.Fatalf("DecodeProgram: %v", err)
+	}
+	for i := range prog {
+		if prog[i] != back[i] {
+			t.Errorf("instr %d: round trip %+v != %+v", i, prog[i], back[i])
+		}
+	}
+}
+
+// randomValidInstr draws a structurally valid instruction.
+func randomValidInstr(r *rand.Rand) Instr {
+	for {
+		in := Instr{
+			Op:  Op(r.Intn(NumOps)),
+			Rd:  uint8(r.Intn(NumRegs)),
+			Rs:  uint8(r.Intn(NumRegs)),
+			Rt:  uint8(r.Intn(NumRegs)),
+			Imm: r.Int63() - r.Int63(),
+		}
+		if in.Op == OpLoad || in.Op == OpStore {
+			in.Size = []uint8{1, 2, 4, 8}[r.Intn(4)]
+		}
+		if in.Valid() == nil {
+			return in
+		}
+	}
+}
+
+// Property: encode∘decode is the identity on valid instructions.
+func TestEncodeDecodeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randomValidInstr(r)
+		var buf [InstrBytes]byte
+		if err := Encode(in, buf[:]); err != nil {
+			return false
+		}
+		out, err := Decode(buf[:])
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(make([]byte, 4)); err == nil {
+		t.Error("Decode(short) = nil error")
+	}
+	var buf [InstrBytes]byte
+	buf[0] = 255 // invalid opcode
+	if _, err := Decode(buf[:]); err == nil {
+		t.Error("Decode(bad op) = nil error")
+	}
+	if _, err := DecodeProgram(make([]byte, InstrBytes+1)); err == nil {
+		t.Error("DecodeProgram(misaligned) = nil error")
+	}
+	if err := Encode(Instr{Op: OpNop}, make([]byte, 2)); err == nil {
+		t.Error("Encode(short dst) = nil error")
+	}
+	if _, err := EncodeProgram([]Instr{{Op: Op(240)}}); err == nil {
+		t.Error("EncodeProgram(bad instr) = nil error")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpLoad, Rd: 1, Rs: 2, Imm: 8, Size: 4}, "load4 r1, [r2+8]"},
+		{Instr{Op: OpStore, Rs: 2, Rt: 3, Imm: -8, Size: 8}, "store8 [r2-8], r3"},
+		{Instr{Op: OpArm, Rs: 5, Imm: 0}, "arm [r5+0]"},
+		{Instr{Op: OpMovI, Rd: 7, Imm: 9}, "movi r7, 9"},
+		{Instr{Op: OpRet}, "ret"},
+		{Instr{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3}, "add r1, r2, r3"},
+		{Instr{Op: OpRTCall, Imm: 2}, "rtcall 2"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package layout fixes the simulated address-space layout shared by the
+// compiler, allocators, shadow map and simulators.
+//
+// The layout mirrors a conventional Unix process image (the paper simulates
+// 32-bit i386 binaries under gem5 syscall emulation; we keep the same
+// regions at slightly roomier 64-bit addresses):
+//
+//	code    0x0040_0000
+//	globals 0x1000_0000
+//	heap    0x2000_0000 .. 0x3fff_ffff (grows up)
+//	shadow  0x4000_0000 .. 0x5fff_ffff (ASan only: f(a) = (a>>3) + ShadowBase)
+//	stack   0x7fff_f000 (grows down)
+package layout
+
+// Region base addresses and extents.
+const (
+	CodeBase   = 0x0040_0000
+	GlobalBase = 0x1000_0000
+	HeapBase   = 0x2000_0000
+	HeapLimit  = 0x3fff_ffff
+	ShadowBase = 0x4000_0000
+	StackTop   = 0x7fff_f000
+	StackLimit = 0x7000_0000 // lowest legal stack address
+)
+
+// InHeap reports whether addr lies in the heap region.
+func InHeap(addr uint64) bool { return addr >= HeapBase && addr <= HeapLimit }
+
+// InStack reports whether addr lies in the stack region.
+func InStack(addr uint64) bool { return addr >= StackLimit && addr < StackTop }
+
+// InShadow reports whether addr lies in the ASan shadow region.
+func InShadow(addr uint64) bool { return addr >= ShadowBase && addr < ShadowBase+0x2000_0000 }

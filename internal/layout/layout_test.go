@@ -1,0 +1,38 @@
+package layout
+
+import "testing"
+
+func TestRegionPredicates(t *testing.T) {
+	if !InHeap(HeapBase) || !InHeap(HeapLimit) {
+		t.Error("heap bounds not in heap")
+	}
+	if InHeap(HeapBase-1) || InHeap(HeapLimit+1) {
+		t.Error("non-heap addresses in heap")
+	}
+	if !InStack(StackTop-8) || InStack(StackTop) {
+		t.Error("stack top handling wrong")
+	}
+	if !InStack(StackLimit) || InStack(StackLimit-1) {
+		t.Error("stack limit handling wrong")
+	}
+	if !InShadow(ShadowBase) || InShadow(ShadowBase-1) {
+		t.Error("shadow base handling wrong")
+	}
+}
+
+func TestRegionsDisjoint(t *testing.T) {
+	// Shadow of heap and stack must land inside the shadow region and not
+	// collide with any program region.
+	for _, a := range []uint64{HeapBase, HeapLimit, StackTop - 8, StackLimit} {
+		sh := (a >> 3) + ShadowBase
+		if !InShadow(sh) {
+			t.Errorf("shadow of %#x = %#x outside shadow region", a, sh)
+		}
+		if InHeap(sh) || InStack(sh) {
+			t.Errorf("shadow of %#x collides with a program region", a)
+		}
+	}
+	if CodeBase >= GlobalBase || GlobalBase >= HeapBase || HeapLimit >= ShadowBase {
+		t.Error("region ordering broken")
+	}
+}

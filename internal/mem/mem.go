@@ -1,0 +1,162 @@
+// Package mem provides the sparse byte-addressable physical memory backing
+// the simulated machine. Pages are allocated lazily so the 64-bit address
+// space (code, globals, heap, shadow, stack) can be used at its natural
+// addresses without reserving host memory.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageBits selects a 4KiB page granule for the backing store.
+const PageBits = 12
+
+// PageSize is the backing-store page size in bytes.
+const PageSize = 1 << PageBits
+
+// Memory is a sparse physical memory. The zero value is not ready; use New.
+// Unwritten bytes read as zero, matching zero-fill-on-demand semantics.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+// page returns the page containing addr, allocating it if alloc is set.
+func (m *Memory) page(addr uint64, alloc bool) *[PageSize]byte {
+	pn := addr >> PageBits
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Byte returns the byte at addr.
+func (m *Memory) Byte(addr uint64) byte {
+	if p := m.page(addr, false); p != nil {
+		return p[addr&(PageSize-1)]
+	}
+	return 0
+}
+
+// SetByte stores b at addr.
+func (m *Memory) SetByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&(PageSize-1)] = b
+}
+
+// Read copies len(dst) bytes starting at addr into dst.
+func (m *Memory) Read(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		off := addr & (PageSize - 1)
+		n := PageSize - off
+		if uint64(len(dst)) < n {
+			n = uint64(len(dst))
+		}
+		if p := m.page(addr, false); p != nil {
+			copy(dst[:n], p[off:off+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		addr += n
+	}
+}
+
+// Write copies src into memory starting at addr.
+func (m *Memory) Write(addr uint64, src []byte) {
+	for len(src) > 0 {
+		off := addr & (PageSize - 1)
+		n := PageSize - off
+		if uint64(len(src)) < n {
+			n = uint64(len(src))
+		}
+		copy(m.page(addr, true)[off:off+n], src[:n])
+		src = src[n:]
+		addr += n
+	}
+}
+
+// ReadUint reads a little-endian unsigned integer of size 1, 2, 4 or 8 bytes
+// and zero-extends it.
+func (m *Memory) ReadUint(addr uint64, size uint8) uint64 {
+	var buf [8]byte
+	m.Read(addr, buf[:size])
+	switch size {
+	case 1:
+		return uint64(buf[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(buf[:2]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(buf[:4]))
+	case 8:
+		return binary.LittleEndian.Uint64(buf[:8])
+	default:
+		panic(fmt.Sprintf("mem: invalid access size %d", size))
+	}
+}
+
+// WriteUint writes the low size bytes of v little-endian at addr.
+func (m *Memory) WriteUint(addr uint64, size uint8, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	switch size {
+	case 1, 2, 4, 8:
+		m.Write(addr, buf[:size])
+	default:
+		panic(fmt.Sprintf("mem: invalid access size %d", size))
+	}
+}
+
+// Zero clears n bytes starting at addr.
+func (m *Memory) Zero(addr, n uint64) {
+	for n > 0 {
+		off := addr & (PageSize - 1)
+		c := PageSize - off
+		if n < c {
+			c = n
+		}
+		if p := m.page(addr, false); p != nil {
+			for i := off; i < off+c; i++ {
+				p[i] = 0
+			}
+		}
+		addr += c
+		n -= c
+	}
+}
+
+// Equal reports whether the n bytes at addr equal pat (len(pat) == n callers'
+// responsibility; compares min lengths).
+func (m *Memory) Equal(addr uint64, pat []byte) bool {
+	var buf [64]byte
+	for len(pat) > 0 {
+		n := len(pat)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		m.Read(addr, buf[:n])
+		for i := 0; i < n; i++ {
+			if buf[i] != pat[i] {
+				return false
+			}
+		}
+		pat = pat[n:]
+		addr += uint64(n)
+	}
+	return true
+}
+
+// PageCount reports how many backing pages have been materialized. Useful for
+// memory-footprint statistics (e.g. shadow-memory cost of ASan).
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Footprint reports the materialized backing-store size in bytes.
+func (m *Memory) Footprint() uint64 { return uint64(len(m.pages)) * PageSize }

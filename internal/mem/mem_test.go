@@ -1,0 +1,178 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroFill(t *testing.T) {
+	m := New()
+	if got := m.Byte(0xdeadbeef); got != 0 {
+		t.Errorf("fresh ReadByte = %d, want 0", got)
+	}
+	buf := make([]byte, 100)
+	for i := range buf {
+		buf[i] = 0xAA
+	}
+	m.Read(0x123456789, buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("fresh Read byte %d = %d, want 0", i, b)
+		}
+	}
+	if m.PageCount() != 0 {
+		t.Errorf("reads materialized %d pages, want 0", m.PageCount())
+	}
+}
+
+func TestReadWriteByte(t *testing.T) {
+	m := New()
+	m.SetByte(42, 7)
+	if got := m.Byte(42); got != 7 {
+		t.Errorf("ReadByte(42) = %d, want 7", got)
+	}
+	if got := m.Byte(43); got != 0 {
+		t.Errorf("ReadByte(43) = %d, want 0", got)
+	}
+}
+
+func TestCrossPageReadWrite(t *testing.T) {
+	m := New()
+	// Span three pages.
+	base := uint64(PageSize - 100)
+	src := make([]byte, 2*PageSize+200)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	m.Write(base, src)
+	dst := make([]byte, len(src))
+	m.Read(base, dst)
+	if !bytes.Equal(src, dst) {
+		t.Fatal("cross-page round trip mismatch")
+	}
+}
+
+func TestReadWriteUint(t *testing.T) {
+	m := New()
+	for _, size := range []uint8{1, 2, 4, 8} {
+		v := uint64(0x1122334455667788)
+		m.WriteUint(0x1000, size, v)
+		want := v
+		if size < 8 {
+			want = v & ((1 << (8 * uint(size))) - 1)
+		}
+		if got := m.ReadUint(0x1000, size); got != want {
+			t.Errorf("size %d: ReadUint = %#x, want %#x", size, got, want)
+		}
+	}
+}
+
+func TestUintLittleEndian(t *testing.T) {
+	m := New()
+	m.WriteUint(0x2000, 4, 0x04030201)
+	for i := uint64(0); i < 4; i++ {
+		if got := m.Byte(0x2000 + i); got != byte(i+1) {
+			t.Errorf("byte %d = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestInvalidSizePanics(t *testing.T) {
+	m := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("ReadUint(size=3) did not panic")
+		}
+	}()
+	m.ReadUint(0, 3)
+}
+
+func TestZero(t *testing.T) {
+	m := New()
+	data := make([]byte, 3*PageSize)
+	for i := range data {
+		data[i] = 0xFF
+	}
+	m.Write(100, data)
+	m.Zero(100+10, uint64(len(data))-20)
+	if m.Byte(100+9) != 0xFF || m.Byte(100+uint64(len(data))-10) != 0xFF {
+		t.Error("Zero clobbered boundary bytes")
+	}
+	for i := uint64(10); i < uint64(len(data))-10; i += 997 {
+		if m.Byte(100+i) != 0 {
+			t.Fatalf("byte at offset %d not zeroed", i)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	m := New()
+	pat := make([]byte, 150)
+	for i := range pat {
+		pat[i] = byte(i)
+	}
+	m.Write(0x5000, pat)
+	if !m.Equal(0x5000, pat) {
+		t.Error("Equal = false for matching data")
+	}
+	pat[149] ^= 1
+	if m.Equal(0x5000, pat) {
+		t.Error("Equal = true for differing data")
+	}
+	// All-zero pattern matches untouched memory.
+	if !m.Equal(0x999999000, make([]byte, 64)) {
+		t.Error("Equal(zero pattern, untouched) = false")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	m := New()
+	m.SetByte(0, 1)
+	m.SetByte(PageSize*5, 1)
+	if got := m.Footprint(); got != 2*PageSize {
+		t.Errorf("Footprint = %d, want %d", got, 2*PageSize)
+	}
+}
+
+// Property: a Write followed by a Read at random addresses/lengths returns
+// what was written.
+func TestWriteReadProperty(t *testing.T) {
+	m := New()
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		addr := uint64(r.Int63n(1 << 40))
+		n := r.Intn(3 * PageSize)
+		src := make([]byte, n)
+		r.Read(src)
+		m.Write(addr, src)
+		dst := make([]byte, n)
+		m.Read(addr, dst)
+		return bytes.Equal(src, dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WriteUint/ReadUint round-trip for all sizes.
+func TestUintProperty(t *testing.T) {
+	m := New()
+	r := rand.New(rand.NewSource(11))
+	sizes := []uint8{1, 2, 4, 8}
+	f := func() bool {
+		addr := uint64(r.Int63n(1 << 40))
+		size := sizes[r.Intn(4)]
+		v := r.Uint64()
+		m.WriteUint(addr, size, v)
+		want := v
+		if size < 8 {
+			want &= (1 << (8 * uint(size))) - 1
+		}
+		return m.ReadUint(addr, size) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

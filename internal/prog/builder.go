@@ -1,0 +1,260 @@
+package prog
+
+import (
+	"fmt"
+
+	"rest/internal/isa"
+	"rest/internal/layout"
+)
+
+// Reg is a symbolic register handle.
+type Reg uint8
+
+// Label marks a branch target within a function.
+type Label int
+
+// fixKind tags instructions needing link-time patching.
+type fixKind uint8
+
+const (
+	fixNone   fixKind = iota
+	fixLabel          // Imm = label id -> absolute PC
+	fixCall           // Imm = function index -> absolute PC
+	fixBuf            // Imm += buffer payload offset (frame layout runs at link time)
+	fixGlobal         // Imm += global payload address (data layout runs at link time)
+)
+
+type fixupInstr struct {
+	in  isa.Instr
+	fix fixKind
+	ref int
+}
+
+// Buffer is a stack-allocated array within a function frame.
+type Buffer struct {
+	fn        *Function
+	Size      uint64 // requested bytes
+	Padded    uint64 // after token-width padding
+	Protected bool
+	off       uint64 // payload offset from SP (set at layout)
+	rzOff1    uint64 // left redzone offset (protected only)
+	rzOff2    uint64 // right redzone offset
+}
+
+// Builder assembles a program from functions under one pass configuration.
+type Builder struct {
+	pass    PassConfig
+	funcs   []*Function
+	byName  map[string]*Function
+	globals []*Global
+}
+
+// NewBuilder starts a program build under the given pass.
+func NewBuilder(pass PassConfig) *Builder {
+	return &Builder{pass: pass.withDefaults(), byName: make(map[string]*Function)}
+}
+
+// Pass returns the builder's pass configuration.
+func (b *Builder) Pass() PassConfig { return b.pass }
+
+// Func declares a function. The name "main" is the program entry; it ends in
+// HALT instead of RET.
+func (b *Builder) Func(name string) *Function {
+	if _, dup := b.byName[name]; dup {
+		panic(fmt.Sprintf("prog: duplicate function %q", name))
+	}
+	f := &Function{name: name, b: b, nextReg: 1}
+	b.funcs = append(b.funcs, f)
+	b.byName[name] = f
+	return f
+}
+
+// Function builds one function body.
+type Function struct {
+	name    string
+	b       *Builder
+	body    []fixupInstr
+	labels  []int // label -> body index (-1 = unbound)
+	buffers []*Buffer
+	nextReg uint8
+	maxReg  uint8 // high-water mark of allocated registers (for callee saves)
+	sealed  bool  // buffers may no longer be declared once body code exists
+	usesRA  bool  // calls another function -> must save RA
+	start   int   // first instruction index after linking
+
+	regSaveOff uint64 // callee-saved register area offset (set at layout)
+	raOff      uint64 // return-address slot offset (set at layout)
+}
+
+// Name returns the function name.
+func (f *Function) Name() string { return f.name }
+
+// Reg allocates a fresh general-purpose register for the function. The pool
+// is r1..r19; r20+ are reserved for the runtime-call and instrumentation
+// linkage (see sim package).
+func (f *Function) Reg() Reg {
+	if f.nextReg >= 20 {
+		panic(fmt.Sprintf("prog: %s: out of registers", f.name))
+	}
+	r := Reg(f.nextReg)
+	f.nextReg++
+	if f.nextReg > f.maxReg {
+		f.maxReg = f.nextReg
+	}
+	return r
+}
+
+// Buffer declares a stack array. Protected buffers receive redzones under
+// protecting passes. All buffers must be declared before any body code.
+func (f *Function) Buffer(size uint64, protected bool) *Buffer {
+	if f.sealed {
+		panic(fmt.Sprintf("prog: %s: Buffer() after body code", f.name))
+	}
+	w := f.b.pass.TokenWidth
+	buf := &Buffer{
+		fn:        f,
+		Size:      size,
+		Padded:    (size + w - 1) &^ (w - 1),
+		Protected: protected,
+	}
+	f.buffers = append(f.buffers, buf)
+	return buf
+}
+
+// NewLabel creates an unbound label.
+func (f *Function) NewLabel() Label {
+	f.labels = append(f.labels, -1)
+	return Label(len(f.labels) - 1)
+}
+
+// Bind attaches a label to the next emitted instruction.
+func (f *Function) Bind(l Label) {
+	f.labels[l] = len(f.body)
+}
+
+func (f *Function) emit(in isa.Instr) {
+	f.sealed = true
+	f.body = append(f.body, fixupInstr{in: in})
+}
+
+func (f *Function) emitFix(in isa.Instr, k fixKind, ref int) {
+	f.sealed = true
+	f.body = append(f.body, fixupInstr{in: in, fix: k, ref: ref})
+}
+
+// frame computes the stack layout: [buffers with redzones...][RA slot pad to
+// 64]. Offsets are from the adjusted SP; everything stays 64-byte aligned so
+// redzones are token-aligned regardless of width.
+func (f *Function) frame() (frameSize uint64) {
+	rz := f.b.pass.RedzoneBytes
+	protecting := f.b.pass.StackProtection
+	off := uint64(0)
+	for _, buf := range f.buffers {
+		if buf.Protected && protecting {
+			buf.rzOff1 = off
+			buf.off = off + rz
+			buf.rzOff2 = buf.off + buf.Padded
+			off = buf.rzOff2 + rz
+		} else {
+			buf.off = off
+			off += buf.Padded
+		}
+	}
+	// Callee-saved register area (every register the function allocated) in
+	// its own 64-aligned region, then the RA slot region, at the top of the
+	// frame.
+	f.regSaveOff = off
+	regBytes := uint64(f.maxReg) * 8
+	off += (regBytes + 63) &^ 63
+	f.raOff = off
+	off += 64
+	return (off + 63) &^ 63
+}
+
+// Program is the linked output.
+type Program struct {
+	Instrs []isa.Instr
+	Entry  int
+	Funcs  map[string]int // name -> entry instruction index
+}
+
+// Build lays out frames, inserts prologue/epilogue instrumentation, links
+// calls and branches, and returns the executable program.
+func (b *Builder) Build() (*Program, error) {
+	main, ok := b.byName["main"]
+	if !ok {
+		return nil, fmt.Errorf("prog: no main function")
+	}
+	b.layoutGlobals()
+	// Assemble each function: prologue + body (labels patched) + epilogue.
+	var all []isa.Instr
+	type callFix struct{ at, fn int }
+	var callFixes []callFix
+	funcIdx := make(map[string]int)
+	funcOrder := []*Function{main}
+	for _, f := range b.funcs {
+		if f != main {
+			funcOrder = append(funcOrder, f)
+		}
+	}
+	nameToOrder := make(map[string]int, len(funcOrder))
+	for i, f := range funcOrder {
+		nameToOrder[f.name] = i
+	}
+
+	for _, f := range funcOrder {
+		f.start = len(all)
+		funcIdx[f.name] = f.start
+		frame := f.frame()
+
+		pro, epi := f.frameCode(frame)
+		if f == main {
+			// Module initializers (global redzone installation) run before
+			// main's own prologue code touches anything.
+			pro = append(b.globalInitCode(), pro...)
+		}
+		all = append(all, pro...)
+
+		bodyBase := len(all)
+		for _, fi := range f.body {
+			in := fi.in
+			switch fi.fix {
+			case fixLabel:
+				idx := f.labels[fi.ref]
+				if idx < 0 {
+					return nil, fmt.Errorf("prog: %s: unbound label %d", f.name, fi.ref)
+				}
+				in.Imm = int64(pcOf(bodyBase + idx))
+			case fixCall:
+				callFixes = append(callFixes, callFix{at: len(all), fn: fi.ref})
+			case fixBuf:
+				in.Imm += int64(f.buffers[fi.ref].off)
+			case fixGlobal:
+				in.Imm += int64(b.globals[fi.ref].addr)
+			}
+			all = append(all, in)
+		}
+		all = append(all, epi...)
+	}
+
+	for _, cf := range callFixes {
+		target, ok := b.byName[b.funcs[cf.fn].name]
+		if !ok {
+			return nil, fmt.Errorf("prog: unresolved call")
+		}
+		all[cf.at].Imm = int64(pcOf(funcIdx[target.name]))
+	}
+	_ = nameToOrder
+
+	for i, in := range all {
+		if err := in.Valid(); err != nil {
+			return nil, fmt.Errorf("prog: instruction %d (%s): %w", i, in, err)
+		}
+	}
+	return &Program{Instrs: all, Entry: 0, Funcs: funcIdx}, nil
+}
+
+// pcOf converts an instruction index to its absolute PC.
+func pcOf(idx int) uint64 {
+	return layout.CodeBase + uint64(idx)*isa.InstrBytes
+}

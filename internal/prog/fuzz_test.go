@@ -1,0 +1,166 @@
+package prog_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rest/internal/core"
+	"rest/internal/isa"
+	"rest/internal/prog"
+	"rest/internal/world"
+)
+
+// genBenign generates a random well-formed, bounds-respecting program: a
+// stack buffer, a couple of heap chunks, loops of in-bounds loads/stores,
+// arithmetic, memcpy between chunks, and frees. Differential property: all
+// instrumentation passes must compute the same checksum and detect nothing.
+func genBenign(r *rand.Rand) func(b *prog.Builder) {
+	// Pre-draw the program shape so every pass builds the same program.
+	type step struct {
+		kind int
+		a, b int64
+	}
+	steps := make([]step, 0, 24)
+	n := 8 + r.Intn(16)
+	for i := 0; i < n; i++ {
+		steps = append(steps, step{kind: r.Intn(6), a: int64(r.Intn(16)), b: int64(1 + r.Intn(7))})
+	}
+	globalSize := uint64(64 + r.Intn(3)*64)
+	bufSize := uint64(64 + r.Intn(3)*64)
+	heapSize := int64(64 + r.Intn(4)*64)
+
+	return func(b *prog.Builder) {
+		g := b.Global(globalSize, true)
+		f := b.Func("main")
+		buf := f.Buffer(bufSize, true)
+		hp := f.Reg()
+		hq := f.Reg()
+		sp := f.Reg()
+		gp := f.Reg()
+		acc := f.Reg()
+		f.CallMallocI(hp, heapSize)
+		f.CallMallocI(hq, heapSize)
+		f.BufAddr(sp, buf, 0)
+		f.GlobalAddr(gp, g, 0)
+		f.MovI(acc, 1)
+
+		for _, s := range steps {
+			switch s.kind {
+			case 0: // in-bounds stack store+load
+				off := (s.a * 8) % int64(bufSize-8)
+				f.Store(sp, off, acc, 8)
+				f.Load(acc, sp, off, 8)
+				f.Checksum(acc)
+			case 1: // in-bounds heap access
+				off := (s.a * 8) % (heapSize - 8)
+				f.Store(hp, off, acc, 8)
+				f.Load(acc, hp, off, 8)
+				f.Checksum(acc)
+			case 2: // arithmetic loop
+				f.ForRangeI(s.b*8, func(i prog.Reg) {
+					f.OpI(isa.OpMulI, acc, acc, 3)
+					f.Add(acc, acc, i)
+				})
+				f.Checksum(acc)
+			case 3: // memcpy between the heap chunks
+				f.Scope(func() {
+					nn := f.Reg()
+					f.MovI(nn, heapSize)
+					f.CallMemcpy(hq, hp, nn)
+					v := f.Reg()
+					f.Load(v, hq, 0, 8)
+					f.Checksum(v)
+				})
+			case 4: // global access
+				off := (s.a * 8) % int64(globalSize-8)
+				f.Store(gp, off, acc, 8)
+				f.Load(acc, gp, off, 8)
+				f.Checksum(acc)
+			case 5: // data-dependent branch
+				f.Scope(func() {
+					t := f.Reg()
+					f.ShrI(t, acc, 3)
+					f.AndI(t, t, 1)
+					f.If(isa.OpBne, t, prog.Reg(0), func() {
+						f.AddI(acc, acc, 13)
+					}, func() {
+						f.AddI(acc, acc, 7)
+					})
+					f.Checksum(acc)
+				})
+			}
+		}
+		f.CallFree(hp)
+		f.CallFree(hq)
+	}
+}
+
+func TestDifferentialFuzzPasses(t *testing.T) {
+	passes := map[string]prog.PassConfig{
+		"plain":        prog.Plain(),
+		"asan":         prog.ASanFull(),
+		"rest-full":    prog.RESTFull(64),
+		"rest-full-16": prog.RESTFull(16),
+		"rest-heap":    prog.RESTHeap(64),
+		"perfecthw":    prog.PerfectHWFull(),
+	}
+	iters := 30
+	if testing.Short() {
+		iters = 8
+	}
+	for trial := 0; trial < iters; trial++ {
+		r := rand.New(rand.NewSource(int64(1000 + trial)))
+		build := genBenign(r)
+		var ref uint64
+		haveRef := false
+		for name, pass := range passes {
+			w, err := world.Build(world.Spec{Pass: pass, Mode: core.Secure,
+				Width: core.Width(pass.TokenWidth)}, build)
+			if err != nil {
+				t.Fatalf("trial %d/%s: build: %v", trial, name, err)
+			}
+			out := w.RunFunctional()
+			if out.Err != nil {
+				t.Fatalf("trial %d/%s: %v", trial, name, out.Err)
+			}
+			if out.Detected() {
+				t.Fatalf("trial %d/%s: false positive on benign program: %s",
+					trial, name, out)
+			}
+			if !haveRef {
+				ref, haveRef = out.Checksum, true
+			} else if out.Checksum != ref {
+				t.Fatalf("trial %d/%s: checksum %#x != reference %#x",
+					trial, name, out.Checksum, ref)
+			}
+			// REST worlds keep their token state consistent throughout.
+			if w.Tracker != nil {
+				if err := w.Tracker.VerifyConsistency(); err != nil {
+					t.Fatalf("trial %d/%s: %v", trial, name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialFuzzDebugMode repeats a few trials in debug mode, which
+// must not change architectural results.
+func TestDifferentialFuzzDebugMode(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		r := rand.New(rand.NewSource(int64(5000 + trial)))
+		build := genBenign(r)
+		sec, err := world.Build(world.Spec{Pass: prog.RESTFull(64), Mode: core.Secure}, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbg, err := world.Build(world.Spec{Pass: prog.RESTFull(64), Mode: core.Debug}, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		so := sec.RunFunctional()
+		do := dbg.RunFunctional()
+		if so.Checksum != do.Checksum || so.Detected() != do.Detected() {
+			t.Fatalf("trial %d: secure/debug diverge: %s vs %s", trial, so, do)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package prog
+
+import (
+	"rest/internal/isa"
+	"rest/internal/layout"
+	"rest/internal/rt"
+	"rest/internal/shadow"
+	"rest/internal/sim"
+)
+
+// Global is a statically allocated array in the data segment. Protected
+// globals receive redzones under protecting passes, installed once by
+// module-initializer code emitted at the top of main (ASan registers
+// globals the same way; for REST this is the "sprinkle arbitrary tokens
+// across the data region" capability of §V-C put to work on statics).
+type Global struct {
+	b         *Builder
+	Size      uint64
+	Padded    uint64
+	Protected bool
+	addr      uint64 // payload address (assigned at layout)
+	rz1, rz2  uint64 // redzone addresses (protected only)
+}
+
+// Addr returns the global's payload address (valid after Build).
+func (g *Global) Addr() uint64 { return g.addr }
+
+// Global declares a statically allocated array. Must be called before
+// Build; the data segment is laid out in declaration order.
+func (b *Builder) Global(size uint64, protected bool) *Global {
+	w := b.pass.TokenWidth
+	g := &Global{
+		b:         b,
+		Size:      size,
+		Padded:    (size + w - 1) &^ (w - 1),
+		Protected: protected,
+	}
+	b.globals = append(b.globals, g)
+	return g
+}
+
+// layoutGlobals assigns data-segment addresses.
+func (b *Builder) layoutGlobals() {
+	addr := uint64(layout.GlobalBase)
+	rz := b.pass.RedzoneBytes
+	protecting := b.pass.StackProtection // globals ride the same toggle
+	for _, g := range b.globals {
+		if g.Protected && protecting {
+			g.rz1 = addr
+			g.addr = addr + rz
+			g.rz2 = g.addr + g.Padded
+			addr = g.rz2 + rz
+		} else {
+			g.addr = addr
+			addr += g.Padded
+		}
+	}
+}
+
+// globalInitCode emits the module-initializer instrumentation that installs
+// redzones around protected globals. It runs once, before main's body.
+func (b *Builder) globalInitCode() []isa.Instr {
+	if !b.pass.StackProtection {
+		return nil
+	}
+	var out []isa.Instr
+	for _, g := range b.globals {
+		if !g.Protected {
+			continue
+		}
+		switch b.pass.Flavour {
+		case rt.REST:
+			w := b.pass.TokenWidth
+			for o := uint64(0); o < b.pass.RedzoneBytes; o += w {
+				out = append(out,
+					isa.Instr{Op: isa.OpArm, Rs: isa.RZero, Imm: int64(g.rz1 + o)},
+					isa.Instr{Op: isa.OpArm, Rs: isa.RZero, Imm: int64(g.rz2 + o)},
+				)
+			}
+		case rt.PerfectHW:
+			for o := uint64(0); o < b.pass.RedzoneBytes; o += 64 {
+				out = append(out,
+					isa.Instr{Op: isa.OpStore, Rs: isa.RZero, Rt: isa.RZero, Imm: int64(g.rz1 + o), Size: 8},
+					isa.Instr{Op: isa.OpStore, Rs: isa.RZero, Rt: isa.RZero, Imm: int64(g.rz2 + o), Size: 8},
+				)
+			}
+		case rt.ASan:
+			rep := uint64(0x0101010101010101)
+			pv := uint64(shadow.HeapLeftRZ)
+			pattern := int64(pv * rep)
+			emit := func(base uint64) {
+				for o := uint64(0); o < b.pass.RedzoneBytes; o += 64 {
+					out = append(out,
+						isa.Instr{Op: isa.OpMovI, Rd: scr0, Imm: int64(shadow.Addr(base + o))},
+						isa.Instr{Op: isa.OpMovI, Rd: scr1, Imm: pattern},
+						isa.Instr{Op: isa.OpStore, Rs: scr0, Rt: scr1, Imm: 0, Size: 8},
+					)
+				}
+			}
+			emit(g.rz1)
+			emit(g.rz2)
+		}
+	}
+	return out
+}
+
+// GlobalAddr materializes a global's payload address (+off) into dst. The
+// address is resolved at link time.
+func (f *Function) GlobalAddr(dst Reg, g *Global, off int64) {
+	idx := -1
+	for i, gg := range f.b.globals {
+		if gg == g {
+			idx = i
+			break
+		}
+	}
+	f.emitFix(isa.Instr{Op: isa.OpMovI, Rd: uint8(dst), Imm: off}, fixGlobal, idx)
+}
+
+// The sim package dispatches RTCall via registers; nothing here.
+var _ = sim.SvcExit

@@ -1,0 +1,457 @@
+package prog
+
+import (
+	"fmt"
+
+	"rest/internal/isa"
+	"rest/internal/layout"
+	"rest/internal/rt"
+	"rest/internal/shadow"
+	"rest/internal/sim"
+)
+
+// Instrumentation scratch registers (owned by inserted code, never handed
+// out by Reg()).
+const (
+	scr0 = sim.RScr0
+	scr1 = sim.RScr1
+)
+
+// RRes is the checksum register workloads accumulate into.
+const RRes = Reg(sim.RRes)
+
+// SP is the stack pointer register handle.
+const SP = Reg(isa.RSP)
+
+// frameCode generates the prologue and epilogue for a frame of the given
+// size, including pass-specific stack protection:
+//
+//	REST full:  arm each redzone chunk in the prologue, disarm in the
+//	            epilogue (Figure 6A).
+//	ASan full:  poison redzone shadow in the prologue (stack-frame setup
+//	            overhead, Figure 3 component 2), unpoison in the epilogue.
+//	PerfectHW:  one plain store per would-be arm/disarm.
+func (f *Function) frameCode(frame uint64) (pro, epi []isa.Instr) {
+	// addi sp, sp, -frame
+	pro = append(pro, isa.Instr{Op: isa.OpAddI, Rd: isa.RSP, Rs: isa.RSP, Imm: -int64(frame)})
+	if f.usesRA {
+		pro = append(pro, isa.Instr{Op: isa.OpStore, Rs: isa.RSP, Rt: isa.RRA, Imm: int64(f.raOff), Size: 8})
+	}
+	// Callee-saved registers: every register this function allocates is
+	// preserved across it, so callers may keep values in registers over
+	// calls (the only cross-call channel besides the stack is RArg0..3).
+	if f.name != "main" {
+		for r := uint8(1); r < f.maxReg; r++ {
+			slot := int64(f.regSaveOff + uint64(r-1)*8)
+			pro = append(pro, isa.Instr{Op: isa.OpStore, Rs: isa.RSP, Rt: r, Imm: slot, Size: 8})
+			epi = append(epi, isa.Instr{Op: isa.OpLoad, Rd: r, Rs: isa.RSP, Imm: slot, Size: 8})
+		}
+	}
+
+	pass := f.b.pass
+	if pass.StackProtection {
+		for _, buf := range f.buffers {
+			if !buf.Protected {
+				continue
+			}
+			pro = append(pro, f.protectCode(buf, true)...)
+			epi = append(epi, f.protectCode(buf, false)...)
+		}
+	}
+
+	if f.usesRA {
+		epi = append(epi, isa.Instr{Op: isa.OpLoad, Rd: isa.RRA, Rs: isa.RSP, Imm: int64(f.raOff), Size: 8})
+	}
+	epi = append(epi, isa.Instr{Op: isa.OpAddI, Rd: isa.RSP, Rs: isa.RSP, Imm: int64(frame)})
+	if f.name == "main" {
+		epi = append(epi, isa.Instr{Op: isa.OpHalt})
+	} else {
+		epi = append(epi, isa.Instr{Op: isa.OpRet})
+	}
+	return pro, epi
+}
+
+// protectCode emits the redzone installation (install=true) or removal code
+// for one protected buffer.
+func (f *Function) protectCode(buf *Buffer, install bool) []isa.Instr {
+	pass := f.b.pass
+	var out []isa.Instr
+	forEachChunk := func(rzOff uint64, emit func(off int64)) {
+		step := pass.TokenWidth
+		if pass.Flavour == rt.ASan || pass.Flavour == rt.PerfectHW {
+			step = 64
+		}
+		for o := uint64(0); o < pass.RedzoneBytes; o += step {
+			emit(int64(rzOff + o))
+		}
+	}
+
+	switch pass.Flavour {
+	case rt.REST:
+		op := isa.OpArm
+		if !install {
+			op = isa.OpDisarm
+		}
+		forEachChunk(buf.rzOff1, func(off int64) {
+			out = append(out, isa.Instr{Op: op, Rs: isa.RSP, Imm: off})
+		})
+		forEachChunk(buf.rzOff2, func(off int64) {
+			out = append(out, isa.Instr{Op: op, Rs: isa.RSP, Imm: off})
+		})
+
+	case rt.PerfectHW:
+		forEachChunk(buf.rzOff1, func(off int64) {
+			out = append(out, isa.Instr{Op: isa.OpStore, Rs: isa.RSP, Rt: isa.RZero, Imm: off, Size: 8})
+		})
+		forEachChunk(buf.rzOff2, func(off int64) {
+			out = append(out, isa.Instr{Op: isa.OpStore, Rs: isa.RSP, Rt: isa.RZero, Imm: off, Size: 8})
+		})
+
+	case rt.ASan:
+		// Poison/unpoison one 8-byte shadow word per 64 redzone bytes:
+		//   addi s0, sp, rzOff ; shri s0, s0, 3 ; movi s1, pattern ;
+		//   store8 [s0 + ShadowBase], s1
+		pattern := int64(0)
+		if install {
+			p := uint64(shadow.StackMidRZ)
+			pattern = int64(p * 0x0101010101010101)
+		}
+		shadowStore := func(off int64, size uint8, val int64) []isa.Instr {
+			return []isa.Instr{
+				{Op: isa.OpAddI, Rd: scr0, Rs: isa.RSP, Imm: off},
+				{Op: isa.OpShrI, Rd: scr0, Rs: scr0, Imm: 3},
+				{Op: isa.OpMovI, Rd: scr1, Imm: val},
+				{Op: isa.OpStore, Rs: scr0, Rt: scr1, Imm: int64(layout.ShadowBase), Size: size},
+			}
+		}
+		forEachChunk(buf.rzOff1, func(off int64) { out = append(out, shadowStore(off, 8, pattern)...) })
+		forEachChunk(buf.rzOff2, func(off int64) { out = append(out, shadowStore(off, 8, pattern)...) })
+		// ASan poisons the alignment pad [Size, Padded) too, at shadow-byte
+		// (8-application-byte) granularity, including the partial-granule
+		// length byte — this is why ASan catches pad-window spills that
+		// 64-byte tokens cannot (§V-C "False Negatives").
+		payload := int64(buf.off)
+		partial := int64(buf.Size % 8)
+		if partial != 0 {
+			granule := payload + int64(buf.Size) - partial
+			v := int64(0)
+			if install {
+				v = partial // shadow value k: first k bytes addressable
+			}
+			out = append(out, shadowStore(granule, 1, v)...)
+		}
+		padVal := int64(0)
+		if install {
+			padVal = int64(shadow.StackMidRZ)
+		}
+		for g := payload + int64((buf.Size+7)&^7); g < payload+int64(buf.Padded); g += 8 {
+			out = append(out, shadowStore(g, 1, padVal)...)
+		}
+	}
+	return out
+}
+
+// --- Scalar and control-flow helpers (thin wrappers over the ISA) ---
+
+// MovI sets dst to an immediate.
+func (f *Function) MovI(dst Reg, v int64) {
+	f.emit(isa.Instr{Op: isa.OpMovI, Rd: uint8(dst), Imm: v})
+}
+
+// Mov copies src to dst.
+func (f *Function) Mov(dst, src Reg) {
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: uint8(dst), Rs: uint8(src)})
+}
+
+// Op3 emits a three-register ALU operation.
+func (f *Function) Op3(op isa.Op, dst, a, b Reg) {
+	f.emit(isa.Instr{Op: op, Rd: uint8(dst), Rs: uint8(a), Rt: uint8(b)})
+}
+
+// Add, Sub, Mul, Xor are common Op3 shorthands.
+func (f *Function) Add(dst, a, b Reg) { f.Op3(isa.OpAdd, dst, a, b) }
+
+// Sub emits dst = a - b.
+func (f *Function) Sub(dst, a, b Reg) { f.Op3(isa.OpSub, dst, a, b) }
+
+// Mul emits dst = a * b.
+func (f *Function) Mul(dst, a, b Reg) { f.Op3(isa.OpMul, dst, a, b) }
+
+// Xor emits dst = a ^ b.
+func (f *Function) Xor(dst, a, b Reg) { f.Op3(isa.OpXor, dst, a, b) }
+
+// OpI emits a register-immediate ALU operation.
+func (f *Function) OpI(op isa.Op, dst, a Reg, imm int64) {
+	f.emit(isa.Instr{Op: op, Rd: uint8(dst), Rs: uint8(a), Imm: imm})
+}
+
+// AddI emits dst = a + imm.
+func (f *Function) AddI(dst, a Reg, imm int64) { f.OpI(isa.OpAddI, dst, a, imm) }
+
+// AndI emits dst = a & imm.
+func (f *Function) AndI(dst, a Reg, imm int64) { f.OpI(isa.OpAndI, dst, a, imm) }
+
+// ShlI and ShrI emit shifts by an immediate.
+func (f *Function) ShlI(dst, a Reg, imm int64) { f.OpI(isa.OpShlI, dst, a, imm) }
+
+// ShrI emits dst = a >> imm.
+func (f *Function) ShrI(dst, a Reg, imm int64) { f.OpI(isa.OpShrI, dst, a, imm) }
+
+// Branch emits a conditional branch to a label.
+func (f *Function) Branch(op isa.Op, a, b Reg, l Label) {
+	f.emitFix(isa.Instr{Op: op, Rs: uint8(a), Rt: uint8(b)}, fixLabel, int(l))
+}
+
+// Jmp emits an unconditional jump to a label.
+func (f *Function) Jmp(l Label) {
+	f.emitFix(isa.Instr{Op: isa.OpJmp}, fixLabel, int(l))
+}
+
+// Call emits a call to another function by name (resolved at link time).
+func (f *Function) Call(name string) {
+	f.usesRA = true
+	idx := -1
+	for i, fn := range f.b.funcs {
+		if fn.name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("prog: %s: call to undeclared function %q", f.name, name))
+	}
+	f.emitFix(isa.Instr{Op: isa.OpCall}, fixCall, idx)
+}
+
+// FuncAddr materializes a function's entry address into dst (resolved at
+// link time): the building block for indirect calls and dispatch tables.
+func (f *Function) FuncAddr(dst Reg, name string) {
+	idx := -1
+	for i, fn := range f.b.funcs {
+		if fn.name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("prog: %s: address of undeclared function %q", f.name, name))
+	}
+	f.emitFix(isa.Instr{Op: isa.OpMovI, Rd: uint8(dst)}, fixCall, idx)
+}
+
+// CallR emits an indirect call through the register tgt.
+func (f *Function) CallR(tgt Reg) {
+	f.usesRA = true
+	f.emit(isa.Instr{Op: isa.OpCallR, Rs: uint8(tgt)})
+}
+
+// Nop emits a no-op (cycle filler for compute-bound workload shaping).
+func (f *Function) Nop() { f.emit(isa.Instr{Op: isa.OpNop}) }
+
+// ForRange emits for i := 0; i < n; i++ { body(i) }. The index register and
+// any registers the body allocates are lexically scoped to the loop: they
+// return to the pool when ForRange returns.
+func (f *Function) ForRange(n Reg, body func(i Reg)) {
+	save := f.nextReg
+	i := f.Reg()
+	f.MovI(i, 0)
+	top := f.NewLabel()
+	done := f.NewLabel()
+	f.Bind(top)
+	f.Branch(isa.OpBgeu, i, n, done)
+	body(i)
+	f.AddI(i, i, 1)
+	f.Jmp(top)
+	f.Bind(done)
+	f.nextReg = save
+}
+
+// Scope runs body with lexically scoped register allocation: registers the
+// body allocates return to the pool afterwards.
+func (f *Function) Scope(body func()) {
+	save := f.nextReg
+	body()
+	f.nextReg = save
+}
+
+// ForRangeI is ForRange with a constant trip count.
+func (f *Function) ForRangeI(n int64, body func(i Reg)) {
+	save := f.nextReg
+	nr := f.Reg()
+	f.MovI(nr, n)
+	f.ForRange(nr, body)
+	f.nextReg = save
+}
+
+// If emits if a <op> b { then } else { els } (els may be nil).
+func (f *Function) If(op isa.Op, a, b Reg, then func(), els func()) {
+	elseL := f.NewLabel()
+	endL := f.NewLabel()
+	f.Branch(invertBranch(op), a, b, elseL)
+	then()
+	f.Jmp(endL)
+	f.Bind(elseL)
+	if els != nil {
+		els()
+	}
+	f.Bind(endL)
+}
+
+func invertBranch(op isa.Op) isa.Op {
+	switch op {
+	case isa.OpBeq:
+		return isa.OpBne
+	case isa.OpBne:
+		return isa.OpBeq
+	case isa.OpBlt:
+		return isa.OpBge
+	case isa.OpBge:
+		return isa.OpBlt
+	case isa.OpBltu:
+		return isa.OpBgeu
+	case isa.OpBgeu:
+		return isa.OpBltu
+	}
+	panic(fmt.Sprintf("prog: cannot invert %v", op))
+}
+
+// Checksum accumulates a value into the result register (used to verify that
+// plain/ASan/REST builds of a workload compute identical results).
+func (f *Function) Checksum(v Reg) {
+	f.emit(isa.Instr{Op: isa.OpAdd, Rd: sim.RRes, Rs: sim.RRes, Rt: uint8(v)})
+}
+
+// --- Memory operations (instrumented under AccessChecks) ---
+
+// BufAddr materializes a buffer's payload address (+off) into dst. The
+// payload offset is resolved at link time, once the pass has laid out the
+// frame (redzones shift payloads).
+func (f *Function) BufAddr(dst Reg, buf *Buffer, off int64) {
+	if buf.fn != f {
+		panic("prog: buffer used outside its function")
+	}
+	idx := -1
+	for i, bf := range f.buffers {
+		if bf == buf {
+			idx = i
+			break
+		}
+	}
+	f.emitFix(isa.Instr{Op: isa.OpAddI, Rd: uint8(dst), Rs: isa.RSP, Imm: off}, fixBuf, idx)
+}
+
+// Load emits dst = mem[base+off] with pass instrumentation.
+func (f *Function) Load(dst, base Reg, off int64, size uint8) {
+	f.checkedAccess(base, off, size, false)
+	f.emit(isa.Instr{Op: isa.OpLoad, Rd: uint8(dst), Rs: uint8(base), Imm: off, Size: size})
+}
+
+// Store emits mem[base+off] = src with pass instrumentation.
+func (f *Function) Store(base Reg, off int64, src Reg, size uint8) {
+	f.checkedAccess(base, off, size, true)
+	f.emit(isa.Instr{Op: isa.OpStore, Rs: uint8(base), Rt: uint8(src), Imm: off, Size: size})
+}
+
+// checkedAccess inserts ASan's inline fast-path check:
+//
+//	addi  s0, base, off        ; effective address
+//	shri  s1, s0, 3
+//	load1 s1, [s1 + ShadowBase]
+//	beq   s1, r0, skip
+//	mov   a0, s0 ; movi a1, size ; movi a2, isStore ; rtcall AsanSlow
+//	skip:
+//
+// Four instructions on the hot path, matching ASan's real instrumentation
+// density (Figure 3 component 3).
+func (f *Function) checkedAccess(base Reg, off int64, size uint8, isStore bool) {
+	if !f.b.pass.AccessChecks {
+		return
+	}
+	skip := f.NewLabel()
+	st := int64(0)
+	if isStore {
+		st = 1
+	}
+	f.emit(isa.Instr{Op: isa.OpAddI, Rd: scr0, Rs: uint8(base), Imm: off})
+	f.emit(isa.Instr{Op: isa.OpShrI, Rd: scr1, Rs: scr0, Imm: 3})
+	f.emit(isa.Instr{Op: isa.OpLoad, Rd: scr1, Rs: scr1, Imm: int64(layout.ShadowBase), Size: 1})
+	f.Branch(isa.OpBeq, Reg(scr1), Reg(isa.RZero), skip)
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: sim.RArg0, Rs: scr0})
+	f.emit(isa.Instr{Op: isa.OpMovI, Rd: sim.RArg1, Imm: int64(size)})
+	f.emit(isa.Instr{Op: isa.OpMovI, Rd: sim.RArg2, Imm: st})
+	f.emit(isa.Instr{Op: isa.OpRTCall, Imm: sim.SvcAsanSlow})
+	f.Bind(skip)
+}
+
+// --- Runtime-call helpers ---
+
+// CallMallocI allocates size bytes, leaving the pointer in dst.
+func (f *Function) CallMallocI(dst Reg, size int64) {
+	f.emit(isa.Instr{Op: isa.OpMovI, Rd: sim.RArg0, Imm: size})
+	f.emit(isa.Instr{Op: isa.OpRTCall, Imm: sim.SvcMalloc})
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: uint8(dst), Rs: sim.RArg0})
+}
+
+// CallMalloc allocates size (register) bytes.
+func (f *Function) CallMalloc(dst, size Reg) {
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: sim.RArg0, Rs: uint8(size)})
+	f.emit(isa.Instr{Op: isa.OpRTCall, Imm: sim.SvcMalloc})
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: uint8(dst), Rs: sim.RArg0})
+}
+
+// CallFree frees the pointer in ptr.
+func (f *Function) CallFree(ptr Reg) {
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: sim.RArg0, Rs: uint8(ptr)})
+	f.emit(isa.Instr{Op: isa.OpRTCall, Imm: sim.SvcFree})
+}
+
+// CallCallocI allocates n zeroed bytes, leaving the pointer in dst.
+func (f *Function) CallCallocI(dst Reg, n int64) {
+	f.emit(isa.Instr{Op: isa.OpMovI, Rd: sim.RArg0, Imm: n})
+	f.emit(isa.Instr{Op: isa.OpMovI, Rd: sim.RArg1, Imm: 1})
+	f.emit(isa.Instr{Op: isa.OpRTCall, Imm: sim.SvcCalloc})
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: uint8(dst), Rs: sim.RArg0})
+}
+
+// CallRealloc resizes the allocation in ptr to n bytes, leaving the new
+// pointer in dst.
+func (f *Function) CallRealloc(dst, ptr Reg, n int64) {
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: sim.RArg0, Rs: uint8(ptr)})
+	f.emit(isa.Instr{Op: isa.OpMovI, Rd: sim.RArg1, Imm: n})
+	f.emit(isa.Instr{Op: isa.OpRTCall, Imm: sim.SvcRealloc})
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: uint8(dst), Rs: sim.RArg0})
+}
+
+// CallMemcpy copies n bytes from src to dst (libc call; intercepted under
+// ASan at run time).
+func (f *Function) CallMemcpy(dst, src, n Reg) {
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: sim.RArg0, Rs: uint8(dst)})
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: sim.RArg1, Rs: uint8(src)})
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: sim.RArg2, Rs: uint8(n)})
+	f.emit(isa.Instr{Op: isa.OpRTCall, Imm: sim.SvcMemcpy})
+}
+
+// CallStrcpy copies the NUL-terminated string at src to dst.
+func (f *Function) CallStrcpy(dst, src Reg) {
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: sim.RArg0, Rs: uint8(dst)})
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: sim.RArg1, Rs: uint8(src)})
+	f.emit(isa.Instr{Op: isa.OpRTCall, Imm: sim.SvcStrcpy})
+}
+
+// CallMemset fills n bytes at dst with the byte in val.
+func (f *Function) CallMemset(dst, val, n Reg) {
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: sim.RArg0, Rs: uint8(dst)})
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: sim.RArg1, Rs: uint8(val)})
+	f.emit(isa.Instr{Op: isa.OpMov, Rd: sim.RArg2, Rs: uint8(n)})
+	f.emit(isa.Instr{Op: isa.OpRTCall, Imm: sim.SvcMemset})
+}
+
+// RawArm emits an ARM instruction (attack-suite and example use).
+func (f *Function) RawArm(base Reg, off int64) {
+	f.emit(isa.Instr{Op: isa.OpArm, Rs: uint8(base), Imm: off})
+}
+
+// RawDisarm emits a DISARM instruction.
+func (f *Function) RawDisarm(base Reg, off int64) {
+	f.emit(isa.Instr{Op: isa.OpDisarm, Rs: uint8(base), Imm: off})
+}

@@ -1,0 +1,84 @@
+// Package prog is the program builder: a small compiler DSL that workloads
+// and attack programs are written in, lowered to the machine ISA under one
+// of the instrumentation passes the evaluation compares.
+//
+// The pass plays the role of the Clang plugin in the paper (§IV-A): the
+// plain pass emits bare code; the ASan pass inserts inline shadow checks
+// before every body memory access and poisons stack redzones in function
+// prologues; the REST pass only arms/disarms stack redzones (no access
+// instrumentation — the hardware checks every access); heap-only variants
+// skip stack work entirely, which is what makes REST compatible with legacy
+// binaries.
+package prog
+
+import "rest/internal/rt"
+
+// PassConfig selects the instrumentation inserted at build time. The
+// components map one-to-one onto Figure 3's overhead breakdown: the
+// allocator choice lives in the runtime flavour, stack-frame setup is
+// StackProtection, memory-access validation is AccessChecks, and the libc
+// API intercept is a runtime toggle (rt.Runtime.InterceptLibc).
+type PassConfig struct {
+	Flavour rt.Flavour
+	// StackProtection instruments prologues/epilogues with redzone
+	// poisoning (ASan) or arm/disarm (REST).
+	StackProtection bool
+	// AccessChecks inserts ASan's inline shadow check before every body
+	// memory access.
+	AccessChecks bool
+	// TokenWidth is the REST token width in bytes (default 64).
+	TokenWidth uint64
+	// RedzoneBytes is the stack redzone size per side (default 64).
+	RedzoneBytes uint64
+}
+
+func (p PassConfig) withDefaults() PassConfig {
+	if p.TokenWidth == 0 {
+		p.TokenWidth = 64
+	}
+	if p.RedzoneBytes == 0 {
+		p.RedzoneBytes = 64
+	}
+	if p.Flavour == "" {
+		p.Flavour = rt.Plain
+	}
+	return p
+}
+
+// Plain is the uninstrumented baseline build.
+func Plain() PassConfig {
+	return PassConfig{Flavour: rt.Plain}
+}
+
+// ASanFull is the standard ASan build: allocator + stack frames + access
+// checks (+ interceptors at run time).
+func ASanFull() PassConfig {
+	return PassConfig{Flavour: rt.ASan, StackProtection: true, AccessChecks: true}
+}
+
+// ASanComponents builds ASan with individually toggled components, used to
+// regenerate Figure 3's breakdown.
+func ASanComponents(stack, checks bool) PassConfig {
+	return PassConfig{Flavour: rt.ASan, StackProtection: stack, AccessChecks: checks}
+}
+
+// RESTFull is stack + heap REST protection (requires recompilation).
+func RESTFull(width uint64) PassConfig {
+	return PassConfig{Flavour: rt.REST, StackProtection: true, TokenWidth: width}
+}
+
+// RESTHeap is heap-only REST protection: no instrumentation at all, only the
+// interposed allocator — the legacy-binary deployment (§IV-A).
+func RESTHeap(width uint64) PassConfig {
+	return PassConfig{Flavour: rt.REST, TokenWidth: width}
+}
+
+// PerfectHWFull/PerfectHWHeap cost REST software on zero-cost hardware.
+func PerfectHWFull() PassConfig {
+	return PassConfig{Flavour: rt.PerfectHW, StackProtection: true}
+}
+
+// PerfectHWHeap is the heap-only perfect-hardware build.
+func PerfectHWHeap() PassConfig {
+	return PassConfig{Flavour: rt.PerfectHW}
+}

@@ -1,0 +1,421 @@
+package prog_test
+
+import (
+	"testing"
+
+	"rest/internal/core"
+	"rest/internal/isa"
+	"rest/internal/prog"
+	"rest/internal/world"
+)
+
+// runUnder builds and functionally runs a program under a pass.
+func runUnder(t *testing.T, pass prog.PassConfig, mode core.Mode, build func(b *prog.Builder)) world.Outcome {
+	t.Helper()
+	w, err := world.Build(world.Spec{Pass: pass, Mode: mode, Width: core.Width(pass.TokenWidth)}, build)
+	if err != nil {
+		t.Fatalf("world.Build: %v", err)
+	}
+	out := w.RunFunctional()
+	if out.Err != nil {
+		t.Fatalf("run error: %v", out.Err)
+	}
+	return out
+}
+
+// allPasses are the benign-run pass configurations that must agree on
+// results.
+func allPasses() map[string]prog.PassConfig {
+	return map[string]prog.PassConfig{
+		"plain":        prog.Plain(),
+		"asan":         prog.ASanFull(),
+		"rest-full":    prog.RESTFull(64),
+		"rest-heap":    prog.RESTHeap(64),
+		"perfecthw":    prog.PerfectHWFull(),
+		"rest-full-16": prog.RESTFull(16),
+		"rest-full-32": prog.RESTFull(32),
+	}
+}
+
+// sumProgram computes sum of i*i for i < 50 into the checksum.
+func sumProgram(b *prog.Builder) {
+	f := b.Func("main")
+	n := f.Reg()
+	sq := f.Reg()
+	f.MovI(n, 50)
+	f.ForRange(n, func(i prog.Reg) {
+		f.Mul(sq, i, i)
+		f.Checksum(sq)
+	})
+}
+
+func TestChecksumAgreesAcrossPasses(t *testing.T) {
+	want := uint64(0)
+	for i := uint64(0); i < 50; i++ {
+		want += i * i
+	}
+	for name, pass := range allPasses() {
+		out := runUnder(t, pass, core.Secure, sumProgram)
+		if out.Detected() {
+			t.Errorf("%s: spurious detection: %s", name, out)
+		}
+		if out.Checksum != want {
+			t.Errorf("%s: checksum = %d, want %d", name, out.Checksum, want)
+		}
+	}
+}
+
+// bufferProgram writes then reads back a stack buffer, in bounds.
+func bufferProgram(b *prog.Builder) {
+	f := b.Func("main")
+	buf := f.Buffer(128, true)
+	p := f.Reg()
+	n := f.Reg()
+	v := f.Reg()
+	f.BufAddr(p, buf, 0)
+	f.MovI(n, 16)
+	f.ForRange(n, func(i prog.Reg) {
+		t := f.Reg
+		_ = t
+		f.Store(p, 0, i, 8)
+		f.AddI(p, p, 8)
+	})
+	f.BufAddr(p, buf, 0)
+	f.ForRange(n, func(i prog.Reg) {
+		f.Load(v, p, 0, 8)
+		f.Checksum(v)
+		f.AddI(p, p, 8)
+	})
+}
+
+func TestStackBufferInBounds(t *testing.T) {
+	want := uint64(0)
+	for i := uint64(0); i < 16; i++ {
+		want += i
+	}
+	for name, pass := range allPasses() {
+		out := runUnder(t, pass, core.Secure, bufferProgram)
+		if out.Detected() {
+			t.Errorf("%s: spurious detection on in-bounds program: %s", name, out)
+		}
+		if out.Checksum != want {
+			t.Errorf("%s: checksum = %d, want %d", name, out.Checksum, want)
+		}
+	}
+}
+
+// overflowProgram writes one element past a protected 64-byte stack buffer,
+// sweeping linearly (the paper's overflow access pattern).
+func overflowProgram(b *prog.Builder) {
+	f := b.Func("main")
+	buf := f.Buffer(64, true)
+	p := f.Reg()
+	n := f.Reg()
+	f.BufAddr(p, buf, 0)
+	f.MovI(n, 9) // 9 * 8B = 72B > 64B buffer
+	f.ForRange(n, func(i prog.Reg) {
+		f.Store(p, 0, i, 8)
+		f.AddI(p, p, 8)
+	})
+}
+
+func TestStackOverflowDetection(t *testing.T) {
+	// Plain: silent corruption. ASan: software report. REST full: hardware
+	// exception. REST heap-only: NOT detected (no stack protection).
+	if out := runUnder(t, prog.Plain(), core.Secure, overflowProgram); out.Detected() {
+		t.Errorf("plain: detected = %s, want silent", out)
+	}
+	out := runUnder(t, prog.ASanFull(), core.Secure, overflowProgram)
+	if out.Violation == nil {
+		t.Errorf("asan: no violation, got %s", out)
+	}
+	out = runUnder(t, prog.RESTFull(64), core.Secure, overflowProgram)
+	if out.Exception == nil || out.Exception.Kind != core.ViolationStore {
+		t.Errorf("rest-full: exception = %v, want store violation", out.Exception)
+	}
+	if out := runUnder(t, prog.RESTHeap(64), core.Secure, overflowProgram); out.Detected() {
+		t.Errorf("rest-heap: detected stack overflow without stack protection: %s", out)
+	}
+}
+
+// padWindowProgram overflows a 100-byte protected buffer by 4 bytes: with
+// 64-byte tokens the write lands in the alignment pad, not the token — the
+// false-negative window of §V-C. With 16-byte tokens (pad 12 bytes) the same
+// +108..112 write crosses into the token and is caught... width 16 pads 100
+// to 112, so a write at offset 104 lands in pad for w=16 too; use offset 112.
+func padWindowProgram(off int64) func(b *prog.Builder) {
+	return func(b *prog.Builder) {
+		f := b.Func("main")
+		buf := f.Buffer(100, true)
+		p := f.Reg()
+		v := f.Reg()
+		f.MovI(v, 0x41)
+		f.BufAddr(p, buf, 0)
+		f.Store(p, off, v, 8)
+	}
+}
+
+func TestPadFalseNegativeWindow(t *testing.T) {
+	// 100-byte buffer, 64B tokens: padded to 128. A write at +104 lands in
+	// the pad: undetected (the documented false negative).
+	out := runUnder(t, prog.RESTFull(64), core.Secure, padWindowProgram(104))
+	if out.Detected() {
+		t.Errorf("64B tokens: pad write detected = %s, want false negative", out)
+	}
+	// Same write with 16-byte tokens: padded to 112, so +104 still pad...
+	// but +112 hits the redzone for both widths.
+	out = runUnder(t, prog.RESTFull(16), core.Secure, padWindowProgram(112))
+	if out.Exception == nil {
+		t.Errorf("16B tokens: redzone write not detected")
+	}
+	// Narrower tokens shrink the window: +104 write with 16B tokens is
+	// still pad (112-aligned), but a +108 write crossing 112 IS caught.
+	out = runUnder(t, prog.RESTFull(16), core.Secure, padWindowProgram(108))
+	if out.Exception == nil {
+		t.Errorf("16B tokens: straddling write at +108 not detected")
+	}
+	// With 64B tokens the same +108 write stays inside the pad (ends at
+	// 116 < 128): the wider pad window misses it.
+	out = runUnder(t, prog.RESTFull(64), core.Secure, padWindowProgram(108))
+	if out.Detected() {
+		t.Errorf("64B tokens: +108 write detected = %s, want miss", out)
+	}
+}
+
+// heapProgram allocates, fills, reads back, frees.
+func heapProgram(b *prog.Builder) {
+	f := b.Func("main")
+	p := f.Reg()
+	n := f.Reg()
+	v := f.Reg()
+	q := f.Reg()
+	f.CallMallocI(p, 256)
+	f.MovI(n, 32)
+	f.Mov(q, p)
+	f.ForRange(n, func(i prog.Reg) {
+		f.Store(q, 0, i, 8)
+		f.AddI(q, q, 8)
+	})
+	f.Mov(q, p)
+	f.ForRange(n, func(i prog.Reg) {
+		f.Load(v, q, 0, 8)
+		f.Checksum(v)
+		f.AddI(q, q, 8)
+	})
+	f.CallFree(p)
+}
+
+func TestHeapProgramAllPasses(t *testing.T) {
+	want := uint64(0)
+	for i := uint64(0); i < 32; i++ {
+		want += i
+	}
+	for name, pass := range allPasses() {
+		out := runUnder(t, pass, core.Secure, heapProgram)
+		if out.Detected() {
+			t.Errorf("%s: spurious detection: %s", name, out)
+		}
+		if out.Checksum != want {
+			t.Errorf("%s: checksum = %d, want %d", name, out.Checksum, want)
+		}
+	}
+}
+
+// heapOverflowProgram reads past a heap allocation.
+func heapOverflowProgram(b *prog.Builder) {
+	f := b.Func("main")
+	p := f.Reg()
+	v := f.Reg()
+	f.CallMallocI(p, 64)
+	f.Load(v, p, 64, 8) // one past the end
+	f.Checksum(v)
+}
+
+func TestHeapOverflowDetection(t *testing.T) {
+	if out := runUnder(t, prog.Plain(), core.Secure, heapOverflowProgram); out.Detected() {
+		t.Errorf("plain: %s, want silent", out)
+	}
+	if out := runUnder(t, prog.ASanFull(), core.Secure, heapOverflowProgram); out.Violation == nil {
+		t.Errorf("asan: %s, want violation", out)
+	}
+	// Heap protection needs no recompilation: the heap-only pass catches it.
+	out := runUnder(t, prog.RESTHeap(64), core.Secure, heapOverflowProgram)
+	if out.Exception == nil || out.Exception.Kind != core.ViolationLoad {
+		t.Errorf("rest-heap: exception = %v, want load violation", out.Exception)
+	}
+}
+
+// uafProgram frees then dereferences.
+func uafProgram(b *prog.Builder) {
+	f := b.Func("main")
+	p := f.Reg()
+	v := f.Reg()
+	f.CallMallocI(p, 64)
+	f.CallFree(p)
+	f.Load(v, p, 0, 8)
+	f.Checksum(v)
+}
+
+func TestUAFDetection(t *testing.T) {
+	if out := runUnder(t, prog.Plain(), core.Secure, uafProgram); out.Detected() {
+		t.Errorf("plain: %s, want silent", out)
+	}
+	if out := runUnder(t, prog.ASanFull(), core.Secure, uafProgram); out.Violation == nil {
+		t.Errorf("asan: %s, want violation", out)
+	}
+	if out := runUnder(t, prog.RESTHeap(64), core.Secure, uafProgram); out.Exception == nil {
+		t.Errorf("rest-heap: %s, want exception", out)
+	}
+}
+
+// callProgram exercises call/ret with RA save across nested calls.
+func callProgram(b *prog.Builder) {
+	leaf := b.Func("leaf")
+	{
+		v := leaf.Reg()
+		leaf.MovI(v, 7)
+		leaf.Checksum(v)
+	}
+	mid := b.Func("mid")
+	{
+		mid.Call("leaf")
+		mid.Call("leaf")
+	}
+	f := b.Func("main")
+	n := f.Reg()
+	f.MovI(n, 10)
+	f.ForRange(n, func(i prog.Reg) {
+		f.Call("mid")
+	})
+}
+
+func TestNestedCalls(t *testing.T) {
+	for name, pass := range allPasses() {
+		out := runUnder(t, pass, core.Secure, callProgram)
+		if out.Checksum != 140 {
+			t.Errorf("%s: checksum = %d, want 140", name, out.Checksum)
+		}
+	}
+}
+
+// memcpyProgram copies between heap buffers.
+func memcpyProgram(b *prog.Builder) {
+	f := b.Func("main")
+	src := f.Reg()
+	dst := f.Reg()
+	n := f.Reg()
+	q := f.Reg()
+	v := f.Reg()
+	f.CallMallocI(src, 128)
+	f.CallMallocI(dst, 128)
+	f.MovI(n, 16)
+	f.Mov(q, src)
+	f.ForRange(n, func(i prog.Reg) {
+		f.Store(q, 0, i, 8)
+		f.AddI(q, q, 8)
+	})
+	f.MovI(n, 128)
+	f.CallMemcpy(dst, src, n)
+	f.Load(v, dst, 120, 8)
+	f.Checksum(v) // expect 15
+	f.CallFree(src)
+	f.CallFree(dst)
+}
+
+func TestMemcpyAcrossPasses(t *testing.T) {
+	for name, pass := range allPasses() {
+		out := runUnder(t, pass, core.Secure, memcpyProgram)
+		if out.Detected() {
+			t.Errorf("%s: spurious detection: %s", name, out)
+		}
+		if out.Checksum != 15 {
+			t.Errorf("%s: checksum = %d, want 15", name, out.Checksum)
+		}
+	}
+}
+
+func TestIfHelper(t *testing.T) {
+	out := runUnder(t, prog.Plain(), core.Secure, func(b *prog.Builder) {
+		f := b.Func("main")
+		a := f.Reg()
+		c := f.Reg()
+		f.MovI(a, 5)
+		f.MovI(c, 10)
+		f.If(isa.OpBlt, a, c, func() {
+			v := f.Reg()
+			f.MovI(v, 1)
+			f.Checksum(v)
+		}, func() {
+			v := f.Reg()
+			f.MovI(v, 2)
+			f.Checksum(v)
+		})
+		f.If(isa.OpBge, a, c, func() {
+			v := f.Reg()
+			f.MovI(v, 100)
+			f.Checksum(v)
+		}, nil)
+	})
+	if out.Checksum != 1 {
+		t.Errorf("checksum = %d, want 1", out.Checksum)
+	}
+}
+
+func TestInstrumentationDensity(t *testing.T) {
+	// The ASan build must contain roughly 4 extra instructions per body
+	// memory access; the REST build only prologue/epilogue arms.
+	count := func(pass prog.PassConfig) (total int, arms int) {
+		b := prog.NewBuilder(pass)
+		bufferProgram(b)
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range p.Instrs {
+			if in.Op == isa.OpArm || in.Op == isa.OpDisarm {
+				arms++
+			}
+		}
+		return len(p.Instrs), arms
+	}
+	plainN, _ := count(prog.Plain())
+	asanN, _ := count(prog.ASanFull())
+	restN, restArms := count(prog.RESTFull(64))
+	if asanN <= plainN+30 {
+		t.Errorf("asan size %d not much larger than plain %d", asanN, plainN)
+	}
+	if restArms != 4 {
+		t.Errorf("rest arms+disarms = %d, want 4 (2 redzones x arm+disarm)", restArms)
+	}
+	if restN >= asanN {
+		t.Errorf("rest size %d not smaller than asan %d", restN, asanN)
+	}
+	_, heapArms := count(prog.RESTHeap(64))
+	if heapArms != 0 {
+		t.Errorf("rest-heap arms = %d, want 0", heapArms)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	b := prog.NewBuilder(prog.Plain())
+	if _, err := b.Build(); err == nil {
+		t.Error("build without main accepted")
+	}
+	b2 := prog.NewBuilder(prog.Plain())
+	f := b2.Func("main")
+	l := f.NewLabel()
+	f.Jmp(l) // never bound
+	if _, err := b2.Build(); err == nil {
+		t.Error("unbound label accepted")
+	}
+}
+
+func TestDebugModeDetectionStillWorks(t *testing.T) {
+	out := runUnder(t, prog.RESTFull(64), core.Debug, overflowProgram)
+	if out.Exception == nil {
+		t.Fatal("debug mode missed overflow")
+	}
+	if !out.Exception.Precise {
+		t.Error("debug-mode exception not precise")
+	}
+}

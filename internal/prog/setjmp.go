@@ -1,0 +1,58 @@
+package prog
+
+import (
+	"rest/internal/isa"
+	"rest/internal/rt"
+	"rest/internal/sim"
+)
+
+// setjmp/longjmp support (§V-C "Handling setjmp/longjmp"). The jmp_buf is a
+// global holding {saved SP, resume PC}. LongJmp restores SP and jumps to
+// the resume point, skipping every epilogue in between — which is precisely
+// what REST cannot repair: the skipped epilogues' disarms never run, stale
+// tokens stay on the stack, and later frames that reuse the region fault
+// (a false positive). ASan handles it conservatively by unpoisoning the
+// abandoned region (SvcLongjmpFix), whitelisting the whole current stack.
+
+// LabelAddr materializes a label's absolute PC into dst (resolved at link
+// time): the building block for computed control flow.
+func (f *Function) LabelAddr(dst Reg, l Label) {
+	f.emitFix(isa.Instr{Op: isa.OpMovI, Rd: uint8(dst)}, fixLabel, int(l))
+}
+
+// SetJmp saves the current SP and the resume label into the jmp_buf global
+// {buf+0: sp, buf+8: resume pc}. Execution continues past the SetJmp; a
+// later LongJmp transfers control to resume with the saved SP.
+func (f *Function) SetJmp(buf *Global, resume Label) {
+	f.Scope(func() {
+		t := f.Reg()
+		a := f.Reg()
+		f.GlobalAddr(a, buf, 0)
+		f.emit(isa.Instr{Op: isa.OpStore, Rs: uint8(a), Rt: isa.RSP, Imm: 0, Size: 8})
+		f.LabelAddr(t, resume)
+		f.emit(isa.Instr{Op: isa.OpStore, Rs: uint8(a), Rt: uint8(t), Imm: 8, Size: 8})
+	})
+}
+
+// LongJmp restores the jmp_buf's SP and jumps to its resume PC. Under ASan
+// the runtime first unpoisons the abandoned stack region [current SP, saved
+// SP); under REST nothing can be repaired (the paper's open problem).
+func (f *Function) LongJmp(buf *Global) {
+	f.Scope(func() {
+		a := f.Reg()
+		t := f.Reg()
+		f.GlobalAddr(a, buf, 0)
+		if f.b.pass.Flavour == rt.ASan {
+			// RArg0 = current (lower) SP, RArg1 = target (higher) SP.
+			f.emit(isa.Instr{Op: isa.OpMov, Rd: sim.RArg0, Rs: isa.RSP})
+			f.emit(isa.Instr{Op: isa.OpLoad, Rd: sim.RArg1, Rs: uint8(a), Imm: 0, Size: 8})
+			f.emit(isa.Instr{Op: isa.OpRTCall, Imm: sim.SvcLongjmpFix})
+			// The service call may clobber a's register bank? Registers are
+			// preserved across services; re-materialize a for clarity only.
+			f.GlobalAddr(a, buf, 0)
+		}
+		f.emit(isa.Instr{Op: isa.OpLoad, Rd: isa.RSP, Rs: uint8(a), Imm: 0, Size: 8})
+		f.emit(isa.Instr{Op: isa.OpLoad, Rd: uint8(t), Rs: uint8(a), Imm: 8, Size: 8})
+		f.emit(isa.Instr{Op: isa.OpCallR, Rs: uint8(t)})
+	})
+}

@@ -1,0 +1,100 @@
+package prog_test
+
+import (
+	"testing"
+
+	"rest/internal/core"
+	"rest/internal/prog"
+)
+
+// setjmpProgram: main setjmps, calls a victim whose protected stack buffer
+// is armed and who longjmps straight back to main (skipping its epilogue
+// disarms), then main calls an innocent function whose frame reuses the
+// victim's stack region.
+func setjmpProgram(b *prog.Builder) {
+	jb := b.Global(64, false)
+
+	victim := b.Func("victim")
+	{
+		buf := victim.Buffer(128, true) // armed in the prologue
+		p := victim.Reg()
+		v := victim.Reg()
+		victim.MovI(v, 1)
+		victim.BufAddr(p, buf, 0)
+		victim.Store(p, 0, v, 8)
+		victim.LongJmp(jb) // epilogue (disarms!) never runs
+	}
+
+	innocent := b.Func("innocent")
+	{
+		// A big unprotected frame overlapping victim's old frame; write it
+		// all, as any callee legitimately may.
+		buf := innocent.Buffer(512, false)
+		p := innocent.Reg()
+		v := innocent.Reg()
+		innocent.MovI(v, 2)
+		innocent.BufAddr(p, buf, 0)
+		innocent.ForRangeI(64, func(i prog.Reg) {
+			innocent.Store(p, 0, v, 8)
+			innocent.AddI(p, p, 8)
+		})
+		innocent.Checksum(v)
+	}
+
+	f := b.Func("main")
+	resume := f.NewLabel()
+	f.SetJmp(jb, resume)
+	f.Call("victim")
+	// Not reached: victim longjmps.
+	f.Bind(resume)
+	f.Call("innocent")
+}
+
+func TestSetjmpLongjmpControlFlow(t *testing.T) {
+	// Plain build: longjmp works and the program completes.
+	out := runUnder(t, prog.Plain(), core.Secure, setjmpProgram)
+	if out.Detected() {
+		t.Fatalf("plain: %s", out)
+	}
+	if out.Checksum != 2 {
+		t.Errorf("checksum = %d, want 2 (innocent ran after longjmp)", out.Checksum)
+	}
+}
+
+func TestSetjmpASanConservativeHandling(t *testing.T) {
+	// ASan's longjmp handling unpoisons the abandoned region: no false
+	// positive when innocent reuses the victim's stack (§V-C: ASan "takes a
+	// very conservative approach ... whitelisting the entire region").
+	out := runUnder(t, prog.ASanFull(), core.Secure, setjmpProgram)
+	if out.Detected() {
+		t.Fatalf("asan: false positive after longjmp: %s", out)
+	}
+	if out.Checksum != 2 {
+		t.Errorf("asan checksum = %d, want 2", out.Checksum)
+	}
+}
+
+func TestSetjmpRESTIncompatibility(t *testing.T) {
+	// The paper's documented open problem: REST cannot clean up the armed
+	// redzones skipped by the longjmp, so the innocent function's
+	// legitimate stack writes hit stale tokens — a FALSE POSITIVE that
+	// pins §V-C's "providing a secure and cheap mechanism for handling
+	// this case remains a topic of future research".
+	out := runUnder(t, prog.RESTFull(64), core.Secure, setjmpProgram)
+	if out.Exception == nil {
+		t.Fatal("REST-full longjmp program did not hit stale tokens " +
+			"(the documented incompatibility should manifest)")
+	}
+	if out.Exception.Kind != core.ViolationStore {
+		t.Errorf("kind = %v, want store-touched-token", out.Exception.Kind)
+	}
+	// Heap-only REST has no stack arms, so longjmp is safe there — which is
+	// why the legacy-binary deployment sidesteps the problem entirely.
+	out = runUnder(t, prog.RESTHeap(64), core.Secure, setjmpProgram)
+	if out.Detected() {
+		t.Errorf("rest-heap: %s, want clean (no stack arms to leak)", out)
+	}
+	if out.Checksum != 2 {
+		t.Errorf("rest-heap checksum = %d, want 2", out.Checksum)
+	}
+}

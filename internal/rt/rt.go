@@ -1,0 +1,339 @@
+// Package rt implements the runtime-service layer (sim.Runtime) for each
+// binary flavour the evaluation compares:
+//
+//   - Plain: libc allocator, raw memcpy/memset.
+//   - ASan: ASan allocator; memcpy/memset interceptors that range-check both
+//     buffers against shadow before copying (the paper's overhead source #4,
+//     "API intercept"); the inline instrumentation's slow-path check service.
+//   - REST: REST allocator; *no* interceptors — the hardware checks the
+//     copy's own loads and stores against tokens (§V-C Composability).
+//   - PerfectHW: REST software with arm/disarm costed as single stores.
+//
+// Interceptor toggles exist so Figure 3's component breakdown can enable
+// ASan's pieces one at a time.
+package rt
+
+import (
+	"fmt"
+
+	"rest/internal/alloc"
+	"rest/internal/shadow"
+	"rest/internal/sim"
+)
+
+// Flavour names a runtime configuration.
+type Flavour string
+
+// The four runtime flavours.
+const (
+	Plain     Flavour = "plain"
+	ASan      Flavour = "asan"
+	REST      Flavour = "rest"
+	PerfectHW Flavour = "perfecthw"
+)
+
+// Runtime dispatches runtime services to an allocator and the flavour's
+// libc-call semantics.
+type Runtime struct {
+	Flavour Flavour
+	Alloc   *alloc.Engine
+	Shadow  *shadow.Map // ASan only
+
+	// InterceptLibc enables ASan's memcpy/memset shadow range checks
+	// (default true for ASan; Figure 3 toggles it).
+	InterceptLibc bool
+
+	// Stats.
+	MemcpyCalls uint64
+	MemsetCalls uint64
+	SlowChecks  uint64
+}
+
+// New builds a runtime for the flavour.
+func New(f Flavour, a *alloc.Engine, sh *shadow.Map) *Runtime {
+	return &Runtime{
+		Flavour:       f,
+		Alloc:         a,
+		Shadow:        sh,
+		InterceptLibc: f == ASan,
+	}
+}
+
+// Call implements sim.Runtime.
+func (r *Runtime) Call(id int64, m *sim.Machine) error {
+	switch id {
+	case sim.SvcMalloc:
+		ptr, err := r.Alloc.Malloc(m, m.Arg(0))
+		if err != nil {
+			return err
+		}
+		m.SetRet(ptr)
+		return nil
+
+	case sim.SvcFree:
+		return r.Alloc.Free(m, m.Arg(0))
+
+	case sim.SvcMemcpy:
+		return r.memcpy(m, m.Arg(0), m.Arg(1), m.Arg(2))
+
+	case sim.SvcMemset:
+		return r.memset(m, m.Arg(0), byte(m.Arg(1)), m.Arg(2))
+
+	case sim.SvcAsanSlow:
+		return r.asanSlowCheck(m, m.Arg(0), uint8(m.Arg(1)), m.Arg(2) != 0)
+
+	case sim.SvcExit:
+		m.HaltClean()
+		return nil
+
+	case sim.SvcLongjmpFix:
+		return r.longjmpFix(m, m.Arg(0), m.Arg(1))
+
+	case sim.SvcCalloc:
+		return r.calloc(m, m.Arg(0), m.Arg(1))
+
+	case sim.SvcRealloc:
+		return r.realloc(m, m.Arg(0), m.Arg(1))
+
+	case sim.SvcStrcpy:
+		return r.strcpy(m, m.Arg(0), m.Arg(1))
+
+	case sim.SvcStrlen:
+		n, err := r.strlen(m, m.Arg(0))
+		if err != nil {
+			return err
+		}
+		m.SetRet(n)
+		return nil
+
+	default:
+		return fmt.Errorf("rt: unknown service %d", id)
+	}
+}
+
+// rangeCheck is ASan's interceptor check: walk the shadow of [addr, addr+n)
+// (one shadow load per 8 application bytes) and report the first poisoned
+// byte touched.
+func (r *Runtime) rangeCheck(m *sim.Machine, id int64, addr, n uint64, what string) error {
+	if n == 0 {
+		return nil
+	}
+	end := addr + n - 1
+	for gran := addr / shadow.Granularity; gran <= end/shadow.Granularity; gran++ {
+		if exc := m.RTTouch(id, shadow.Addr(gran*shadow.Granularity), 1, false); exc != nil {
+			return exc
+		}
+	}
+	if ok, _ := r.Shadow.Check(addr, 1); !ok {
+		return &sim.Violation{Tool: "asan", What: what, Addr: addr}
+	}
+	// Check the full range functionally (the walk above charged the cost).
+	for a := addr; a <= end; a += shadow.Granularity {
+		hi := a + shadow.Granularity - 1
+		if hi > end {
+			hi = end
+		}
+		if ok, _ := r.Shadow.Check(a, uint8(hi-a+1)); !ok {
+			return &sim.Violation{Tool: "asan", What: what, Addr: a}
+		}
+	}
+	return nil
+}
+
+// memcpy copies n bytes with 8-byte micro-ops. Under ASan the interceptor
+// range-checks src and dst first; under REST the copy's own accesses hit any
+// token in the way and fault mid-copy, exactly like hardware.
+func (r *Runtime) memcpy(m *sim.Machine, dst, src, n uint64) error {
+	r.MemcpyCalls++
+	if r.InterceptLibc && r.Shadow != nil {
+		if err := r.rangeCheck(m, sim.SvcMemcpy, src, n, "memcpy src out of bounds"); err != nil {
+			return err
+		}
+		if err := r.rangeCheck(m, sim.SvcMemcpy, dst, n, "memcpy dst out of bounds"); err != nil {
+			return err
+		}
+	}
+	for off := uint64(0); off < n; {
+		step := uint8(8)
+		if n-off < 8 {
+			step = uint8(n - off)
+			if step == 0 {
+				break
+			}
+			// Sub-8 tail: byte copies.
+			step = 1
+		}
+		v, exc := m.RTLoad(sim.SvcMemcpy, src+off, step)
+		if exc != nil {
+			return exc
+		}
+		if exc := m.RTStore(sim.SvcMemcpy, dst+off, step, v); exc != nil {
+			return exc
+		}
+		off += uint64(step)
+	}
+	return nil
+}
+
+// memset fills n bytes with 8-byte micro-ops.
+func (r *Runtime) memset(m *sim.Machine, dst uint64, b byte, n uint64) error {
+	r.MemsetCalls++
+	if r.InterceptLibc && r.Shadow != nil {
+		if err := r.rangeCheck(m, sim.SvcMemset, dst, n, "memset out of bounds"); err != nil {
+			return err
+		}
+	}
+	pat := uint64(b) * 0x0101010101010101
+	for off := uint64(0); off < n; {
+		step := uint8(8)
+		if n-off < 8 {
+			step = 1
+		}
+		if exc := m.RTStore(sim.SvcMemset, dst+off, step, pat); exc != nil {
+			return exc
+		}
+		off += uint64(step)
+	}
+	return nil
+}
+
+// calloc allocates n*elem zeroed bytes. The REST allocator's free pool is
+// already zeroed (the paper's relaxed invariant), so fresh and recycled
+// chunks alike need no clearing there; the libc/ASan paths pay the memset.
+func (r *Runtime) calloc(m *sim.Machine, n, elem uint64) error {
+	total := n * elem
+	if elem != 0 && total/elem != n {
+		return &sim.Violation{Tool: string(r.Flavour), What: "calloc overflow", Addr: 0}
+	}
+	ptr, err := r.Alloc.Malloc(m, total)
+	if err != nil {
+		return err
+	}
+	if r.Flavour != REST {
+		if err := r.memset(m, ptr, 0, total); err != nil {
+			return err
+		}
+	}
+	m.SetRet(ptr)
+	return nil
+}
+
+// realloc grows/shrinks an allocation: allocate, copy min(old,new), free.
+// Under ASan/REST the copy is checked/token-checked like any other memcpy.
+func (r *Runtime) realloc(m *sim.Machine, ptr, newSize uint64) error {
+	if ptr == 0 {
+		return r.Call(sim.SvcMalloc, m)
+	}
+	oldSize, ok := r.Alloc.SizeOf(ptr)
+	if !ok {
+		return &sim.Violation{Tool: string(r.Flavour), What: "realloc of invalid pointer", Addr: ptr}
+	}
+	np, err := r.Alloc.Malloc(m, newSize)
+	if err != nil {
+		return err
+	}
+	n := oldSize
+	if newSize < n {
+		n = newSize
+	}
+	if err := r.memcpy(m, np, ptr, n); err != nil {
+		return err
+	}
+	if err := r.Alloc.Free(m, ptr); err != nil {
+		return err
+	}
+	m.SetRet(np)
+	return nil
+}
+
+// strlen walks src byte by byte until NUL (each byte read is a checked
+// micro-op, so REST faults if the scan runs into a token).
+func (r *Runtime) strlen(m *sim.Machine, s uint64) (uint64, error) {
+	for n := uint64(0); ; n++ {
+		v, exc := m.RTLoad(sim.SvcStrlen, s+n, 1)
+		if exc != nil {
+			return 0, exc
+		}
+		if v == 0 {
+			return n, nil
+		}
+	}
+}
+
+// strcpy is the classic unbounded copy the paper names as an interceptor
+// target ("e.g., strcpy and memcpy", §II). Under ASan the interceptor
+// measures the source string and range-checks both buffers before copying;
+// under REST the copy's own accesses hit any token bookend mid-copy.
+func (r *Runtime) strcpy(m *sim.Machine, dst, src uint64) error {
+	if r.InterceptLibc && r.Shadow != nil {
+		n, err := r.strlen(m, src)
+		if err != nil {
+			return err
+		}
+		if err := r.rangeCheck(m, sim.SvcStrcpy, src, n+1, "strcpy src out of bounds"); err != nil {
+			return err
+		}
+		if err := r.rangeCheck(m, sim.SvcStrcpy, dst, n+1, "strcpy dst out of bounds"); err != nil {
+			return err
+		}
+	}
+	for off := uint64(0); ; off++ {
+		v, exc := m.RTLoad(sim.SvcStrcpy, src+off, 1)
+		if exc != nil {
+			return exc
+		}
+		if exc := m.RTStore(sim.SvcStrcpy, dst+off, 1, v); exc != nil {
+			return exc
+		}
+		if v == 0 {
+			m.SetRet(dst)
+			return nil
+		}
+	}
+}
+
+// longjmpFix implements ASan's conservative setjmp/longjmp handling (§V-C):
+// the stack region [lo, hi) being abandoned by the longjmp is unpoisoned
+// wholesale, whitelisting any stale redzones left by skipped epilogues. The
+// REST flavour cannot do this — it has no record of armed stack chunks and
+// must not guess (brute-force disarms fault) — so the documented
+// incompatibility stands: REST-full binaries that longjmp over armed frames
+// will false-positive later.
+func (r *Runtime) longjmpFix(m *sim.Machine, lo, hi uint64) error {
+	if r.Flavour != ASan || r.Shadow == nil || hi <= lo {
+		return nil
+	}
+	r.Shadow.Unpoison(lo, hi-lo)
+	for a := lo; a < hi; a += 64 {
+		if exc := m.RTTouch(sim.SvcLongjmpFix, shadow.Addr(a), 8, true); exc != nil {
+			return exc
+		}
+	}
+	return nil
+}
+
+// asanSlowCheck is the out-of-line half of ASan's inline check: invoked when
+// the fast path saw a non-zero shadow byte.
+func (r *Runtime) asanSlowCheck(m *sim.Machine, addr uint64, size uint8, isStore bool) error {
+	r.SlowChecks++
+	if r.Shadow == nil {
+		return fmt.Errorf("rt: asan slow check without shadow")
+	}
+	m.RTALU(sim.SvcAsanSlow, 2)
+	if ok, poison := r.Shadow.Check(addr, size); !ok {
+		what := "heap-buffer-overflow read"
+		switch {
+		case poison == shadow.FreedHeap && isStore:
+			what = "heap-use-after-free write"
+		case poison == shadow.FreedHeap:
+			what = "heap-use-after-free read"
+		case isStore:
+			what = "heap-buffer-overflow write"
+		}
+		if poison == shadow.StackLeftRZ || poison == shadow.StackMidRZ || poison == shadow.StackRightRZ {
+			what = "stack-buffer-overflow"
+		}
+		return &sim.Violation{Tool: "asan", What: what, Addr: addr}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package rt
+
+import (
+	"math/rand"
+	"testing"
+
+	"rest/internal/alloc"
+	"rest/internal/core"
+	"rest/internal/isa"
+	"rest/internal/mem"
+	"rest/internal/shadow"
+	"rest/internal/sim"
+)
+
+// world bundles a machine with a runtime of the given flavour.
+func world(t *testing.T, f Flavour) (*sim.Machine, *Runtime) {
+	t.Helper()
+	m := mem.New()
+	var tr *core.TokenTracker
+	if f == REST {
+		reg, err := core.NewTokenRegister(core.Width64, core.Secure, rand.New(rand.NewSource(12)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr = core.NewTokenTracker(reg, m)
+	}
+	var sh *shadow.Map
+	var eng *alloc.Engine
+	var err error
+	switch f {
+	case Plain:
+		eng, err = alloc.NewLibc()
+	case ASan:
+		sh = shadow.New(m)
+		eng, err = alloc.NewASan(sh)
+	case REST:
+		eng, err = alloc.NewREST(tr)
+	case PerfectHW:
+		eng, err = alloc.NewPerfectHW()
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(f, eng, sh)
+	mach, err := sim.New(sim.Config{Mem: m, Tracker: tr, Runtime: r},
+		[]isa.Instr{{Op: isa.OpHalt}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach, r
+}
+
+func mustMalloc(t *testing.T, mach *sim.Machine, r *Runtime, n uint64) uint64 {
+	t.Helper()
+	mach.Regs[sim.RArg0] = n
+	if err := r.Call(sim.SvcMalloc, mach); err != nil {
+		t.Fatal(err)
+	}
+	return mach.Regs[sim.RArg0]
+}
+
+func callMemcpy(mach *sim.Machine, r *Runtime, dst, src, n uint64) error {
+	mach.Regs[sim.RArg0], mach.Regs[sim.RArg1], mach.Regs[sim.RArg2] = dst, src, n
+	return r.Call(sim.SvcMemcpy, mach)
+}
+
+func TestMallocFreeService(t *testing.T) {
+	for _, f := range []Flavour{Plain, ASan, REST, PerfectHW} {
+		mach, r := world(t, f)
+		p := mustMalloc(t, mach, r, 128)
+		if p == 0 {
+			t.Fatalf("%s: malloc returned 0", f)
+		}
+		mach.Regs[sim.RArg0] = p
+		if err := r.Call(sim.SvcFree, mach); err != nil {
+			t.Fatalf("%s: free: %v", f, err)
+		}
+	}
+}
+
+func TestMemcpyCopiesData(t *testing.T) {
+	mach, r := world(t, Plain)
+	src := mustMalloc(t, mach, r, 64)
+	dst := mustMalloc(t, mach, r, 64)
+	for i := uint64(0); i < 64; i++ {
+		mach.Mem.SetByte(src+i, byte(i*7))
+	}
+	if err := callMemcpy(mach, r, dst, src, 61); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 61; i++ {
+		if got := mach.Mem.Byte(dst + i); got != byte(i*7) {
+			t.Fatalf("dst[%d] = %d, want %d", i, got, byte(i*7))
+		}
+	}
+	if mach.Mem.Byte(dst+61) != 0 {
+		t.Error("memcpy wrote past n")
+	}
+}
+
+func TestMemsetFills(t *testing.T) {
+	mach, r := world(t, Plain)
+	dst := mustMalloc(t, mach, r, 64)
+	mach.Regs[sim.RArg0], mach.Regs[sim.RArg1], mach.Regs[sim.RArg2] = dst, 0xAB, 33
+	if err := r.Call(sim.SvcMemset, mach); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 33; i++ {
+		if mach.Mem.Byte(dst+i) != 0xAB {
+			t.Fatalf("dst[%d] not set", i)
+		}
+	}
+	if mach.Mem.Byte(dst+33) != 0 {
+		t.Error("memset wrote past n")
+	}
+}
+
+func TestASanMemcpyInterceptorCatchesOverread(t *testing.T) {
+	mach, r := world(t, ASan)
+	src := mustMalloc(t, mach, r, 64)
+	dst := mustMalloc(t, mach, r, 256)
+	// Heartbleed shape: copy more than src holds.
+	err := callMemcpy(mach, r, dst, src, 128)
+	v, ok := err.(*sim.Violation)
+	if !ok {
+		t.Fatalf("over-read memcpy -> %v, want asan violation", err)
+	}
+	if v.Tool != "asan" {
+		t.Errorf("tool = %s, want asan", v.Tool)
+	}
+}
+
+func TestRESTMemcpyHitsTokenMidCopy(t *testing.T) {
+	mach, r := world(t, REST)
+	src := mustMalloc(t, mach, r, 64)
+	dst := mustMalloc(t, mach, r, 256)
+	// No interceptor: the copy's own loads run into the right redzone token.
+	err := callMemcpy(mach, r, dst, src, 128)
+	exc, ok := err.(*core.Exception)
+	if !ok {
+		t.Fatalf("over-read memcpy -> %v, want REST exception", err)
+	}
+	if exc.Kind != core.ViolationLoad {
+		t.Errorf("kind = %v, want load violation", exc.Kind)
+	}
+	if r.MemcpyCalls != 1 {
+		t.Errorf("MemcpyCalls = %d, want 1", r.MemcpyCalls)
+	}
+}
+
+func TestPlainMemcpyOverreadUndetected(t *testing.T) {
+	mach, r := world(t, Plain)
+	src := mustMalloc(t, mach, r, 64)
+	dst := mustMalloc(t, mach, r, 256)
+	if err := callMemcpy(mach, r, dst, src, 128); err != nil {
+		t.Fatalf("plain memcpy unexpectedly detected the over-read: %v", err)
+	}
+}
+
+func TestASanUAFThroughMemcpy(t *testing.T) {
+	mach, r := world(t, ASan)
+	p := mustMalloc(t, mach, r, 64)
+	dst := mustMalloc(t, mach, r, 64)
+	mach.Regs[sim.RArg0] = p
+	if err := r.Call(sim.SvcFree, mach); err != nil {
+		t.Fatal(err)
+	}
+	err := callMemcpy(mach, r, dst, p, 32)
+	if _, ok := err.(*sim.Violation); !ok {
+		t.Fatalf("UAF memcpy -> %v, want violation", err)
+	}
+}
+
+func TestRESTUAFThroughMemcpy(t *testing.T) {
+	mach, r := world(t, REST)
+	p := mustMalloc(t, mach, r, 64)
+	dst := mustMalloc(t, mach, r, 64)
+	mach.Regs[sim.RArg0] = p
+	if err := r.Call(sim.SvcFree, mach); err != nil {
+		t.Fatal(err)
+	}
+	err := callMemcpy(mach, r, dst, p, 32)
+	if _, ok := err.(*core.Exception); !ok {
+		t.Fatalf("UAF memcpy -> %v, want REST exception", err)
+	}
+}
+
+func TestAsanSlowCheck(t *testing.T) {
+	mach, r := world(t, ASan)
+	p := mustMalloc(t, mach, r, 64)
+	// In-bounds: slow check passes.
+	mach.Regs[sim.RArg0], mach.Regs[sim.RArg1], mach.Regs[sim.RArg2] = p, 8, 0
+	if err := r.Call(sim.SvcAsanSlow, mach); err != nil {
+		t.Fatalf("in-bounds slow check: %v", err)
+	}
+	// Out of bounds into the right redzone.
+	mach.Regs[sim.RArg0], mach.Regs[sim.RArg1], mach.Regs[sim.RArg2] = p+64, 8, 1
+	err := r.Call(sim.SvcAsanSlow, mach)
+	v, ok := err.(*sim.Violation)
+	if !ok {
+		t.Fatalf("OOB slow check -> %v, want violation", err)
+	}
+	if v.What != "heap-buffer-overflow write" {
+		t.Errorf("what = %q", v.What)
+	}
+	if r.SlowChecks != 2 {
+		t.Errorf("SlowChecks = %d, want 2", r.SlowChecks)
+	}
+}
+
+func TestAsanSlowCheckUAFKind(t *testing.T) {
+	mach, r := world(t, ASan)
+	p := mustMalloc(t, mach, r, 64)
+	mach.Regs[sim.RArg0] = p
+	if err := r.Call(sim.SvcFree, mach); err != nil {
+		t.Fatal(err)
+	}
+	mach.Regs[sim.RArg0], mach.Regs[sim.RArg1], mach.Regs[sim.RArg2] = p, 8, 0
+	err := r.Call(sim.SvcAsanSlow, mach)
+	v, ok := err.(*sim.Violation)
+	if !ok || v.What != "heap-use-after-free read" {
+		t.Fatalf("UAF slow check -> %v", err)
+	}
+}
+
+func TestExitService(t *testing.T) {
+	mach, r := world(t, Plain)
+	if err := r.Call(sim.SvcExit, mach); err != nil {
+		t.Fatal(err)
+	}
+	if !mach.Halted() {
+		t.Error("machine not halted after SvcExit")
+	}
+}
+
+func TestUnknownService(t *testing.T) {
+	mach, r := world(t, Plain)
+	if err := r.Call(999, mach); err == nil {
+		t.Error("unknown service accepted")
+	}
+}
+
+func TestInterceptorCostCharged(t *testing.T) {
+	// ASan memcpy must emit more micro-ops than plain for the same copy
+	// (the shadow walk), REST must not.
+	ops := func(f Flavour) uint64 {
+		mach, r := world(t, f)
+		src := mustMalloc(t, mach, r, 256)
+		dst := mustMalloc(t, mach, r, 256)
+		before := mach.RTOps
+		if err := callMemcpy(mach, r, dst, src, 256); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		return mach.RTOps - before
+	}
+	plain := ops(Plain)
+	asan := ops(ASan)
+	rest := ops(REST)
+	if asan <= plain {
+		t.Errorf("asan memcpy ops (%d) not > plain (%d)", asan, plain)
+	}
+	if rest != plain {
+		t.Errorf("rest memcpy ops (%d) != plain (%d): REST adds no interceptor work", rest, plain)
+	}
+}

@@ -1,0 +1,110 @@
+package rt
+
+import (
+	"testing"
+
+	"rest/internal/core"
+	"rest/internal/sim"
+)
+
+func callCalloc(mach *sim.Machine, r *Runtime, n, elem uint64) (uint64, error) {
+	mach.Regs[sim.RArg0], mach.Regs[sim.RArg1] = n, elem
+	err := r.Call(sim.SvcCalloc, mach)
+	return mach.Regs[sim.RArg0], err
+}
+
+func callRealloc(mach *sim.Machine, r *Runtime, ptr, n uint64) (uint64, error) {
+	mach.Regs[sim.RArg0], mach.Regs[sim.RArg1] = ptr, n
+	err := r.Call(sim.SvcRealloc, mach)
+	return mach.Regs[sim.RArg0], err
+}
+
+func TestCallocZeroes(t *testing.T) {
+	for _, f := range []Flavour{Plain, ASan, REST} {
+		mach, r := world(t, f)
+		// Dirty a future allocation site by allocating, writing, freeing,
+		// then calloc'ing the same size class.
+		p := mustMalloc(t, mach, r, 128)
+		mach.Mem.WriteUint(p, 8, 0xFFFF_FFFF)
+		mach.Regs[sim.RArg0] = p
+		if err := r.Call(sim.SvcFree, mach); err != nil {
+			t.Fatalf("%s: free: %v", f, err)
+		}
+		q, err := callCalloc(mach, r, 16, 8)
+		if err != nil {
+			t.Fatalf("%s: calloc: %v", f, err)
+		}
+		for off := uint64(0); off < 128; off += 8 {
+			if got := mach.Mem.ReadUint(q+off, 8); got != 0 {
+				t.Fatalf("%s: calloc memory at +%d = %#x, want 0", f, off, got)
+			}
+		}
+	}
+}
+
+func TestCallocOverflowRejected(t *testing.T) {
+	mach, r := world(t, ASan)
+	if _, err := callCalloc(mach, r, 1<<33, 1<<33); err == nil {
+		t.Error("calloc size overflow accepted")
+	}
+}
+
+func TestReallocPreservesPrefix(t *testing.T) {
+	mach, r := world(t, REST)
+	p := mustMalloc(t, mach, r, 64)
+	for off := uint64(0); off < 64; off += 8 {
+		mach.Mem.WriteUint(p+off, 8, off+1)
+	}
+	q, err := callRealloc(mach, r, p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q == p {
+		t.Error("realloc grew in place into the redzone?!")
+	}
+	for off := uint64(0); off < 64; off += 8 {
+		if got := mach.Mem.ReadUint(q+off, 8); got != off+1 {
+			t.Fatalf("prefix at +%d = %d, want %d", off, got, off+1)
+		}
+	}
+	// The old chunk is quarantined: dangling reads hit tokens.
+	mach2, r2 := world(t, REST)
+	p2 := mustMalloc(t, mach2, r2, 64)
+	q2, err := callRealloc(mach2, r2, p2, 256)
+	if err != nil || q2 == 0 {
+		t.Fatal(err)
+	}
+	if _, exc := mach2.RTLoad(sim.SvcMemcpy, p2, 8); exc == nil {
+		t.Error("read through pre-realloc pointer not detected")
+	} else if exc.Kind != core.ViolationLoad {
+		t.Errorf("kind = %v", exc.Kind)
+	}
+}
+
+func TestReallocShrink(t *testing.T) {
+	mach, r := world(t, Plain)
+	p := mustMalloc(t, mach, r, 256)
+	mach.Mem.WriteUint(p, 8, 42)
+	q, err := callRealloc(mach, r, p, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mach.Mem.ReadUint(q, 8); got != 42 {
+		t.Errorf("shrunk realloc lost data: %d", got)
+	}
+}
+
+func TestReallocInvalidPointer(t *testing.T) {
+	mach, r := world(t, ASan)
+	if _, err := callRealloc(mach, r, 0x1234_5678, 64); err == nil {
+		t.Error("realloc of bogus pointer accepted")
+	}
+}
+
+func TestReallocNilIsMalloc(t *testing.T) {
+	mach, r := world(t, Plain)
+	q, err := callRealloc(mach, r, 0, 64)
+	if err != nil || q == 0 {
+		t.Errorf("realloc(nil) = %#x, %v", q, err)
+	}
+}

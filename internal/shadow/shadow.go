@@ -1,0 +1,101 @@
+// Package shadow implements AddressSanitizer's shadow memory encoding
+// (Serebryany et al., USENIX ATC 2012), which the paper's Figure 2
+// summarizes: every 8 bytes of application memory map to one shadow byte at
+// f(addr) = (addr >> 3) + ShadowBase.
+//
+// Shadow byte values:
+//
+//	0         all 8 bytes addressable
+//	1..7      only the first k bytes addressable (partial right redzone)
+//	>= 0x80   poisoned (redzone or freed), value identifies the kind
+package shadow
+
+import (
+	"rest/internal/layout"
+	"rest/internal/mem"
+)
+
+// Poison values, matching ASan's conventions.
+const (
+	HeapLeftRZ   = 0xfa
+	HeapRightRZ  = 0xfb
+	FreedHeap    = 0xfd
+	StackLeftRZ  = 0xf1
+	StackMidRZ   = 0xf2
+	StackRightRZ = 0xf3
+	Addressable  = 0x00
+)
+
+// Granularity is the bytes-per-shadow-byte ratio.
+const Granularity = 8
+
+// Addr maps an application address to its shadow byte address.
+func Addr(appAddr uint64) uint64 {
+	return (appAddr >> 3) + layout.ShadowBase
+}
+
+// Map provides shadow bookkeeping over a memory image. The zero value is not
+// usable; call New.
+type Map struct {
+	m *mem.Memory
+}
+
+// New builds a shadow map over the memory image.
+func New(m *mem.Memory) *Map { return &Map{m: m} }
+
+// Poison marks [addr, addr+n) with the given poison value. addr and n must
+// be Granularity-aligned (ASan's own alignment requirement, footnote 3 of
+// the paper).
+func (s *Map) Poison(addr, n uint64, value byte) {
+	for a := addr; a < addr+n; a += Granularity {
+		s.m.SetByte(Addr(a), value)
+	}
+}
+
+// Unpoison marks [addr, addr+n) addressable. A trailing partial granule is
+// encoded with its addressable prefix length, as ASan does.
+func (s *Map) Unpoison(addr, n uint64) {
+	full := n / Granularity * Granularity
+	for a := addr; a < addr+full; a += Granularity {
+		s.m.SetByte(Addr(a), Addressable)
+	}
+	if rem := n - full; rem != 0 {
+		s.m.SetByte(Addr(addr+full), byte(rem))
+	}
+}
+
+// Check reports whether an access of size bytes at addr is allowed, and the
+// shadow value that forbade it. This is ASan's slow-path check.
+func (s *Map) Check(addr uint64, size uint8) (ok bool, poison byte) {
+	end := addr + uint64(size) - 1
+	for gran := addr / Granularity; gran <= end/Granularity; gran++ {
+		sv := s.m.Byte(Addr(gran * Granularity))
+		if sv == Addressable {
+			continue
+		}
+		if sv >= 0x80 {
+			return false, sv
+		}
+		// Partial granule: bytes [0, sv) addressable.
+		granBase := gran * Granularity
+		lo := addr
+		if granBase > lo {
+			lo = granBase
+		}
+		hi := end
+		if granBase+Granularity-1 < hi {
+			hi = granBase + Granularity - 1
+		}
+		if hi-granBase >= uint64(sv) {
+			return false, sv
+		}
+		_ = lo
+	}
+	return true, 0
+}
+
+// FastCheckValue returns the shadow byte the inline fast path would load for
+// addr; non-zero sends the access to the slow path.
+func (s *Map) FastCheckValue(addr uint64) byte {
+	return s.m.Byte(Addr(addr))
+}

@@ -1,0 +1,104 @@
+package shadow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rest/internal/layout"
+	"rest/internal/mem"
+)
+
+func TestAddrMapping(t *testing.T) {
+	if Addr(0) != layout.ShadowBase {
+		t.Errorf("Addr(0) = %#x, want ShadowBase", Addr(0))
+	}
+	if Addr(8) != layout.ShadowBase+1 {
+		t.Errorf("Addr(8) = %#x, want ShadowBase+1", Addr(8))
+	}
+	// Heap and stack shadows land inside the shadow region.
+	if !layout.InShadow(Addr(layout.HeapBase)) {
+		t.Error("heap shadow outside shadow region")
+	}
+	if !layout.InShadow(Addr(layout.StackTop - 8)) {
+		t.Error("stack shadow outside shadow region")
+	}
+}
+
+func TestPoisonCheck(t *testing.T) {
+	s := New(mem.New())
+	base := uint64(layout.HeapBase)
+	s.Poison(base, 64, HeapLeftRZ)
+	s.Unpoison(base+64, 128)
+	s.Poison(base+192, 64, HeapRightRZ)
+
+	if ok, _ := s.Check(base+64, 8); !ok {
+		t.Error("access to unpoisoned payload rejected")
+	}
+	if ok, p := s.Check(base+32, 8); ok || p != HeapLeftRZ {
+		t.Errorf("access to left redzone allowed (ok=%v p=%#x)", ok, p)
+	}
+	if ok, p := s.Check(base+192, 1); ok || p != HeapRightRZ {
+		t.Errorf("access to right redzone allowed (ok=%v p=%#x)", ok, p)
+	}
+	// Straddling payload into redzone.
+	if ok, _ := s.Check(base+188, 8); ok {
+		t.Error("straddling access allowed")
+	}
+}
+
+func TestPartialGranule(t *testing.T) {
+	s := New(mem.New())
+	base := uint64(layout.HeapBase)
+	s.Unpoison(base, 13) // 1 full granule + 5 bytes
+	if ok, _ := s.Check(base+8, 5); !ok {
+		t.Error("in-bounds partial access rejected")
+	}
+	if ok, _ := s.Check(base+8, 6); ok {
+		t.Error("partial-granule overflow allowed")
+	}
+	if ok, _ := s.Check(base+12, 1); !ok {
+		t.Error("last valid byte rejected")
+	}
+	if ok, _ := s.Check(base+13, 1); ok {
+		t.Error("first invalid byte allowed")
+	}
+}
+
+func TestFastCheckValue(t *testing.T) {
+	s := New(mem.New())
+	base := uint64(layout.HeapBase)
+	if s.FastCheckValue(base) != 0 {
+		t.Error("clean shadow fast value != 0")
+	}
+	s.Poison(base, 8, FreedHeap)
+	if s.FastCheckValue(base) != FreedHeap {
+		t.Error("poisoned shadow fast value wrong")
+	}
+}
+
+// Property: Unpoison(addr, n) then Check of any in-bounds access passes and
+// any access crossing the end fails.
+func TestUnpoisonCheckProperty(t *testing.T) {
+	s := New(mem.New())
+	r := rand.New(rand.NewSource(4))
+	f := func() bool {
+		base := uint64(layout.HeapBase) + uint64(r.Intn(1000))*256
+		n := uint64(1 + r.Intn(120))
+		s.Poison(base, 256, HeapRightRZ)
+		s.Unpoison(base, n)
+		// In-bounds byte access.
+		off := uint64(r.Intn(int(n)))
+		if ok, _ := s.Check(base+off, 1); !ok {
+			return false
+		}
+		// Access beginning at the end must fail.
+		if ok, _ := s.Check(base+n, 1); ok {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

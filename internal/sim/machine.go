@@ -1,0 +1,446 @@
+// Package sim is the functional (architectural) simulator. It executes
+// programs instruction by instruction, enforces REST semantics through the
+// token tracker, hosts runtime services (allocators, libc interceptors),
+// and produces the dynamic trace consumed by the timing model.
+package sim
+
+import (
+	"fmt"
+
+	"rest/internal/core"
+	"rest/internal/isa"
+	"rest/internal/layout"
+	"rest/internal/mem"
+	"rest/internal/trace"
+)
+
+// Runtime service identifiers. A program invokes a service with OpRTCall;
+// arguments are passed in registers RArg0..RArg3 and the result is returned
+// in RArg0. These model calls into runtime-library code (allocator, libc):
+// the service mutates simulated memory and injects its memory micro-ops into
+// the trace so its cost is modelled (DESIGN.md decision 3).
+const (
+	SvcMalloc   = 1 // RArg0 = size           -> RArg0 = ptr
+	SvcFree     = 2 // RArg0 = ptr
+	SvcMemcpy   = 3 // RArg0 = dst, RArg1 = src, RArg2 = n
+	SvcMemset   = 4 // RArg0 = dst, RArg1 = byte, RArg2 = n
+	SvcAsanSlow = 5 // RArg0 = addr, RArg1 = size, RArg2 = isStore (ASan slow-path check)
+	SvcExit     = 6 // terminate cleanly
+	// SvcLongjmpFix is ASan's conservative longjmp handling (§V-C
+	// "Handling setjmp/longjmp"): unpoison the stack region being skipped,
+	// [RArg0, RArg1). REST has no equivalent (it keeps no log of armed
+	// stack locations), which is exactly the incompatibility the paper
+	// documents; under REST flavours the service is a no-op.
+	SvcLongjmpFix = 7
+	SvcCalloc     = 8  // RArg0 = n, RArg1 = elemSize -> RArg0 = zeroed ptr
+	SvcRealloc    = 9  // RArg0 = ptr, RArg1 = newSize -> RArg0 = new ptr
+	SvcStrcpy     = 10 // RArg0 = dst, RArg1 = src (NUL-terminated) -> RArg0 = dst
+	SvcStrlen     = 11 // RArg0 = s -> RArg0 = length
+)
+
+// Register linkage conventions. The compiler reserves RArg0..RArg3 plus the
+// instrumentation scratch registers for runtime calls and inserted checks;
+// workload codegen allocates from the remaining general registers.
+const (
+	RArg0 = 20
+	RArg1 = 21
+	RArg2 = 22
+	RArg3 = 23
+	// RScr0..RScr2 are scratch registers owned by instrumentation passes.
+	RScr0 = 24
+	RScr1 = 25
+	RScr2 = 26
+	// RRes is where workloads accumulate their result checksum; the harness
+	// compares it across plain/ASan/REST binaries of the same workload.
+	RRes = 27
+)
+
+// RTCodeBase is the synthetic code region runtime micro-ops report PCs in,
+// so instruction fetch of runtime-library code is modelled through the L1-I.
+const RTCodeBase uint64 = 0x0080_0000
+
+// Runtime implements the runtime services for one binary flavour
+// (plain/libc, ASan, REST, PerfectHW). Call must use the Machine's RT*
+// helpers for every memory touch so costs reach the trace.
+type Runtime interface {
+	// Call executes service id. Returning a non-nil error terminates the
+	// program with a software-detected violation (e.g. an ASan report).
+	Call(id int64, m *Machine) error
+}
+
+// Config configures a functional machine.
+type Config struct {
+	// Mem is the machine's memory. When Tracker is non-nil it must be the
+	// same memory the tracker was constructed over (token content and
+	// program data live in one image). Nil allocates a fresh memory.
+	Mem *mem.Memory
+	// Tracker enables REST hardware semantics when non-nil. Programs that
+	// execute ARM/DISARM without a tracker fault immediately (the
+	// instructions are undefined on a non-REST machine).
+	Tracker *core.TokenTracker
+	// Runtime provides the runtime services; nil panics on the first RTCall.
+	Runtime Runtime
+	// MaxInstructions aborts runaway programs (0 = 500M).
+	MaxInstructions uint64
+}
+
+// Violation is a software-detected memory-safety report (ASan's equivalent
+// of the hardware REST exception).
+type Violation struct {
+	Tool string // "asan"
+	What string
+	Addr uint64
+	PC   uint64
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s: %s at addr=%#x pc=%#x", v.Tool, v.What, v.Addr, v.PC)
+}
+
+// Machine is the architectural machine state plus the trace generator. It
+// implements trace.Reader: each Next() call retires one committed-path
+// entry.
+type Machine struct {
+	Mem  *mem.Memory
+	Regs [isa.NumRegs]uint64
+	PC   uint64
+
+	cfg     Config
+	prog    []isa.Instr
+	base    uint64
+	pending []trace.Entry
+	pendPos int
+	seq     uint64
+
+	halted    bool
+	exc       *core.Exception
+	violation *Violation
+	runErr    error
+
+	rtPC      uint64
+	rtPCCount uint64
+
+	// Stats.
+	UserInstrs uint64
+	RTOps      uint64
+}
+
+// New builds a machine, loads the encoded program image at layout.CodeBase,
+// and points the PC at entry (an instruction index into prog).
+func New(cfg Config, prog []isa.Instr, entry int) (*Machine, error) {
+	if cfg.MaxInstructions == 0 {
+		cfg.MaxInstructions = 500_000_000
+	}
+	if entry < 0 || entry >= len(prog) {
+		return nil, fmt.Errorf("sim: entry %d out of range [0,%d)", entry, len(prog))
+	}
+	if cfg.Tracker != nil && cfg.Mem == nil {
+		return nil, fmt.Errorf("sim: REST machine requires the tracker's memory in Config.Mem")
+	}
+	m := cfg.Mem
+	if m == nil {
+		m = mem.New()
+	}
+	img, err := isa.EncodeProgram(prog)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	mach := &Machine{
+		Mem:  m,
+		cfg:  cfg,
+		prog: prog,
+		base: layout.CodeBase,
+	}
+	mach.Mem.Write(mach.base, img)
+	mach.PC = mach.base + uint64(entry)*isa.InstrBytes
+	mach.Regs[isa.RSP] = layout.StackTop
+	mach.Regs[isa.RFP] = layout.StackTop
+	return mach, nil
+}
+
+// Tracker returns the REST tracker, or nil on a non-REST machine.
+func (m *Machine) Tracker() *core.TokenTracker { return m.cfg.Tracker }
+
+// Halted reports whether execution has ended (halt, exception, violation or
+// instruction-cap abort).
+func (m *Machine) Halted() bool { return m.halted }
+
+// Exception returns the REST exception that ended the run, if any.
+func (m *Machine) Exception() *core.Exception { return m.exc }
+
+// SWViolation returns the software-detected (ASan) violation, if any.
+func (m *Machine) SWViolation() *Violation { return m.violation }
+
+// Err returns an internal simulation error (bad opcode, missing runtime),
+// distinct from memory-safety detections.
+func (m *Machine) Err() error { return m.runErr }
+
+// Checksum returns the workload result register, used to assert that plain,
+// ASan and REST builds of one workload compute the same answer.
+func (m *Machine) Checksum() uint64 { return m.Regs[RRes] }
+
+// Next implements trace.Reader: it retires the next committed-path entry.
+func (m *Machine) Next() (trace.Entry, bool) {
+	for {
+		if m.pendPos < len(m.pending) {
+			e := m.pending[m.pendPos]
+			m.pendPos++
+			if m.pendPos == len(m.pending) {
+				m.pending = m.pending[:0]
+				m.pendPos = 0
+			}
+			return e, true
+		}
+		if m.halted {
+			return trace.Entry{}, false
+		}
+		if m.UserInstrs >= m.cfg.MaxInstructions {
+			m.halted = true
+			m.runErr = fmt.Errorf("sim: instruction cap %d exceeded", m.cfg.MaxInstructions)
+			return trace.Entry{}, false
+		}
+		m.step()
+	}
+}
+
+// Run drains the machine without keeping the trace (functional-only runs).
+func (m *Machine) Run() {
+	for {
+		if _, ok := m.Next(); !ok {
+			return
+		}
+	}
+}
+
+func (m *Machine) emit(e trace.Entry) {
+	e.Seq = m.seq
+	m.seq++
+	m.pending = append(m.pending, e)
+}
+
+func (m *Machine) fetch() (isa.Instr, bool) {
+	idx := (m.PC - m.base) / isa.InstrBytes
+	if m.PC < m.base || idx >= uint64(len(m.prog)) || (m.PC-m.base)%isa.InstrBytes != 0 {
+		m.halted = true
+		m.runErr = fmt.Errorf("sim: PC %#x outside program", m.PC)
+		return isa.Instr{}, false
+	}
+	return m.prog[idx], true
+}
+
+func (m *Machine) reg(i uint8) uint64 {
+	if i == isa.RZero {
+		return 0
+	}
+	return m.Regs[i]
+}
+
+func (m *Machine) setReg(i uint8, v uint64) {
+	if i != isa.RZero {
+		m.Regs[i] = v
+	}
+}
+
+// step executes one user instruction, appending its trace entry (plus any
+// runtime micro-ops it triggers) to the pending queue.
+func (m *Machine) step() {
+	in, ok := m.fetch()
+	if !ok {
+		return
+	}
+	pc := m.PC
+	next := pc + isa.InstrBytes
+	e := trace.Entry{PC: pc, Op: in.Op, Kind: trace.KindUser, Dst: in.DstReg()}
+	e.Src1, e.Src2 = in.SrcRegs()
+	m.UserInstrs++
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		m.halted = true
+	case isa.OpMovI:
+		m.setReg(in.Rd, uint64(in.Imm))
+	case isa.OpMov:
+		m.setReg(in.Rd, m.reg(in.Rs))
+	case isa.OpAdd:
+		m.setReg(in.Rd, m.reg(in.Rs)+m.reg(in.Rt))
+	case isa.OpSub:
+		m.setReg(in.Rd, m.reg(in.Rs)-m.reg(in.Rt))
+	case isa.OpMul:
+		m.setReg(in.Rd, m.reg(in.Rs)*m.reg(in.Rt))
+	case isa.OpDiv:
+		d := m.reg(in.Rt)
+		if d == 0 {
+			m.setReg(in.Rd, ^uint64(0))
+		} else {
+			m.setReg(in.Rd, m.reg(in.Rs)/d)
+		}
+	case isa.OpRem:
+		d := m.reg(in.Rt)
+		if d == 0 {
+			m.setReg(in.Rd, m.reg(in.Rs))
+		} else {
+			m.setReg(in.Rd, m.reg(in.Rs)%d)
+		}
+	case isa.OpAnd:
+		m.setReg(in.Rd, m.reg(in.Rs)&m.reg(in.Rt))
+	case isa.OpOr:
+		m.setReg(in.Rd, m.reg(in.Rs)|m.reg(in.Rt))
+	case isa.OpXor:
+		m.setReg(in.Rd, m.reg(in.Rs)^m.reg(in.Rt))
+	case isa.OpShl:
+		m.setReg(in.Rd, m.reg(in.Rs)<<(m.reg(in.Rt)&63))
+	case isa.OpShr:
+		m.setReg(in.Rd, m.reg(in.Rs)>>(m.reg(in.Rt)&63))
+	case isa.OpAddI:
+		m.setReg(in.Rd, m.reg(in.Rs)+uint64(in.Imm))
+	case isa.OpMulI:
+		m.setReg(in.Rd, m.reg(in.Rs)*uint64(in.Imm))
+	case isa.OpAndI:
+		m.setReg(in.Rd, m.reg(in.Rs)&uint64(in.Imm))
+	case isa.OpOrI:
+		m.setReg(in.Rd, m.reg(in.Rs)|uint64(in.Imm))
+	case isa.OpXorI:
+		m.setReg(in.Rd, m.reg(in.Rs)^uint64(in.Imm))
+	case isa.OpShlI:
+		m.setReg(in.Rd, m.reg(in.Rs)<<(uint64(in.Imm)&63))
+	case isa.OpShrI:
+		m.setReg(in.Rd, m.reg(in.Rs)>>(uint64(in.Imm)&63))
+
+	case isa.OpLoad:
+		addr := m.reg(in.Rs) + uint64(in.Imm)
+		e.Addr, e.Size = addr, in.Size
+		if exc := m.checkREST(addr, in.Size, false, pc); exc != nil {
+			e.Faults = true
+			m.raise(exc)
+			m.emit(e)
+			return
+		}
+		m.setReg(in.Rd, m.Mem.ReadUint(addr, in.Size))
+	case isa.OpStore:
+		addr := m.reg(in.Rs) + uint64(in.Imm)
+		e.Addr, e.Size = addr, in.Size
+		if exc := m.checkREST(addr, in.Size, true, pc); exc != nil {
+			e.Faults = true
+			m.raise(exc)
+			m.emit(e)
+			return
+		}
+		m.Mem.WriteUint(addr, in.Size, m.reg(in.Rt))
+
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu:
+		taken := evalBranch(in.Op, m.reg(in.Rs), m.reg(in.Rt))
+		e.Taken = taken
+		e.Target = uint64(in.Imm)
+		if taken {
+			next = uint64(in.Imm)
+		}
+	case isa.OpJmp:
+		e.Taken, e.Target = true, uint64(in.Imm)
+		next = uint64(in.Imm)
+	case isa.OpCall:
+		m.setReg(isa.RRA, next)
+		e.Taken, e.Target = true, uint64(in.Imm)
+		next = uint64(in.Imm)
+	case isa.OpCallR:
+		tgt := m.reg(in.Rs)
+		m.setReg(isa.RRA, next)
+		e.Taken, e.Target = true, tgt
+		next = tgt
+	case isa.OpRet:
+		tgt := m.reg(isa.RRA)
+		e.Taken, e.Target = true, tgt
+		next = tgt
+
+	case isa.OpArm:
+		addr := m.reg(in.Rs) + uint64(in.Imm)
+		e.Addr = addr
+		if m.cfg.Tracker == nil {
+			m.runErr = fmt.Errorf("sim: ARM executed on non-REST machine at pc=%#x", pc)
+			m.halted = true
+			return
+		}
+		e.Size = uint8(m.cfg.Tracker.Register().Width())
+		if exc := m.cfg.Tracker.Arm(addr, pc); exc != nil {
+			e.Faults = true
+			m.raise(exc)
+			m.emit(e)
+			return
+		}
+	case isa.OpDisarm:
+		addr := m.reg(in.Rs) + uint64(in.Imm)
+		e.Addr = addr
+		if m.cfg.Tracker == nil {
+			m.runErr = fmt.Errorf("sim: DISARM executed on non-REST machine at pc=%#x", pc)
+			m.halted = true
+			return
+		}
+		e.Size = uint8(m.cfg.Tracker.Register().Width())
+		if exc := m.cfg.Tracker.Disarm(addr, pc); exc != nil {
+			e.Faults = true
+			m.raise(exc)
+			m.emit(e)
+			return
+		}
+
+	case isa.OpRTCall:
+		if m.cfg.Runtime == nil {
+			m.runErr = fmt.Errorf("sim: RTCall %d with no runtime at pc=%#x", in.Imm, pc)
+			m.halted = true
+			return
+		}
+		m.emit(e) // the call instruction itself
+		m.PC = next
+		if err := m.cfg.Runtime.Call(in.Imm, m); err != nil {
+			if v, ok := err.(*Violation); ok {
+				m.violation = v
+			} else if exc, ok := err.(*core.Exception); ok {
+				m.raise(exc)
+			} else {
+				m.runErr = err
+			}
+			m.halted = true
+		}
+		return
+
+	default:
+		m.runErr = fmt.Errorf("sim: unimplemented opcode %v at pc=%#x", in.Op, pc)
+		m.halted = true
+		return
+	}
+
+	m.emit(e)
+	m.PC = next
+}
+
+func (m *Machine) raise(exc *core.Exception) {
+	m.exc = exc
+	m.halted = true
+}
+
+// checkREST applies the hardware token check to a regular access.
+func (m *Machine) checkREST(addr uint64, size uint8, isStore bool, pc uint64) *core.Exception {
+	if m.cfg.Tracker == nil {
+		return nil
+	}
+	return m.cfg.Tracker.CheckAccess(addr, size, isStore, pc)
+}
+
+func evalBranch(op isa.Op, a, b uint64) bool {
+	switch op {
+	case isa.OpBeq:
+		return a == b
+	case isa.OpBne:
+		return a != b
+	case isa.OpBlt:
+		return int64(a) < int64(b)
+	case isa.OpBge:
+		return int64(a) >= int64(b)
+	case isa.OpBltu:
+		return a < b
+	case isa.OpBgeu:
+		return a >= b
+	}
+	return false
+}

@@ -1,0 +1,382 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"rest/internal/core"
+	"rest/internal/isa"
+	"rest/internal/layout"
+	"rest/internal/mem"
+	"rest/internal/trace"
+)
+
+// stubRuntime records calls and optionally performs scripted behaviour.
+type stubRuntime struct {
+	calls []int64
+	fn    func(id int64, m *Machine) error
+}
+
+func (s *stubRuntime) Call(id int64, m *Machine) error {
+	s.calls = append(s.calls, id)
+	if s.fn != nil {
+		return s.fn(id, m)
+	}
+	return nil
+}
+
+func run(t *testing.T, cfg Config, prog []isa.Instr) *Machine {
+	t.Helper()
+	m, err := New(cfg, prog, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.Run()
+	return m
+}
+
+func TestArithmetic(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: 6},
+		{Op: isa.OpMovI, Rd: 2, Imm: 7},
+		{Op: isa.OpMul, Rd: 3, Rs: 1, Rt: 2},
+		{Op: isa.OpAddI, Rd: 3, Rs: 3, Imm: 1},
+		{Op: isa.OpMov, Rd: RRes, Rs: 3},
+		{Op: isa.OpHalt},
+	}
+	m := run(t, Config{}, prog)
+	if m.Err() != nil {
+		t.Fatalf("Err: %v", m.Err())
+	}
+	if m.Checksum() != 43 {
+		t.Errorf("checksum = %d, want 43", m.Checksum())
+	}
+}
+
+func TestDivByZeroDefined(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: 10},
+		{Op: isa.OpDiv, Rd: 2, Rs: 1, Rt: 3}, // r3 == 0
+		{Op: isa.OpRem, Rd: 4, Rs: 1, Rt: 3},
+		{Op: isa.OpHalt},
+	}
+	m := run(t, Config{}, prog)
+	if m.Regs[2] != ^uint64(0) {
+		t.Errorf("div by zero = %#x, want all-ones", m.Regs[2])
+	}
+	if m.Regs[4] != 10 {
+		t.Errorf("rem by zero = %d, want dividend", m.Regs[4])
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// for i = 0; i < 100; i++ { sum += i }
+	base := uint64(layout.CodeBase)
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: 0},                                    // i
+		{Op: isa.OpMovI, Rd: 2, Imm: 0},                                    // sum
+		{Op: isa.OpMovI, Rd: 3, Imm: 100},                                  // limit
+		{Op: isa.OpAdd, Rd: 2, Rs: 2, Rt: 1},                               // loop:
+		{Op: isa.OpAddI, Rd: 1, Rs: 1, Imm: 1},                             //
+		{Op: isa.OpBlt, Rs: 1, Rt: 3, Imm: int64(base + 3*isa.InstrBytes)}, //
+		{Op: isa.OpMov, Rd: RRes, Rs: 2},                                   //
+		{Op: isa.OpHalt},                                                   //
+	}
+	m := run(t, Config{}, prog)
+	if m.Checksum() != 4950 {
+		t.Errorf("sum = %d, want 4950", m.Checksum())
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: int64(layout.GlobalBase)},
+		{Op: isa.OpMovI, Rd: 2, Imm: 0x11223344},
+		{Op: isa.OpStore, Rs: 1, Rt: 2, Imm: 8, Size: 4},
+		{Op: isa.OpLoad, Rd: 3, Rs: 1, Imm: 8, Size: 2},
+		{Op: isa.OpMov, Rd: RRes, Rs: 3},
+		{Op: isa.OpHalt},
+	}
+	m := run(t, Config{}, prog)
+	if m.Checksum() != 0x3344 {
+		t.Errorf("loaded = %#x, want 0x3344", m.Checksum())
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	base := uint64(layout.CodeBase)
+	prog := []isa.Instr{
+		{Op: isa.OpCall, Imm: int64(base + 3*isa.InstrBytes)}, // call f
+		{Op: isa.OpMov, Rd: RRes, Rs: 1},
+		{Op: isa.OpHalt},
+		// f: r1 = 99; ret
+		{Op: isa.OpMovI, Rd: 1, Imm: 99},
+		{Op: isa.OpRet},
+	}
+	m := run(t, Config{}, prog)
+	if m.Checksum() != 99 {
+		t.Errorf("checksum = %d, want 99", m.Checksum())
+	}
+}
+
+func newRESTConfig(t *testing.T, w core.Width, mode core.Mode) Config {
+	t.Helper()
+	reg, err := core.NewTokenRegister(w, mode, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	return Config{Mem: m, Tracker: core.NewTokenTracker(reg, m)}
+}
+
+func TestArmDisarmInstr(t *testing.T) {
+	cfg := newRESTConfig(t, core.Width64, core.Secure)
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: int64(layout.GlobalBase)},
+		{Op: isa.OpArm, Rs: 1},
+		{Op: isa.OpDisarm, Rs: 1},
+		{Op: isa.OpHalt},
+	}
+	m := run(t, cfg, prog)
+	if m.Exception() != nil {
+		t.Fatalf("exception: %v", m.Exception())
+	}
+	if cfg.Tracker.Arms != 1 || cfg.Tracker.Disarms != 1 {
+		t.Errorf("arms/disarms = %d/%d, want 1/1", cfg.Tracker.Arms, cfg.Tracker.Disarms)
+	}
+}
+
+func TestLoadTokenFaults(t *testing.T) {
+	cfg := newRESTConfig(t, core.Width64, core.Secure)
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: int64(layout.GlobalBase)},
+		{Op: isa.OpArm, Rs: 1},
+		{Op: isa.OpLoad, Rd: 2, Rs: 1, Imm: 16, Size: 8},
+		{Op: isa.OpHalt},
+	}
+	m := run(t, cfg, prog)
+	exc := m.Exception()
+	if exc == nil || exc.Kind != core.ViolationLoad {
+		t.Fatalf("exception = %v, want load violation", exc)
+	}
+	// The faulting entry is marked in the trace.
+	m2, _ := New(cfg, prog, 0)
+	// Re-running on the same tracker: the token is still armed from the
+	// first run, so the second ARM is idempotent and the load still faults.
+	entries := trace.Collect(m2)
+	last := entries[len(entries)-1]
+	if !last.Faults || last.Op != isa.OpLoad {
+		t.Errorf("last entry = %+v, want faulting load", last)
+	}
+}
+
+func TestStoreTokenFaults(t *testing.T) {
+	cfg := newRESTConfig(t, core.Width64, core.Secure)
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: int64(layout.GlobalBase)},
+		{Op: isa.OpArm, Rs: 1},
+		{Op: isa.OpStore, Rs: 1, Rt: 2, Imm: 0, Size: 1},
+		{Op: isa.OpHalt},
+	}
+	m := run(t, cfg, prog)
+	if exc := m.Exception(); exc == nil || exc.Kind != core.ViolationStore {
+		t.Fatalf("exception = %v, want store violation", exc)
+	}
+}
+
+func TestDisarmUnarmedFaults(t *testing.T) {
+	cfg := newRESTConfig(t, core.Width64, core.Secure)
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: int64(layout.GlobalBase)},
+		{Op: isa.OpDisarm, Rs: 1},
+		{Op: isa.OpHalt},
+	}
+	m := run(t, cfg, prog)
+	if exc := m.Exception(); exc == nil || exc.Kind != core.ViolationDisarmUnarmed {
+		t.Fatalf("exception = %v, want disarm-unarmed", exc)
+	}
+}
+
+func TestArmOnNonRESTMachineErrors(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.OpArm, Rs: 1},
+		{Op: isa.OpHalt},
+	}
+	m := run(t, Config{}, prog)
+	if m.Err() == nil {
+		t.Error("ARM on non-REST machine: want error")
+	}
+}
+
+func TestRTCallDispatch(t *testing.T) {
+	rt := &stubRuntime{fn: func(id int64, m *Machine) error {
+		m.SetRet(m.Arg(0) * 2)
+		return nil
+	}}
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: RArg0, Imm: 21},
+		{Op: isa.OpRTCall, Imm: SvcMalloc},
+		{Op: isa.OpMov, Rd: RRes, Rs: RArg0},
+		{Op: isa.OpHalt},
+	}
+	m := run(t, Config{Runtime: rt}, prog)
+	if len(rt.calls) != 1 || rt.calls[0] != SvcMalloc {
+		t.Fatalf("calls = %v, want [1]", rt.calls)
+	}
+	if m.Checksum() != 42 {
+		t.Errorf("checksum = %d, want 42", m.Checksum())
+	}
+}
+
+func TestRTCallWithoutRuntimeErrors(t *testing.T) {
+	prog := []isa.Instr{{Op: isa.OpRTCall, Imm: SvcMalloc}, {Op: isa.OpHalt}}
+	m := run(t, Config{}, prog)
+	if m.Err() == nil {
+		t.Error("RTCall with no runtime: want error")
+	}
+}
+
+func TestRuntimeViolationHalts(t *testing.T) {
+	rt := &stubRuntime{fn: func(id int64, m *Machine) error {
+		return &Violation{Tool: "asan", What: "heap-buffer-overflow", Addr: 0x1}
+	}}
+	prog := []isa.Instr{{Op: isa.OpRTCall, Imm: SvcAsanSlow}, {Op: isa.OpHalt}}
+	m := run(t, Config{Runtime: rt}, prog)
+	if m.SWViolation() == nil {
+		t.Fatal("want software violation")
+	}
+	if m.SWViolation().Error() == "" {
+		t.Error("violation has empty message")
+	}
+}
+
+func TestRuntimeMicroOpsEmitted(t *testing.T) {
+	rt := &stubRuntime{fn: func(id int64, m *Machine) error {
+		if _, exc := m.RTLoad(id, layout.GlobalBase, 8); exc != nil {
+			return exc
+		}
+		if exc := m.RTStore(id, layout.GlobalBase+8, 8, 7); exc != nil {
+			return exc
+		}
+		m.RTALU(id, 3)
+		return nil
+	}}
+	prog := []isa.Instr{{Op: isa.OpRTCall, Imm: SvcMalloc}, {Op: isa.OpHalt}}
+	m, err := New(Config{Runtime: rt}, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := trace.Collect(m)
+	var rtOps, loads, stores int
+	for _, e := range entries {
+		if e.Kind == trace.KindRuntime {
+			rtOps++
+			if e.Op == isa.OpLoad {
+				loads++
+			}
+			if e.Op == isa.OpStore {
+				stores++
+			}
+			if e.PC < RTCodeBase {
+				t.Errorf("runtime op PC %#x below RTCodeBase", e.PC)
+			}
+		}
+	}
+	if rtOps != 5 || loads != 1 || stores != 1 {
+		t.Errorf("rtOps/loads/stores = %d/%d/%d, want 5/1/1", rtOps, loads, stores)
+	}
+	if m.RTOps != 5 {
+		t.Errorf("RTOps = %d, want 5", m.RTOps)
+	}
+}
+
+func TestRuntimeAccessChecked(t *testing.T) {
+	cfg := newRESTConfig(t, core.Width64, core.Secure)
+	cfg.Runtime = &stubRuntime{fn: func(id int64, m *Machine) error {
+		_, exc := m.RTLoad(id, layout.GlobalBase, 8)
+		if exc != nil {
+			return exc
+		}
+		return nil
+	}}
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: int64(layout.GlobalBase)},
+		{Op: isa.OpArm, Rs: 1},
+		{Op: isa.OpRTCall, Imm: SvcMemcpy},
+		{Op: isa.OpHalt},
+	}
+	m := run(t, cfg, prog)
+	if exc := m.Exception(); exc == nil || exc.Kind != core.ViolationLoad {
+		t.Fatalf("exception = %v, want load violation from runtime access", exc)
+	}
+}
+
+func TestInstructionCap(t *testing.T) {
+	base := uint64(layout.CodeBase)
+	prog := []isa.Instr{{Op: isa.OpJmp, Imm: int64(base)}} // infinite loop
+	m, err := New(Config{MaxInstructions: 1000}, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	if m.Err() == nil {
+		t.Error("infinite loop: want cap error")
+	}
+	if m.UserInstrs > 1001 {
+		t.Errorf("UserInstrs = %d, want <= 1001", m.UserInstrs)
+	}
+}
+
+func TestSequenceNumbersMonotone(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: 1},
+		{Op: isa.OpMovI, Rd: 2, Imm: 2},
+		{Op: isa.OpAdd, Rd: 3, Rs: 1, Rt: 2},
+		{Op: isa.OpHalt},
+	}
+	m, _ := New(Config{}, prog, 0)
+	entries := trace.Collect(m)
+	for i, e := range entries {
+		if e.Seq != uint64(i) {
+			t.Fatalf("entry %d has Seq %d", i, e.Seq)
+		}
+	}
+	if len(entries) != 4 {
+		t.Errorf("trace length = %d, want 4", len(entries))
+	}
+}
+
+func TestBadEntry(t *testing.T) {
+	if _, err := New(Config{}, []isa.Instr{{Op: isa.OpHalt}}, 5); err == nil {
+		t.Error("out-of-range entry accepted")
+	}
+}
+
+func TestPCOutsideProgram(t *testing.T) {
+	prog := []isa.Instr{{Op: isa.OpJmp, Imm: 0x10}} // jump outside image
+	m := run(t, Config{}, prog)
+	if m.Err() == nil {
+		t.Error("PC escape: want error")
+	}
+}
+
+func TestBranchEvaluation(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		a, b uint64
+		want bool
+	}{
+		{isa.OpBeq, 5, 5, true},
+		{isa.OpBeq, 5, 6, false},
+		{isa.OpBne, 5, 6, true},
+		{isa.OpBlt, ^uint64(0), 1, true}, // -1 < 1 signed
+		{isa.OpBge, 1, ^uint64(0), true}, // 1 >= -1 signed
+		{isa.OpBltu, 1, ^uint64(0), true},
+		{isa.OpBgeu, ^uint64(0), 1, true},
+	}
+	for _, c := range cases {
+		if got := evalBranch(c.op, c.a, c.b); got != c.want {
+			t.Errorf("evalBranch(%v, %d, %d) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"rest/internal/core"
+	"rest/internal/isa"
+	"rest/internal/trace"
+)
+
+// Runtime micro-op helpers. Runtime services (allocators, interceptors) must
+// route every memory touch and every meaningful unit of computation through
+// these so their cost appears in the dynamic trace and flows through the
+// pipeline and cache models exactly like user code. REST checks apply to
+// runtime accesses too: the hardware cannot tell library code from program
+// code — which is precisely the composability argument of §V-C.
+
+// rtNextPC produces a synthetic PC within the runtime-code region for
+// service id, cycling over a small footprint so runtime instruction fetch
+// behaves like a resident library hot loop.
+func (m *Machine) rtNextPC(id int64) uint64 {
+	pc := RTCodeBase + uint64(id)*4096 + (m.rtPCCount%200)*isa.InstrBytes
+	m.rtPCCount++
+	return pc
+}
+
+// rtEmit appends a runtime micro-op.
+func (m *Machine) rtEmit(e trace.Entry) {
+	e.Kind = trace.KindRuntime
+	m.RTOps++
+	m.emit(e)
+}
+
+// RTLoad performs a checked runtime load of size bytes at addr, emitting a
+// load micro-op. It returns the loaded value, or the REST exception if the
+// access touched a token.
+func (m *Machine) RTLoad(id int64, addr uint64, size uint8) (uint64, *core.Exception) {
+	pc := m.rtNextPC(id)
+	e := trace.Entry{PC: pc, Op: isa.OpLoad, Addr: addr, Size: size, Dst: RScr0, Src1: isa.NoReg, Src2: isa.NoReg}
+	if exc := m.checkREST(addr, size, false, pc); exc != nil {
+		e.Faults = true
+		m.rtEmit(e)
+		return 0, exc
+	}
+	m.rtEmit(e)
+	return m.Mem.ReadUint(addr, size), nil
+}
+
+// RTStore performs a checked runtime store, emitting a store micro-op.
+func (m *Machine) RTStore(id int64, addr uint64, size uint8, v uint64) *core.Exception {
+	pc := m.rtNextPC(id)
+	e := trace.Entry{PC: pc, Op: isa.OpStore, Addr: addr, Size: size, Dst: isa.NoReg, Src1: RScr0, Src2: isa.NoReg}
+	if exc := m.checkREST(addr, size, true, pc); exc != nil {
+		e.Faults = true
+		m.rtEmit(e)
+		return exc
+	}
+	m.rtEmit(e)
+	m.Mem.WriteUint(addr, size, v)
+	return nil
+}
+
+// RTArm executes an ARM on behalf of runtime code (the REST allocator).
+func (m *Machine) RTArm(id int64, addr uint64) *core.Exception {
+	pc := m.rtNextPC(id)
+	w := uint8(m.cfg.Tracker.Register().Width())
+	e := trace.Entry{PC: pc, Op: isa.OpArm, Addr: addr, Size: w, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg}
+	if exc := m.cfg.Tracker.Arm(addr, pc); exc != nil {
+		e.Faults = true
+		m.rtEmit(e)
+		return exc
+	}
+	m.rtEmit(e)
+	return nil
+}
+
+// RTDisarm executes a DISARM on behalf of runtime code.
+func (m *Machine) RTDisarm(id int64, addr uint64) *core.Exception {
+	pc := m.rtNextPC(id)
+	w := uint8(m.cfg.Tracker.Register().Width())
+	e := trace.Entry{PC: pc, Op: isa.OpDisarm, Addr: addr, Size: w, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg}
+	if exc := m.cfg.Tracker.Disarm(addr, pc); exc != nil {
+		e.Faults = true
+		m.rtEmit(e)
+		return exc
+	}
+	m.rtEmit(e)
+	return nil
+}
+
+// RTTouch emits a checked load or store micro-op for timing purposes without
+// moving data. Runtime services use it when the functional mutation is
+// performed through a higher-level facility (e.g. the shadow map) whose byte
+// pattern an 8-byte store could not reproduce exactly.
+func (m *Machine) RTTouch(id int64, addr uint64, size uint8, isStore bool) *core.Exception {
+	pc := m.rtNextPC(id)
+	op := isa.OpLoad
+	dst, src := uint8(RScr0), uint8(isa.NoReg)
+	if isStore {
+		op = isa.OpStore
+		dst, src = isa.NoReg, RScr0
+	}
+	e := trace.Entry{PC: pc, Op: op, Addr: addr, Size: size, Dst: dst, Src1: src, Src2: isa.NoReg}
+	if exc := m.checkREST(addr, size, isStore, pc); exc != nil {
+		e.Faults = true
+		m.rtEmit(e)
+		return exc
+	}
+	m.rtEmit(e)
+	return nil
+}
+
+// RTALU emits n ALU micro-ops modelling runtime computation (pointer
+// arithmetic, size-class math, loop control) that touches no memory.
+func (m *Machine) RTALU(id int64, n int) {
+	for i := 0; i < n; i++ {
+		m.rtEmit(trace.Entry{PC: m.rtNextPC(id), Op: isa.OpAddI, Dst: RScr0, Src1: RScr0, Src2: isa.NoReg})
+	}
+}
+
+// Arg returns runtime-call argument i (0..3).
+func (m *Machine) Arg(i int) uint64 { return m.Regs[RArg0+i] }
+
+// SetRet sets the runtime-call return value.
+func (m *Machine) SetRet(v uint64) { m.Regs[RArg0] = v }
+
+// HaltClean terminates the program as if it executed HALT (used by SvcExit).
+func (m *Machine) HaltClean() { m.halted = true }

@@ -1,0 +1,159 @@
+package system
+
+import (
+	"bytes"
+	"testing"
+
+	"rest/internal/core"
+)
+
+func TestSpawnUniqueTokens(t *testing.T) {
+	os := NewOS(1)
+	a, err := os.Spawn(core.Width64, core.Secure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.Spawn(core.Width64, core.Secure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PID == b.PID {
+		t.Error("duplicate PIDs")
+	}
+	if bytes.Equal(a.Reg.Value(), b.Reg.Value()) {
+		t.Error("two processes drew the same token")
+	}
+}
+
+func TestContextSwitchSwapsRegister(t *testing.T) {
+	os := NewOS(2)
+	a, _ := os.Spawn(core.Width64, core.Secure)
+	b, _ := os.Spawn(core.Width64, core.Secure)
+	if err := os.Schedule(a); err != nil {
+		t.Fatal(err)
+	}
+	if os.HW.Current() != a.Reg {
+		t.Error("hardware register not A's after scheduling A")
+	}
+	os.Schedule(b)
+	if os.HW.Current() != b.Reg {
+		t.Error("hardware register not B's after scheduling B")
+	}
+	if os.ContextSwitches != 2 {
+		t.Errorf("ContextSwitches = %d, want 2", os.ContextSwitches)
+	}
+	// Register updates happen via privileged 8-byte stores: 64B token = 8.
+	if os.HW.PrivilegedWrites() != 16 {
+		t.Errorf("privileged writes = %d, want 16", os.HW.PrivilegedWrites())
+	}
+	outsider := &Process{PID: 999}
+	if err := os.Schedule(outsider); err == nil {
+		t.Error("scheduled unknown process")
+	}
+}
+
+func TestPerProcessIsolation(t *testing.T) {
+	// §V-B: a process's tokens are only live when its register is
+	// installed; another process's detector sees them as inert data.
+	os := NewOS(3)
+	a, _ := os.Spawn(core.Width64, core.Secure)
+	b, _ := os.Spawn(core.Width64, core.Secure)
+	a.Tracker.Arm(0x1000, 0)
+
+	os.Schedule(a)
+	if !os.DetectorView(a, 0x1010) {
+		t.Error("A's token not detected while A runs")
+	}
+	os.Schedule(b)
+	// B's address space has nothing at 0x1000; even if it mapped A's page,
+	// the installed register is B's, so A's token bytes do not match.
+	b.Mem.Write(0x1000, a.Reg.Value()) // simulate a shared/IPC'd page
+	if os.DetectorView(b, 0x1010) {
+		t.Error("A's token flagged under B's register: isolation broken")
+	}
+	// But B's OWN tokens are detected.
+	b.Tracker.Arm(0x2000, 0)
+	if !os.DetectorView(b, 0x2000) {
+		t.Error("B's token not detected while B runs")
+	}
+}
+
+func TestCloneReArmsBlacklist(t *testing.T) {
+	os := NewOS(4)
+	parent, _ := os.Spawn(core.Width64, core.Secure)
+	parent.Mem.WriteUint(0x3000, 8, 0xABCD)
+	parent.Tracker.Arm(0x4000, 0)
+	parent.Tracker.Arm(0x4040, 0)
+
+	child, err := os.Clone(parent, [][2]uint64{{0x3000, 0x5000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data copied.
+	if got := child.Mem.ReadUint(0x3000, 8); got != 0xABCD {
+		t.Errorf("child data = %#x, want 0xABCD", got)
+	}
+	// The child's blacklist is re-armed under the CHILD token.
+	if child.Tracker.ArmedCount() != 2 {
+		t.Fatalf("child armed = %d, want 2", child.Tracker.ArmedCount())
+	}
+	if !child.Mem.Equal(0x4000, child.Reg.Value()) {
+		t.Error("child chunk holds parent token, not child token")
+	}
+	if err := child.Tracker.VerifyConsistency(); err != nil {
+		t.Error(err)
+	}
+	// Child detector flags the inherited blacklist.
+	os.Schedule(child)
+	if !os.DetectorView(child, 0x4040) {
+		t.Error("inherited blacklist not live in the child")
+	}
+	if os.RearmedChunks != 2 {
+		t.Errorf("RearmedChunks = %d, want 2", os.RearmedChunks)
+	}
+}
+
+func TestRotationKeepsBlacklistLive(t *testing.T) {
+	os := NewOS(5)
+	p, _ := os.Spawn(core.Width64, core.Secure)
+	os.Schedule(p)
+	p.Tracker.Arm(0x6000, 0)
+	old := append([]byte(nil), p.Reg.Value()...)
+
+	os.RotateToken(p)
+	if bytes.Equal(old, p.Reg.Value()) {
+		t.Fatal("rotation did not change the token")
+	}
+	// The blacklist survives: content rebound and still detected.
+	if err := p.Tracker.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if !os.DetectorView(p, 0x6000) {
+		t.Error("armed chunk not detected after rotation")
+	}
+	// The stale value is dead: planting the OLD token is inert data now.
+	p.Mem.Write(0x7000, old)
+	if os.DetectorView(p, 0x7000) {
+		t.Error("stale token value still detected after rotation")
+	}
+	if os.Rotations != 1 || os.RearmedChunks != 1 {
+		t.Errorf("stats = %d rotations / %d rearms, want 1/1", os.Rotations, os.RearmedChunks)
+	}
+}
+
+func TestCloneWithoutRearmWouldLoseBlacklist(t *testing.T) {
+	// Demonstrate WHY the re-arm pass exists: raw copied token bytes do not
+	// match the child's register.
+	os := NewOS(6)
+	parent, _ := os.Spawn(core.Width64, core.Secure)
+	parent.Tracker.Arm(0x8000, 0)
+	child, _ := os.Spawn(core.Width64, core.Secure)
+	// Naive copy without re-arm:
+	buf := make([]byte, 64)
+	parent.Mem.Read(0x8000, buf)
+	child.Mem.Write(0x8000, buf)
+	os.Schedule(child)
+	if os.DetectorView(child, 0x8000) {
+		t.Error("parent token bytes detected under child register (should be inert)")
+	}
+}

@@ -1,0 +1,101 @@
+// Package trace defines the dynamic instruction stream that connects the
+// functional simulator to the out-of-order timing model.
+//
+// The functional simulator executes the program architecturally and emits
+// one Entry per committed-path instruction, carrying everything the timing
+// model needs: the opcode class, register dependences, resolved memory
+// address/size, and branch outcome. Runtime services (allocator calls,
+// interceptors) inject their own entries marked Runtime so their cost flows
+// through the same pipeline and cache model as user code (DESIGN.md
+// decision 3).
+package trace
+
+import "rest/internal/isa"
+
+// Kind distinguishes ordinary program instructions from runtime-service
+// micro-ops.
+type Kind uint8
+
+// Entry kinds.
+const (
+	// KindUser is an instruction fetched from the program image.
+	KindUser Kind = iota
+	// KindRuntime is a micro-op injected by a runtime service (allocator
+	// metadata walk, shadow poisoning, token arm/disarm, interceptor check).
+	// Runtime micro-ops have synthetic PCs inside the runtime code region
+	// and participate fully in pipeline and cache modelling.
+	KindRuntime
+)
+
+// Entry is one dynamic instruction on the committed path.
+type Entry struct {
+	Seq uint64 // dynamic instruction number, starting at 0
+	PC  uint64
+	Op  isa.Op
+
+	Kind Kind
+
+	// Register dependences (isa.NoReg where absent). The timing model uses
+	// these for wakeup/scheduling; values are already resolved functionally.
+	Dst  uint8
+	Src1 uint8
+	Src2 uint8
+
+	// Memory operation fields (valid when Op.IsMem()).
+	Addr uint64
+	Size uint8
+
+	// Branch fields (valid when Op.IsBranch()).
+	Taken  bool
+	Target uint64
+
+	// REST: set when the architectural simulator determined this entry
+	// raises a REST exception (the timing model decides when it is
+	// reported, per mode).
+	Faults bool
+}
+
+// IsMem reports whether the entry accesses data memory.
+func (e *Entry) IsMem() bool { return e.Op.IsMem() }
+
+// Reader yields the dynamic trace one entry at a time.
+//
+// Next returns (entry, true) until the stream ends; after the final entry it
+// returns (Entry{}, false). Implementations are single-use.
+type Reader interface {
+	Next() (Entry, bool)
+}
+
+// SliceReader adapts a materialized trace to the Reader interface.
+type SliceReader struct {
+	entries []Entry
+	pos     int
+}
+
+// NewSliceReader wraps entries.
+func NewSliceReader(entries []Entry) *SliceReader {
+	return &SliceReader{entries: entries}
+}
+
+// Next implements Reader.
+func (r *SliceReader) Next() (Entry, bool) {
+	if r.pos >= len(r.entries) {
+		return Entry{}, false
+	}
+	e := r.entries[r.pos]
+	r.pos++
+	return e, true
+}
+
+// Collect drains a Reader into a slice (testing convenience; real runs
+// stream to bound memory).
+func Collect(r Reader) []Entry {
+	var out []Entry
+	for {
+		e, ok := r.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"testing"
+
+	"rest/internal/isa"
+)
+
+func TestSliceReader(t *testing.T) {
+	es := []Entry{
+		{Seq: 0, Op: isa.OpAdd},
+		{Seq: 1, Op: isa.OpLoad, Addr: 0x100, Size: 8},
+		{Seq: 2, Op: isa.OpHalt},
+	}
+	r := NewSliceReader(es)
+	for i := range es {
+		e, ok := r.Next()
+		if !ok {
+			t.Fatalf("Next %d returned !ok", i)
+		}
+		if e.Seq != es[i].Seq {
+			t.Errorf("entry %d Seq = %d", i, e.Seq)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("reader did not end")
+	}
+	// Drained readers stay drained.
+	if _, ok := r.Next(); ok {
+		t.Error("reader resurrected")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	es := []Entry{{Seq: 0}, {Seq: 1}}
+	got := Collect(NewSliceReader(es))
+	if len(got) != 2 || got[1].Seq != 1 {
+		t.Errorf("Collect = %+v", got)
+	}
+	if got := Collect(NewSliceReader(nil)); got != nil {
+		t.Errorf("Collect(empty) = %v, want nil", got)
+	}
+}
+
+func TestEntryIsMem(t *testing.T) {
+	if !(&Entry{Op: isa.OpLoad}).IsMem() {
+		t.Error("load entry not mem")
+	}
+	if !(&Entry{Op: isa.OpArm}).IsMem() {
+		t.Error("arm entry not mem")
+	}
+	if (&Entry{Op: isa.OpAdd}).IsMem() {
+		t.Error("add entry is mem")
+	}
+}

@@ -1,0 +1,228 @@
+// Package workload provides the 12 SPEC-CPU2006-named synthetic benchmarks
+// the evaluation sweeps (Figures 3, 7 and 8). Real SPEC binaries cannot run
+// on this simulator, so each workload is a synthetic program calibrated to
+// the published traits that drive the REST/ASan overhead shapes: allocation
+// rate (xalanc ≈ 0.2 allocations per kilo-instruction; lbm and sjeng fewer
+// than 10 allocations total, §VI-B), working-set size, memcpy intensity
+// (interceptor pressure), branchiness, and load/store density (access-check
+// pressure). Every workload accumulates a data checksum so that plain, ASan
+// and REST builds can be verified to compute identical results.
+package workload
+
+import (
+	"rest/internal/isa"
+	"rest/internal/prog"
+)
+
+// lcgMul/lcgAdd drive the in-program pseudo-random sequence used for
+// unpredictable branches and hash-style indexing.
+const (
+	lcgMul = 6364136223846793005
+	lcgAdd = 1442695040888963407
+)
+
+// allocArray allocates n 8-byte elements on the heap and returns the base
+// pointer register (persistent; caller's budget).
+func allocArray(f *prog.Function, dst prog.Reg, n int64) {
+	f.CallMallocI(dst, n*8)
+}
+
+// initArray fills a[0..n) with i*mult+add (8-byte elements).
+func initArray(f *prog.Function, base prog.Reg, n, mult, add int64) {
+	f.ForRangeI(n, func(i prog.Reg) {
+		p := f.Reg()
+		v := f.Reg()
+		f.ShlI(p, i, 3)
+		f.Add(p, p, base)
+		f.OpI(isa.OpMulI, v, i, mult)
+		f.AddI(v, v, add)
+		f.Store(p, 0, v, 8)
+	})
+}
+
+// initPermutation fills a[i] = (i + stride) % n so that chasing a[] visits
+// every element (stride coprime with n).
+func initPermutation(f *prog.Function, base prog.Reg, n, stride int64) {
+	f.ForRangeI(n, func(i prog.Reg) {
+		p := f.Reg()
+		v := f.Reg()
+		nn := f.Reg()
+		f.ShlI(p, i, 3)
+		f.Add(p, p, base)
+		f.AddI(v, i, stride)
+		f.MovI(nn, n)
+		f.Op3(isa.OpRem, v, v, nn)
+		f.Store(p, 0, v, 8)
+	})
+}
+
+// sumArray streams a[0..n) accumulating into the checksum (sequential loads,
+// the "linear" access pattern of §VII).
+func sumArray(f *prog.Function, base prog.Reg, n int64) {
+	f.ForRangeI(n, func(i prog.Reg) {
+		p := f.Reg()
+		v := f.Reg()
+		f.ShlI(p, i, 3)
+		f.Add(p, p, base)
+		f.Load(v, p, 0, 8)
+		f.Checksum(v)
+	})
+}
+
+// chase performs steps dependent loads: idx = a[idx] (pointer-chase latency
+// pattern). idx must be initialized by the caller and stays live.
+func chase(f *prog.Function, base, idx prog.Reg, steps int64) {
+	f.ForRangeI(steps, func(prog.Reg) {
+		p := f.Reg()
+		f.ShlI(p, idx, 3)
+		f.Add(p, p, base)
+		f.Load(idx, p, 0, 8)
+	})
+	f.Checksum(idx)
+}
+
+// compute runs an n-iteration multiply-add dependency chain (FP-kernel
+// stand-in; exercises issue logic rather than memory).
+func compute(f *prog.Function, acc prog.Reg, n int64) {
+	f.ForRangeI(n, func(i prog.Reg) {
+		f.OpI(isa.OpMulI, acc, acc, sixTicks)
+		f.Add(acc, acc, i)
+	})
+	f.Checksum(acc)
+}
+
+// sixTicks is a small odd multiplier for the compute kernel.
+const sixTicks = 7
+
+// branchyLCG runs n iterations of an LCG with a data-dependent branch on the
+// high bit (≈50% taken, history-resistant: the gobmk/sjeng pattern).
+func branchyLCG(f *prog.Function, x prog.Reg, n int64) {
+	f.ForRangeI(n, func(prog.Reg) {
+		t := f.Reg()
+		f.OpI(isa.OpMulI, x, x, lcgMul)
+		f.AddI(x, x, lcgAdd)
+		f.ShrI(t, x, 63)
+		f.If(isa.OpBne, t, prog.Reg(isa.RZero), func() {
+			f.AddI(prog.RRes, prog.RRes, 3)
+		}, func() {
+			f.AddI(prog.RRes, prog.RRes, 1)
+		})
+	})
+}
+
+// hashProbes performs n random-index probes into a table of tblN 8-byte
+// entries (sjeng transposition-table pattern): LCG index, load, compare,
+// conditional accumulate.
+func hashProbes(f *prog.Function, table, x prog.Reg, tblN, n int64) {
+	f.ForRangeI(n, func(prog.Reg) {
+		t := f.Reg()
+		v := f.Reg()
+		f.OpI(isa.OpMulI, x, x, lcgMul)
+		f.AddI(x, x, lcgAdd)
+		f.ShrI(t, x, 32)
+		f.AndI(t, t, tblN-1) // tblN must be a power of two
+		f.ShlI(t, t, 3)
+		f.Add(t, t, table)
+		f.Load(v, t, 0, 8)
+		f.If(isa.OpBltu, v, x, func() {
+			f.Checksum(v)
+		}, nil)
+	})
+}
+
+// stencil applies dst[i] = src[i-1] + src[i] + src[i+1] over i in [1, n-1)
+// (lbm-style sweep: 3 loads + 1 store per element).
+func stencil(f *prog.Function, dst, src prog.Reg, n int64) {
+	f.ForRangeI(n-2, func(i prog.Reg) {
+		p := f.Reg()
+		a := f.Reg()
+		b := f.Reg()
+		f.ShlI(p, i, 3)
+		f.Add(p, p, src)
+		f.Load(a, p, 0, 8)
+		f.Load(b, p, 8, 8)
+		f.Add(a, a, b)
+		f.Load(b, p, 16, 8)
+		f.Add(a, a, b)
+		f.Sub(p, p, src)
+		f.Add(p, p, dst)
+		f.Store(p, 8, a, 8)
+	})
+}
+
+// blockCopies performs n memcpy calls of blockBytes each, walking through a
+// region (h264 motion-compensation pattern; ASan intercepts every call).
+func blockCopies(f *prog.Function, dst, src prog.Reg, blockBytes, n int64) {
+	f.ForRangeI(n, func(i prog.Reg) {
+		d := f.Reg()
+		s := f.Reg()
+		nn := f.Reg()
+		f.OpI(isa.OpMulI, d, i, blockBytes)
+		f.Add(s, d, src)
+		f.Add(d, d, dst)
+		f.MovI(nn, blockBytes)
+		f.CallMemcpy(d, s, nn)
+	})
+}
+
+// ringChurn allocates one object of objBytes per call, stores a data word
+// into it, and frees the object that was in the ring slot before it: a
+// bounded-live-set allocation churn (xalanc/gcc pattern). ring holds
+// ringN pointer slots and must be a zero-initialized heap array.
+func ringChurn(f *prog.Function, ring prog.Reg, ringN, objBytes int64, iters int64) {
+	f.ForRangeI(iters, func(i prog.Reg) {
+		slot := f.Reg()
+		old := f.Reg()
+		p := f.Reg()
+		nn := f.Reg()
+		f.MovI(nn, ringN)
+		f.Op3(isa.OpRem, slot, i, nn)
+		f.ShlI(slot, slot, 3)
+		f.Add(slot, slot, ring)
+		f.Load(old, slot, 0, 8)
+		f.If(isa.OpBne, old, prog.Reg(isa.RZero), func() {
+			f.CallFree(old)
+		}, nil)
+		f.CallMallocI(p, objBytes)
+		f.Store(p, 0, i, 8)
+		f.Store(p, 8, i, 8)
+		f.Store(slot, 0, p, 8)
+		// Read a field back: data checksum, never the pointer (layouts
+		// differ across allocators).
+		v := f.Reg()
+		f.Load(v, p, 0, 8)
+		f.Checksum(v)
+	})
+}
+
+// walkRing visits every live object in the ring and checksums a data field
+// (the list/tree walk between allocation bursts in gcc/xalanc).
+func walkRing(f *prog.Function, ring prog.Reg, ringN int64) {
+	f.ForRangeI(ringN, func(i prog.Reg) {
+		slot := f.Reg()
+		p := f.Reg()
+		f.ShlI(slot, i, 3)
+		f.Add(slot, slot, ring)
+		f.Load(p, slot, 0, 8)
+		f.If(isa.OpBne, p, prog.Reg(isa.RZero), func() {
+			v := f.Reg()
+			f.Load(v, p, 0, 8)
+			f.Checksum(v)
+		}, nil)
+	})
+}
+
+// drainRing frees every live pointer in the ring.
+func drainRing(f *prog.Function, ring prog.Reg, ringN int64) {
+	f.ForRangeI(ringN, func(i prog.Reg) {
+		slot := f.Reg()
+		old := f.Reg()
+		f.ShlI(slot, i, 3)
+		f.Add(slot, slot, ring)
+		f.Load(old, slot, 0, 8)
+		f.If(isa.OpBne, old, prog.Reg(isa.RZero), func() {
+			f.CallFree(old)
+			f.Store(slot, 0, prog.Reg(isa.RZero), 8)
+		}, nil)
+	})
+}

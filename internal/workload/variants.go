@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"fmt"
+)
+
+// Figure 7's x-axis shows multiple bars per benchmark, one per SPEC test
+// input (bzip2 runs its program/dryer inputs; gobmk runs the capture,
+// connect, connect_rots, connection, connection_rots, cutstone and dniwog
+// test positions). We reproduce the expansion by deriving input variants
+// that perturb the workload's data seed — same program, different input.
+
+// variantSeeds maps base workloads to their per-input variant names.
+var variantSeeds = map[string][]string{
+	"bzip2": {"input", "2", "dryer"},
+	"gobmk": {"capture", "connect", "connect_rots", "connection",
+		"connection_rots", "cutstone", "dniwog"},
+}
+
+// seedHash derives a deterministic data seed from a variant name.
+func seedHash(name string) int64 {
+	h := int64(1469598103934665603)
+	for _, c := range name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h%100_000 + 3
+}
+
+// AllVariants expands the suite to Figure 7's full x-axis: one entry per
+// benchmark input. Input variants rebuild the workload with a data seed
+// derived from the input name, so contents, branch outcomes and search
+// positions differ per input exactly as SPEC test inputs do.
+func AllVariants() []Workload {
+	var out []Workload
+	for _, wl := range All() {
+		names := variantSeeds[wl.Name]
+		if len(names) == 0 {
+			out = append(out, wl)
+			continue
+		}
+		for _, n := range names {
+			full := fmt.Sprintf("%s-%s", wl.Name, n)
+			switch wl.Name {
+			case "bzip2":
+				out = append(out, bzip2Input(full, seedHash(n)))
+			case "gobmk":
+				out = append(out, gobmkPosition(full, seedHash(n)))
+			}
+		}
+	}
+	return out
+}
+
+// VariantNames lists the expanded benchmark-input names in order.
+func VariantNames() []string {
+	ws := AllVariants()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	"rest/internal/prog"
+	"rest/internal/workload"
+)
+
+func TestAllVariantsExpansion(t *testing.T) {
+	vs := workload.AllVariants()
+	// 12 base − 2 expanded + 3 bzip2 inputs + 7 gobmk positions = 20 bars.
+	if len(vs) != 20 {
+		t.Fatalf("variants = %d, want 20", len(vs))
+	}
+	names := strings.Join(workload.VariantNames(), " ")
+	for _, want := range []string{"bzip2-input", "bzip2-dryer", "gobmk-connect",
+		"gobmk-cutstone", "gobmk-dniwog", "xalanc", "lbm"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("variant list missing %q", want)
+		}
+	}
+}
+
+func TestVariantsDiffer(t *testing.T) {
+	// Different inputs must execute different dynamic work (checksums and
+	// instruction counts diverge), while each stays clean under REST.
+	vs := workload.AllVariants()
+	byName := map[string]workload.Workload{}
+	for _, v := range vs {
+		byName[v.Name] = v
+	}
+	a, _ := runWL(t, byName["gobmk-connect"], prog.Plain(), 1)
+	b, _ := runWL(t, byName["gobmk-dniwog"], prog.Plain(), 1)
+	if a.Checksum == b.Checksum {
+		t.Error("two gobmk positions computed identical checksums")
+	}
+	// Each variant is deterministic.
+	a2, _ := runWL(t, byName["gobmk-connect"], prog.Plain(), 1)
+	if a.Checksum != a2.Checksum {
+		t.Error("variant not deterministic")
+	}
+}
+
+func TestVariantsCleanUnderREST(t *testing.T) {
+	for _, v := range workload.AllVariants() {
+		if !strings.Contains(v.Name, "-") {
+			continue // base workloads covered elsewhere
+		}
+		out, w := runWL(t, v, prog.RESTFull(64), 1)
+		if out.Detected() {
+			t.Errorf("%s: spurious detection: %s", v.Name, out)
+		}
+		if err := w.Tracker.VerifyConsistency(); err != nil {
+			t.Errorf("%s: %v", v.Name, err)
+		}
+	}
+}

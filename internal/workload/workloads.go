@@ -1,0 +1,532 @@
+package workload
+
+import (
+	"fmt"
+
+	"rest/internal/isa"
+	"rest/internal/prog"
+)
+
+// Workload is one synthetic benchmark.
+type Workload struct {
+	Name string
+	// Description summarizes the modelled program behaviour and which SPEC
+	// trait it reproduces.
+	Description string
+	// AllocRate is the approximate target allocation rate in mallocs per
+	// kilo-instruction (the paper's calibration axis for allocator
+	// overhead; §VI-B).
+	AllocRate float64
+	// Build returns the program builder for the given scale factor
+	// (scale 1 ≈ 10^5 dynamic user instructions).
+	Build func(scale int64) func(b *prog.Builder)
+}
+
+// All returns the 12 workloads of Figures 3/7/8 in the paper's order.
+func All() []Workload {
+	return []Workload{
+		bzip2(), gobmk(), gcc(), libquantum(), astar(), h264(),
+		lbm(), namd(), sjeng(), soplex(), xalanc(), hmmer(),
+	}
+}
+
+// ByName looks a workload up.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Names lists all workload names.
+func Names() []string {
+	ws := All()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// bzip2: block compression — sequential scans of a block buffer with
+// data-dependent bit-twiddling branches and block memcpys; a handful of
+// buffer allocations only.
+func bzip2() Workload { return bzip2Input("bzip2", 12345) }
+
+// bzip2Input builds bzip2 over a specific input (seed drives the block
+// contents and coding decisions — the per-input bars of Figure 7).
+func bzip2Input(name string, seed int64) Workload {
+	return Workload{
+		Name:        name,
+		Description: "block transform: sequential scans, branchy bit coding, block copies",
+		AllocRate:   0.001,
+		Build: func(scale int64) func(b *prog.Builder) {
+			return func(b *prog.Builder) {
+				huff := b.Func("huff")
+				{
+					// Per-block coding scratch table on the stack (a vulnerable
+					// buffer: protecting passes bookend it every call).
+					tbl := huff.Buffer(128, true)
+					p := huff.Reg()
+					x := huff.Reg()
+					huff.Mov(x, prog.Reg(20)) // RArg0 = block seed
+					huff.BufAddr(p, tbl, 0)
+					huff.ForRangeI(16, func(i prog.Reg) {
+						q := huff.Reg()
+						huff.ShlI(q, i, 3)
+						huff.Add(q, q, p)
+						huff.Store(q, 0, x, 8)
+					})
+					v := huff.Reg()
+					huff.Load(v, p, 64, 8)
+					huff.Checksum(v)
+				}
+				f := b.Func("main")
+				src := f.Reg()
+				dst := f.Reg()
+				x := f.Reg()
+				const blockN = 2048 // 16KB block
+				allocArray(f, src, blockN)
+				allocArray(f, dst, blockN)
+				initArray(f, src, blockN, 0x9E37, 3)
+				f.MovI(x, 12345)
+				f.ForRangeI(6*scale, func(prog.Reg) {
+					// Transform pass: read, conditional emit, write.
+					f.ForRangeI(blockN/4, func(i prog.Reg) {
+						p := f.Reg()
+						v := f.Reg()
+						f.ShlI(p, i, 3)
+						f.Add(p, p, src)
+						f.Load(v, p, 0, 8)
+						f.Xor(v, v, x)
+						f.If(isa.OpBlt, v, x, func() {
+							f.AddI(v, v, 1)
+						}, nil)
+						f.Sub(p, p, src)
+						f.Add(p, p, dst)
+						f.Store(p, 0, v, 8)
+						f.Checksum(v)
+					})
+					branchyLCG(f, x, 64)
+					// Per-block entropy coding with a stack scratch table.
+					f.Mov(prog.Reg(20), x)
+					f.Call("huff")
+					// Block copy of the coded output.
+					n := f.Reg()
+					f.MovI(n, 1024)
+					f.CallMemcpy(src, dst, n)
+				})
+			}
+		},
+	}
+}
+
+// gobmk: game-tree search — deep call chains and history-resistant branches
+// over a small board; almost no heap use.
+func gobmk() Workload { return gobmkPosition("gobmk", 777) }
+
+// gobmkPosition builds gobmk over a specific test position (seed drives the
+// searched positions — the per-input bars of Figure 7).
+func gobmkPosition(name string, seed int64) Workload {
+	return Workload{
+		Name:        name,
+		Description: "game tree: call-heavy, unpredictable branches, small board reads",
+		AllocRate:   0.0005,
+		Build: func(scale int64) func(b *prog.Builder) {
+			return func(b *prog.Builder) {
+				eval := b.Func("eval")
+				{
+					board := eval.Buffer(512, true)
+					p := eval.Reg()
+					x := eval.Reg()
+					eval.Mov(x, prog.Reg(20)) // seed from RArg0
+					eval.BufAddr(p, board, 0)
+					// Touch a few board squares, branch on contents.
+					eval.ForRangeI(8, func(i prog.Reg) {
+						q := eval.Reg()
+						v := eval.Reg()
+						eval.OpI(isa.OpMulI, q, i, 56)
+						eval.AndI(q, q, 511-7)
+						eval.Add(q, q, p)
+						eval.Store(q, 0, x, 8)
+						eval.Load(v, q, 0, 8)
+						eval.Checksum(v)
+					})
+					branchyLCG(eval, x, 20)
+				}
+				f := b.Func("main")
+				x := f.Reg()
+				f.MovI(x, seed)
+				f.ForRangeI(220*scale, func(i prog.Reg) {
+					f.OpI(isa.OpMulI, x, x, lcgMul)
+					f.AddI(x, x, lcgAdd)
+					f.Mov(prog.Reg(20), x) // RArg0 = position seed
+					f.Call("eval")
+				})
+			}
+		},
+	}
+}
+
+// gcc: compiler IR churn — frequent small allocations linked into lists,
+// short pointer walks, batch frees (high allocator pressure).
+func gcc() Workload {
+	return Workload{
+		Name:        "gcc",
+		Description: "IR building: frequent small allocations, list walks, batch frees",
+		AllocRate:   0.1,
+		Build: func(scale int64) func(b *prog.Builder) {
+			return func(b *prog.Builder) {
+				f := b.Func("main")
+				ring := f.Reg()
+				x := f.Reg()
+				const ringN = 128
+				allocArray(f, ring, ringN)
+				f.MovI(x, 42)
+				f.ForRangeI(3*scale, func(prog.Reg) {
+					ringChurn(f, ring, ringN, 96, 12)
+					// Analysis passes between allocation bursts: IR walks,
+					// branchy pattern matching, constant folding.
+					walkRing(f, ring, ringN)
+					walkRing(f, ring, ringN)
+					walkRing(f, ring, ringN)
+					branchyLCG(f, x, 700)
+					compute(f, x, 1400)
+				})
+				drainRing(f, ring, ringN)
+				f.CallFree(ring)
+			}
+		},
+	}
+}
+
+// libquantum: gate simulation — long streaming sweeps over one large array;
+// a single allocation.
+func libquantum() Workload {
+	return Workload{
+		Name:        "libquantum",
+		Description: "streaming: repeated full-array sweeps, trivial control flow",
+		AllocRate:   0.0001,
+		Build: func(scale int64) func(b *prog.Builder) {
+			return func(b *prog.Builder) {
+				f := b.Func("main")
+				reg := f.Reg()
+				const qn = 8192 // 64KB state vector
+				allocArray(f, reg, qn)
+				initArray(f, reg, qn, 11, 1)
+				f.ForRangeI(3*scale, func(prog.Reg) {
+					// Gate application: read-modify-write sweep.
+					f.ForRangeI(qn/2, func(i prog.Reg) {
+						p := f.Reg()
+						v := f.Reg()
+						f.ShlI(p, i, 4) // every other element
+						f.Add(p, p, reg)
+						f.Load(v, p, 0, 8)
+						f.OpI(isa.OpXorI, v, v, 0x5A5A)
+						f.Store(p, 0, v, 8)
+					})
+					sumArray(f, reg, 512)
+				})
+			}
+		},
+	}
+}
+
+// astar: path search — pointer chasing through a graph permutation with
+// branchy successor selection and periodic node allocations.
+func astar() Workload {
+	return Workload{
+		Name:        "astar",
+		Description: "path search: pointer chasing, branchy, periodic node allocations",
+		AllocRate:   0.02,
+		Build: func(scale int64) func(b *prog.Builder) {
+			return func(b *prog.Builder) {
+				f := b.Func("main")
+				graph := f.Reg()
+				ring := f.Reg()
+				idx := f.Reg()
+				x := f.Reg()
+				const graphN = 16384 // 128KB graph
+				const ringN = 32
+				allocArray(f, graph, graphN)
+				allocArray(f, ring, ringN)
+				initPermutation(f, graph, graphN, 6151)
+				f.MovI(idx, 1)
+				f.MovI(x, 9)
+				f.ForRangeI(12*scale, func(prog.Reg) {
+					chase(f, graph, idx, 400)
+					branchyLCG(f, x, 100)
+					ringChurn(f, ring, ringN, 64, 4)
+				})
+				drainRing(f, ring, ringN)
+				f.CallFree(ring)
+			}
+		},
+	}
+}
+
+// h264: video coding — dense block memcpys (motion compensation) plus
+// residual computation sweeps; few allocations.
+func h264() Workload {
+	return Workload{
+		Name:        "h264",
+		Description: "video: block memcpy-heavy with residual sweeps",
+		AllocRate:   0.001,
+		Build: func(scale int64) func(b *prog.Builder) {
+			return func(b *prog.Builder) {
+				f := b.Func("main")
+				ref := f.Reg()
+				cur := f.Reg()
+				const frameN = 8192 // 64KB frame
+				allocArray(f, ref, frameN)
+				allocArray(f, cur, frameN)
+				initArray(f, ref, frameN, 3, 7)
+				f.ForRangeI(12*scale, func(prog.Reg) {
+					blockCopies(f, cur, ref, 256, 64)
+					sumArray(f, cur, 256)
+				})
+			}
+		},
+	}
+}
+
+// lbm: fluid stencil — pure grid sweeps, two allocations total.
+func lbm() Workload {
+	return Workload{
+		Name:        "lbm",
+		Description: "stencil: grid sweeps, negligible allocation",
+		AllocRate:   0.00005,
+		Build: func(scale int64) func(b *prog.Builder) {
+			return func(b *prog.Builder) {
+				f := b.Func("main")
+				a := f.Reg()
+				bb := f.Reg()
+				const gridN = 8192 // 64KB per grid
+				allocArray(f, a, gridN)
+				allocArray(f, bb, gridN)
+				initArray(f, a, gridN, 5, 1)
+				f.ForRangeI(4*scale, func(prog.Reg) {
+					stencil(f, bb, a, gridN/2)
+					stencil(f, a, bb, gridN/2)
+					sumArray(f, a, 64)
+				})
+			}
+		},
+	}
+}
+
+// namd: molecular dynamics — multiply-add dependency chains with modest
+// strided loads; negligible allocation.
+func namd() Workload {
+	return Workload{
+		Name:        "namd",
+		Description: "compute-bound: mul/add chains, light memory traffic",
+		AllocRate:   0.0001,
+		Build: func(scale int64) func(b *prog.Builder) {
+			return func(b *prog.Builder) {
+				f := b.Func("main")
+				coords := f.Reg()
+				acc := f.Reg()
+				const n = 2048
+				allocArray(f, coords, n)
+				initArray(f, coords, n, 13, 5)
+				f.MovI(acc, 1)
+				f.ForRangeI(30*scale, func(prog.Reg) {
+					compute(f, acc, 800)
+					f.ForRangeI(128, func(i prog.Reg) {
+						p := f.Reg()
+						v := f.Reg()
+						f.ShlI(p, i, 7) // stride-16 elements
+						f.AndI(p, p, (n-1)*8)
+						f.Add(p, p, coords)
+						f.Load(v, p, 0, 8)
+						f.Add(acc, acc, v)
+					})
+					f.Checksum(acc)
+				})
+			}
+		},
+	}
+}
+
+// sjeng: chess — random transposition-table probes and unpredictable
+// branches; fewer than 10 allocations (§VI-B).
+func sjeng() Workload {
+	return Workload{
+		Name:        "sjeng",
+		Description: "chess: random hash-table probes, unpredictable branches",
+		AllocRate:   0.00005,
+		Build: func(scale int64) func(b *prog.Builder) {
+			return func(b *prog.Builder) {
+				f := b.Func("main")
+				table := f.Reg()
+				x := f.Reg()
+				const tblN = 32768 // 256KB transposition table
+				allocArray(f, table, tblN)
+				initArray(f, table, tblN, lcgMul, 99)
+				f.MovI(x, 31337)
+				f.ForRangeI(12*scale, func(prog.Reg) {
+					hashProbes(f, table, x, tblN, 300)
+					branchyLCG(f, x, 150)
+				})
+			}
+		},
+	}
+}
+
+// soplex: LP solving — row dot-product sweeps with multiply pressure and a
+// low rate of workspace allocations.
+func soplex() Workload {
+	return Workload{
+		Name:        "soplex",
+		Description: "LP: row sweeps with multiplies, occasional workspace allocs",
+		AllocRate:   0.01,
+		Build: func(scale int64) func(b *prog.Builder) {
+			return func(b *prog.Builder) {
+				f := b.Func("main")
+				mat := f.Reg()
+				ring := f.Reg()
+				const rows = 64
+				const cols = 256
+				const ringN = 16
+				allocArray(f, mat, rows*cols)
+				allocArray(f, ring, ringN)
+				initArray(f, mat, rows*cols, 3, 1)
+				f.ForRangeI(3*scale, func(prog.Reg) {
+					f.ForRangeI(rows, func(r prog.Reg) {
+						rowBase := f.Reg()
+						acc := f.Reg()
+						f.OpI(isa.OpMulI, rowBase, r, cols*8)
+						f.Add(rowBase, rowBase, mat)
+						f.MovI(acc, 0)
+						f.ForRangeI(cols, func(c prog.Reg) {
+							p := f.Reg()
+							v := f.Reg()
+							f.ShlI(p, c, 3)
+							f.Add(p, p, rowBase)
+							f.Load(v, p, 0, 8)
+							f.OpI(isa.OpMulI, v, v, 17)
+							f.Add(acc, acc, v)
+						})
+						f.Checksum(acc)
+					})
+					ringChurn(f, ring, ringN, 512, 6)
+				})
+				drainRing(f, ring, ringN)
+				f.CallFree(ring)
+			}
+		},
+	}
+}
+
+// xalanc: XSLT processing — the allocation-heaviest workload (≈0.2 mallocs
+// per kilo-instruction): constant small-node churn plus short string copies.
+func xalanc() Workload {
+	return Workload{
+		Name:        "xalanc",
+		Description: "XML transform: highest allocation rate, small nodes, string copies",
+		AllocRate:   0.2,
+		Build: func(scale int64) func(b *prog.Builder) {
+			return func(b *prog.Builder) {
+				f := b.Func("main")
+				ring := f.Reg()
+				strbuf := f.Reg()
+				x := f.Reg()
+				doc := f.Reg()
+				const ringN = 256
+				const docN = 3072
+				allocArray(f, ring, ringN)
+				allocArray(f, strbuf, 64) // 512B string staging area
+				allocArray(f, doc, docN)
+				initArray(f, strbuf, 64, 7, 2)
+				initArray(f, doc, docN, 31, 5)
+				f.MovI(x, 5)
+				f.ForRangeI(3*scale, func(prog.Reg) {
+					// Node churn burst: DOM node allocation/free.
+					ringChurn(f, ring, ringN, 128, 48)
+					// Tree walks over the live nodes and document scans: the
+					// access-dense phases that make ASan's per-access checks
+					// dominate on this benchmark.
+					walkRing(f, ring, ringN)
+					sumArray(f, doc, docN)
+					walkRing(f, ring, ringN)
+					sumArray(f, doc, docN)
+					// Short text copies between staging areas.
+					f.ForRangeI(16, func(i prog.Reg) {
+						d := f.Reg()
+						s := f.Reg()
+						nn := f.Reg()
+						f.ShlI(d, i, 4)
+						f.Add(s, strbuf, d)
+						f.AddI(d, s, 128)
+						f.MovI(nn, 48)
+						f.CallMemcpy(d, s, nn)
+					})
+					branchyLCG(f, x, 120)
+				})
+				drainRing(f, ring, ringN)
+				f.CallFree(ring)
+			}
+		},
+	}
+}
+
+// hmmer: profile HMM search — dynamic-programming row sweeps with max
+// selection branches; few allocations.
+func hmmer() Workload {
+	return Workload{
+		Name:        "hmmer",
+		Description: "HMM DP: row sweeps with max-select branches",
+		AllocRate:   0.001,
+		Build: func(scale int64) func(b *prog.Builder) {
+			return func(b *prog.Builder) {
+				norm := b.Func("norm")
+				{
+					scratch := norm.Buffer(64, true)
+					p := norm.Reg()
+					v := norm.Reg()
+					norm.BufAddr(p, scratch, 0)
+					norm.Mov(v, prog.Reg(20))
+					norm.Store(p, 0, v, 8)
+					norm.Load(v, p, 0, 8)
+					norm.Checksum(v)
+				}
+				f := b.Func("main")
+				prev := f.Reg()
+				cur := f.Reg()
+				const rowN = 1024
+				allocArray(f, prev, rowN)
+				allocArray(f, cur, rowN)
+				initArray(f, prev, rowN, 9, 4)
+				f.ForRangeI(16*scale, func(prog.Reg) {
+					f.ForRangeI(rowN-1, func(i prog.Reg) {
+						p := f.Reg()
+						a := f.Reg()
+						bb := f.Reg()
+						f.ShlI(p, i, 3)
+						f.Add(p, p, prev)
+						f.Load(a, p, 0, 8)
+						f.Load(bb, p, 8, 8)
+						// max(a,b) + i
+						f.If(isa.OpBlt, a, bb, func() {
+							f.Mov(a, bb)
+						}, nil)
+						f.Add(a, a, i)
+						f.Sub(p, p, prev)
+						f.Add(p, p, cur)
+						f.Store(p, 0, a, 8)
+					})
+					// Row normalization with stack scratch, then swap via copy.
+					f.Mov(prog.Reg(20), prog.RRes)
+					f.Call("norm")
+					nn := f.Reg()
+					f.MovI(nn, rowN*8)
+					f.CallMemcpy(prev, cur, nn)
+					sumArray(f, cur, 32)
+				})
+			}
+		},
+	}
+}

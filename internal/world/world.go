@@ -1,0 +1,252 @@
+// Package world assembles complete simulation worlds: a program built under
+// an instrumentation pass, the matching runtime (allocator + interceptors),
+// the REST hardware state when the pass needs it, and the timing model
+// (core + caches + DRAM + predictor). It is the composition root used by the
+// public API, the experiment harness, the examples and the test suites.
+package world
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rest/internal/alloc"
+	"rest/internal/bpred"
+	"rest/internal/cache"
+	"rest/internal/core"
+	"rest/internal/cpu"
+	"rest/internal/mem"
+	"rest/internal/prog"
+	"rest/internal/rt"
+	"rest/internal/shadow"
+	"rest/internal/sim"
+)
+
+// Spec configures a world.
+type Spec struct {
+	Pass prog.PassConfig
+	// Mode selects secure (imprecise, deployment) or debug (precise)
+	// exception reporting; it also configures the pipeline's store-commit
+	// policy. Ignored for non-REST passes.
+	Mode core.Mode
+	// Width is the REST token width (default 64B). It must equal
+	// Pass.TokenWidth when both are set.
+	Width core.Width
+	// Seed drives token generation (deterministic by default).
+	Seed int64
+	// MaxInstructions caps functional execution (0 = sim default).
+	MaxInstructions uint64
+	// InterceptLibc overrides the runtime's libc interception when non-nil
+	// (Figure 3 component toggle).
+	InterceptLibc *bool
+	// CPU overrides the core configuration (nil = Table II defaults).
+	CPU *cpu.Config
+	// InOrder selects the simple in-order core instead of the out-of-order
+	// model (the paper's Figure 3 was measured on an in-order core).
+	InOrder bool
+	// Hier overrides the cache hierarchy (nil = Table II defaults).
+	Hier *cache.HierConfig
+	// QuarantineCap overrides the allocator quarantine capacity in bytes
+	// (ablation studies; nil = allocator default).
+	QuarantineCap *uint64
+	// RedzoneBytes overrides the allocator per-side redzone size
+	// (ablation studies; nil = allocator default).
+	RedzoneBytes *uint64
+	// RandomizeHeap enables heap layout randomization with the given seed
+	// (§V-C Predictability; REST arms the random slack).
+	RandomizeHeap *int64
+}
+
+// Outcome summarizes a run's architectural result.
+type Outcome struct {
+	Checksum  uint64
+	Exception *core.Exception // REST hardware detection
+	Violation *sim.Violation  // software (ASan/allocator) detection
+	Err       error           // simulation error (bug in the program/world)
+}
+
+// Detected reports whether any memory-safety mechanism fired.
+func (o Outcome) Detected() bool { return o.Exception != nil || o.Violation != nil }
+
+// String renders the outcome for reports.
+func (o Outcome) String() string {
+	switch {
+	case o.Err != nil:
+		return fmt.Sprintf("error: %v", o.Err)
+	case o.Exception != nil:
+		return fmt.Sprintf("REST exception: %s", o.Exception.Kind)
+	case o.Violation != nil:
+		return fmt.Sprintf("detected: %s", o.Violation.What)
+	default:
+		return "completed"
+	}
+}
+
+// World is one assembled simulation instance. Build one per run; the
+// functional machine is single-use.
+type World struct {
+	Spec     Spec
+	Program  *prog.Program
+	Machine  *sim.Machine
+	Runtime  *rt.Runtime
+	Tracker  *core.TokenTracker
+	Shadow   *shadow.Map
+	Alloc    *alloc.Engine
+	Hier     *cache.Hierarchy
+	Pipeline *cpu.Pipeline
+	InOrder  *cpu.InOrder
+	Pred     *bpred.Predictor
+}
+
+// Build constructs a world for the given program builder function.
+func Build(spec Spec, build func(b *prog.Builder)) (*World, error) {
+	if spec.Width == 0 {
+		spec.Width = core.Width64
+	}
+	if spec.Pass.TokenWidth == 0 {
+		spec.Pass.TokenWidth = uint64(spec.Width)
+	}
+	if uint64(spec.Width) != spec.Pass.TokenWidth && spec.Pass.Flavour == rt.REST {
+		return nil, fmt.Errorf("world: token width mismatch: spec %d vs pass %d",
+			spec.Width, spec.Pass.TokenWidth)
+	}
+
+	b := prog.NewBuilder(spec.Pass)
+	build(b)
+	program, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := mem.New()
+	var tracker *core.TokenTracker
+	var shadowMap *shadow.Map
+	var engine *alloc.Engine
+
+	switch spec.Pass.Flavour {
+	case rt.REST:
+		reg, err := core.NewTokenRegister(spec.Width, spec.Mode, rand.New(rand.NewSource(spec.Seed+1)))
+		if err != nil {
+			return nil, err
+		}
+		tracker = core.NewTokenTracker(reg, m)
+		engine, err = alloc.NewREST(tracker)
+		if err != nil {
+			return nil, err
+		}
+	case rt.ASan:
+		shadowMap = shadow.New(m)
+		engine, err = alloc.NewASan(shadowMap)
+		if err != nil {
+			return nil, err
+		}
+	case rt.PerfectHW:
+		engine, err = alloc.NewPerfectHW()
+		if err != nil {
+			return nil, err
+		}
+	default:
+		engine, err = alloc.NewLibc()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if spec.QuarantineCap != nil {
+		engine.SetQuarantineCap(*spec.QuarantineCap)
+	}
+	if spec.RedzoneBytes != nil {
+		engine.SetRedzone(*spec.RedzoneBytes)
+	}
+	if spec.RandomizeHeap != nil {
+		engine.RandomizeLayout(*spec.RandomizeHeap, 7)
+	}
+	runtime := rt.New(spec.Pass.Flavour, engine, shadowMap)
+	if spec.InterceptLibc != nil {
+		runtime.InterceptLibc = *spec.InterceptLibc
+	}
+
+	mach, err := sim.New(sim.Config{
+		Mem:             m,
+		Tracker:         tracker,
+		Runtime:         runtime,
+		MaxInstructions: spec.MaxInstructions,
+	}, program.Instrs, program.Entry)
+	if err != nil {
+		return nil, err
+	}
+
+	hcfg := cache.DefaultHierConfig()
+	if spec.Hier != nil {
+		hcfg = *spec.Hier
+	}
+	var tokens cache.TokenSource
+	if tracker != nil {
+		tokens = tracker
+	}
+	hier, err := cache.NewHierarchy(hcfg, tokens)
+	if err != nil {
+		return nil, err
+	}
+
+	ccfg := cpu.DefaultConfig()
+	if spec.CPU != nil {
+		ccfg = *spec.CPU
+	}
+	ccfg.Mode = spec.Mode
+	pred := bpred.New(bpred.Config{})
+
+	w := &World{
+		Spec:    spec,
+		Program: program,
+		Machine: mach,
+		Runtime: runtime,
+		Tracker: tracker,
+		Shadow:  shadowMap,
+		Alloc:   engine,
+		Hier:    hier,
+		Pred:    pred,
+	}
+	if spec.InOrder {
+		w.InOrder = cpu.NewInOrder(ccfg, hier, pred)
+	} else {
+		w.Pipeline = cpu.New(ccfg, hier, pred)
+	}
+	return w, nil
+}
+
+// outcome derives the Outcome from the machine's final state.
+func (w *World) outcome() Outcome {
+	return Outcome{
+		Checksum:  w.Machine.Checksum(),
+		Exception: w.Machine.Exception(),
+		Violation: w.Machine.SWViolation(),
+		Err:       w.Machine.Err(),
+	}
+}
+
+// RunFunctional executes the program architecturally only (no timing) and
+// returns the outcome.
+func (w *World) RunFunctional() Outcome {
+	w.Machine.Run()
+	return w.outcome()
+}
+
+// RunTimed streams the program through the timing model (the functional
+// machine is pulled lazily as the trace source) and returns timing stats
+// plus the architectural outcome. The pipeline's exception carries mode-
+// resolved precision and detection lag, so it supersedes the architectural
+// exception's precision fields.
+func (w *World) RunTimed() (*cpu.Stats, Outcome) {
+	var stats *cpu.Stats
+	if w.InOrder != nil {
+		stats = w.InOrder.Run(w.Machine)
+	} else {
+		stats = w.Pipeline.Run(w.Machine)
+	}
+	out := w.outcome()
+	if stats.Exception != nil && out.Exception != nil {
+		out.Exception.Precise = stats.Exception.Precise
+		out.Exception.DetectLagCycles = stats.Exception.DetectLagCycles
+	}
+	return stats, out
+}

@@ -1,0 +1,100 @@
+package world
+
+import (
+	"testing"
+
+	"rest/internal/core"
+	"rest/internal/cpu"
+	"rest/internal/prog"
+	"rest/internal/rt"
+)
+
+func tiny(b *prog.Builder) {
+	f := b.Func("main")
+	p := f.Reg()
+	f.CallMallocI(p, 64)
+	f.CallFree(p)
+}
+
+func TestBuildFlavours(t *testing.T) {
+	cases := []struct {
+		pass        prog.PassConfig
+		wantTracker bool
+		wantShadow  bool
+	}{
+		{prog.Plain(), false, false},
+		{prog.ASanFull(), false, true},
+		{prog.RESTFull(64), true, false},
+		{prog.RESTHeap(32), true, false},
+		{prog.PerfectHWFull(), false, false},
+	}
+	for _, c := range cases {
+		w, err := Build(Spec{Pass: c.pass, Width: core.Width(c.pass.TokenWidth)}, tiny)
+		if err != nil {
+			t.Fatalf("%s: %v", c.pass.Flavour, err)
+		}
+		if (w.Tracker != nil) != c.wantTracker {
+			t.Errorf("%s: tracker presence = %v", c.pass.Flavour, w.Tracker != nil)
+		}
+		if (w.Shadow != nil) != c.wantShadow {
+			t.Errorf("%s: shadow presence = %v", c.pass.Flavour, w.Shadow != nil)
+		}
+		out := w.RunFunctional()
+		if out.Err != nil || out.Detected() {
+			t.Errorf("%s: %s", c.pass.Flavour, out)
+		}
+	}
+}
+
+func TestWidthMismatchRejected(t *testing.T) {
+	if _, err := Build(Spec{Pass: prog.RESTFull(64), Width: core.Width16}, tiny); err == nil {
+		t.Error("mismatched widths accepted")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if (Outcome{}).String() != "completed" {
+		t.Error("clean outcome string wrong")
+	}
+	o := Outcome{Exception: &core.Exception{Kind: core.ViolationLoad}}
+	if o.String() == "" || !o.Detected() {
+		t.Error("exception outcome wrong")
+	}
+}
+
+func TestCPUOverrideAndInOrder(t *testing.T) {
+	ccfg := cpu.DefaultConfig()
+	ccfg.ROBSize = 32
+	w, err := Build(Spec{Pass: prog.Plain(), CPU: &ccfg}, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Pipeline == nil || w.InOrder != nil {
+		t.Error("default build should use the OoO pipeline")
+	}
+	w2, err := Build(Spec{Pass: prog.Plain(), InOrder: true}, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.InOrder == nil || w2.Pipeline != nil {
+		t.Error("InOrder build did not select the in-order core")
+	}
+	stats, out := w2.RunTimed()
+	if out.Err != nil || stats.Cycles == 0 {
+		t.Errorf("in-order run: %s, %d cycles", out, stats.Cycles)
+	}
+}
+
+func TestInterceptOverride(t *testing.T) {
+	no := false
+	w, err := Build(Spec{Pass: prog.ASanFull(), InterceptLibc: &no}, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Runtime.InterceptLibc {
+		t.Error("InterceptLibc override not applied")
+	}
+	if w.Runtime.Flavour != rt.ASan {
+		t.Errorf("flavour = %s", w.Runtime.Flavour)
+	}
+}

@@ -1,0 +1,136 @@
+package rest_test
+
+import (
+	"strings"
+	"testing"
+
+	"rest"
+)
+
+func TestRunProgramDetectsOverflow(t *testing.T) {
+	overflow := func(b *rest.ProgramBuilder) {
+		f := b.Func("main")
+		buf := f.Buffer(64, true)
+		p := f.Reg()
+		v := f.Reg()
+		f.MovI(v, 7)
+		f.BufAddr(p, buf, 64)
+		f.Store(p, 0, v, 8)
+	}
+	out, err := rest.RunProgram(rest.RESTFull(64), rest.Secure, overflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Exception == nil {
+		t.Fatalf("overflow not detected: %s", out)
+	}
+	out, err = rest.RunProgram(rest.Plain(), rest.Secure, overflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Detected() {
+		t.Fatalf("plain build detected something: %s", out)
+	}
+}
+
+func TestRunTimedReturnsStats(t *testing.T) {
+	stats, out, err := rest.RunTimed(rest.RESTHeap(64), rest.Secure, func(b *rest.ProgramBuilder) {
+		f := b.Func("main")
+		p := f.Reg()
+		f.CallMallocI(p, 128)
+		f.CallFree(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Detected() {
+		t.Fatalf("benign program detected: %s", out)
+	}
+	if stats.Cycles == 0 || stats.Instructions == 0 {
+		t.Error("empty timing stats")
+	}
+	if stats.IPC <= 0 {
+		t.Error("non-positive IPC")
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	if len(rest.Workloads()) != 12 {
+		t.Errorf("Workloads() = %d entries, want 12", len(rest.Workloads()))
+	}
+	wl, err := rest.WorkloadByName("gcc")
+	if err != nil || wl.Name != "gcc" {
+		t.Errorf("WorkloadByName(gcc) = %v, %v", wl.Name, err)
+	}
+	if len(rest.Attacks()) < 12 {
+		t.Errorf("Attacks() = %d entries, want >= 12", len(rest.Attacks()))
+	}
+}
+
+func TestTableRenderers(t *testing.T) {
+	out, ok := rest.TableI()
+	if !ok {
+		t.Errorf("Table I conformance failed:\n%s", out)
+	}
+	if !strings.Contains(rest.TableII(), "L1-D") {
+		t.Error("Table II missing L1-D row")
+	}
+	if !strings.Contains(rest.TableIII(), "REST") {
+		t.Error("Table III missing REST row")
+	}
+}
+
+func TestNewSystemExposesInternals(t *testing.T) {
+	w, err := rest.NewSystem(rest.RESTFull(32), rest.Debug, func(b *rest.ProgramBuilder) {
+		f := b.Func("main")
+		p := f.Reg()
+		f.CallMallocI(p, 64)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Tracker == nil {
+		t.Fatal("REST system has no tracker")
+	}
+	if w.Tracker.Register().Width() != rest.Width32 {
+		t.Errorf("width = %d, want 32", w.Tracker.Register().Width())
+	}
+	if w.Tracker.Register().Mode() != rest.Debug {
+		t.Errorf("mode = %v, want debug", w.Tracker.Register().Mode())
+	}
+	out := w.RunFunctional()
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if w.Tracker.Arms == 0 {
+		t.Error("allocator armed no redzones")
+	}
+}
+
+func TestFigure7SubsetThroughFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run")
+	}
+	m, err := rest.RunFigure7(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asan := m.WtdAriMeanOverhead("asan")
+	secure := m.WtdAriMeanOverhead("secure-full")
+	debug := m.WtdAriMeanOverhead("debug-full")
+	perfect := m.WtdAriMeanOverhead("perfecthw-full")
+	// The paper's headline shape: secure << ASan, debug between secure and
+	// a few x secure, perfect ≈ secure.
+	if !(secure < asan) {
+		t.Errorf("secure (%f) not < asan (%f)", secure, asan)
+	}
+	if !(secure < debug) {
+		t.Errorf("secure (%f) not < debug (%f)", secure, debug)
+	}
+	if d := perfect - secure; d < -1 || d > 1 {
+		t.Errorf("perfecthw-secure gap = %f points, want ~0", d)
+	}
+	if secure > 15 {
+		t.Errorf("secure mean = %f%%, want low (paper: 2%%)", secure)
+	}
+}

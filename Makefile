@@ -1,0 +1,34 @@
+# Developer / CI entry points. The repo is stdlib-only; everything below is
+# plain `go` tool invocations.
+#
+#   make test        tier-1 gate: build everything, run the full test suite
+#   make race        the parallel sweep engine under the race detector
+#   make fuzz-short  brief run of every native fuzz target (seed corpus +
+#                    FUZZTIME of new inputs each)
+#   make bench       regenerate every figure/table as benchmarks
+#   make verify      what CI runs: test + race
+
+GO       ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test race fuzz-short bench verify
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# `go test -fuzz` accepts a single package per invocation.
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecode  -fuzztime=$(FUZZTIME) ./internal/isa
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeProgram -fuzztime=$(FUZZTIME) ./internal/isa
+	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecode  -fuzztime=$(FUZZTIME) ./internal/asm
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+verify: test race

@@ -8,6 +8,8 @@
 package rest_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"rest"
@@ -91,6 +93,26 @@ func BenchmarkFigure7Overheads(b *testing.B) {
 	b.ReportMetric(m.WtdAriMeanOverhead("secure-heap"), "secure-heap-%")
 	b.ReportMetric(m.WtdAriMeanOverhead("debug-full"), "debug-full-%")
 	b.ReportMetric(m.WtdAriMeanOverhead("perfecthw-full"), "perfecthw-full-%")
+}
+
+// BenchmarkFigure7OverheadsParallel is the same Figure 7 sweep on the
+// parallel engine at the full core count. Comparing its wall clock against
+// BenchmarkFigure7Overheads shows the sweep speedup; the cycle matrices are
+// guaranteed identical (pinned by the harness determinism tests).
+func BenchmarkFigure7OverheadsParallel(b *testing.B) {
+	opt := harness.ParallelOptions{Workers: runtime.GOMAXPROCS(0)}
+	var m *harness.Matrix
+	var err error
+	for i := 0; i < b.N; i++ {
+		m, err = harness.RunMatrixParallel(context.Background(),
+			workload.All(), harness.Fig7Configs(), benchScale, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(opt.EffectiveWorkers()), "workers")
+	b.ReportMetric(m.WtdAriMeanOverhead("asan"), "asan-%")
+	b.ReportMetric(m.WtdAriMeanOverhead("secure-full"), "secure-full-%")
 }
 
 // BenchmarkFigure8TokenWidths sweeps 16/32/64-byte tokens in secure mode;

@@ -11,12 +11,22 @@
 //	restbench -all           everything
 //
 // Use -scale to lengthen the runs and -csv to emit machine-readable output.
+//
+// The experiment grids (-fig3/-fig7/-fig8, and the two -stats cells) run on
+// the harness's parallel sweep engine. -j N sets the worker-pool size
+// (default: GOMAXPROCS, i.e. all cores); every cell is a fully
+// self-contained simulation, so the reports are guaranteed byte-identical
+// at any -j — only the wall clock changes, roughly by min(j, cells, cores)
+// on an otherwise idle machine. Each sweep prints its elapsed time and
+// worker count to stderr, keeping stdout identical across -j values.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rest/internal/harness"
 	"rest/internal/prog"
@@ -38,6 +48,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "also print machine-readable JSON reports")
 	chart := flag.Bool("chart", false, "render Figure 7/8 as ASCII bar charts")
 	variants := flag.Bool("variants", false, "expand per-input variants (Figure 7's full x-axis)")
+	jobs := flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	failFast := flag.Bool("failfast", false, "cancel a sweep's remaining cells on the first error")
 	flag.Parse()
 
 	if !(*fig3 || *fig7 || *fig8 || *table1 || *table2 || *table3 || *stats || *all) {
@@ -47,6 +59,14 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	ctx := context.Background()
+	opt := harness.ParallelOptions{Workers: *jobs, FailFast: *failFast}
+	// elapsed reports each sweep's wall clock on stderr so that stdout stays
+	// byte-identical across -j values (the determinism guarantee).
+	elapsed := func(name string, start time.Time) {
+		fmt.Fprintf(os.Stderr, "%s: elapsed %s (j=%d)\n",
+			name, time.Since(start).Round(time.Millisecond), opt.EffectiveWorkers())
 	}
 
 	if *all || *table2 {
@@ -60,10 +80,12 @@ func main() {
 		}
 	}
 	if *all || *fig3 {
-		r, err := harness.RunFig3(workload.All(), *scale)
+		start := time.Now()
+		r, err := harness.RunFig3Parallel(ctx, workload.All(), *scale, opt)
 		if err != nil {
 			fail(err)
 		}
+		elapsed("fig3", start)
 		fmt.Println(r.Render())
 	}
 	if *all || *fig7 {
@@ -71,10 +93,12 @@ func main() {
 		if *variants {
 			wls = workload.AllVariants()
 		}
-		m, err := harness.RunMatrix(wls, harness.Fig7Configs(), *scale)
+		start := time.Now()
+		m, err := harness.RunMatrixParallel(ctx, wls, harness.Fig7Configs(), *scale, opt)
 		if err != nil {
 			fail(err)
 		}
+		elapsed("fig7", start)
 		fmt.Println(m.RenderOverheadTable(
 			fmt.Sprintf("Figure 7: runtime overheads over plain binaries (scale %d)", *scale)))
 		fmt.Println("headline: " + m.Summary())
@@ -96,10 +120,12 @@ func main() {
 	if *all || *fig8 {
 		cfgs := append(harness.Fig8Configs(),
 			harness.BinaryConfig{Name: "plain", Pass: prog.Plain()})
-		m, err := harness.RunMatrix(workload.All(), cfgs, *scale)
+		start := time.Now()
+		m, err := harness.RunMatrixParallel(ctx, workload.All(), cfgs, *scale, opt)
 		if err != nil {
 			fail(err)
 		}
+		elapsed("fig8", start)
 		fmt.Println(m.RenderOverheadTable(
 			fmt.Sprintf("Figure 8: token-width overheads, secure mode (scale %d)", *scale)))
 		if *csv {
@@ -111,7 +137,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		s, err := harness.RunMicroStats(wl, *scale)
+		s, err := harness.RunMicroStatsParallel(ctx, wl, *scale, opt)
 		if err != nil {
 			fail(err)
 		}

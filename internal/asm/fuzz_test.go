@@ -1,0 +1,57 @@
+package asm
+
+import (
+	"testing"
+
+	"rest/internal/isa"
+)
+
+// FuzzEncodeDecode fuzzes the assembler front end against the binary codec:
+// Parse must never panic on arbitrary source text, every program it accepts
+// must consist of Valid instructions, and the assembled program must survive
+// an isa.EncodeProgram → isa.DecodeProgram round-trip unchanged (the
+// assembler and the codec agree on what a well-formed instruction is).
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add("main:\n    movi r1, 10\nloop:\n    addi r1, r1, -1\n    bne r1, zero, loop\n    halt\n")
+	f.Add("arm [sp+64]\nstore8 [sp+0], ra\nload4 r2, [fp-8]\ndisarm [sp+64]\nret\n")
+	f.Add("start: call fn ; comment\njmp start\nfn: rtcall 1\n  callr r3\n  ret\n")
+	f.Add("movi res, 0xdeadbeef\nxor r1, r1, r1\nhalt")
+	f.Add("add r1, r2")     // missing operand
+	f.Add("bogus r1, r2")   // unknown mnemonic
+	f.Add("movi r99, 1")    // bad register
+	f.Add("load8 r1, [r2")  // unterminated memory operand
+	f.Add("x: x: halt")     // duplicate label
+	f.Add(":\n;\n#\n[]\n,") // punctuation soup
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, entry, err := Parse(src)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		if entry < 0 || entry >= len(prog) {
+			t.Fatalf("entry %d outside program of %d instructions", entry, len(prog))
+		}
+		for i, in := range prog {
+			if verr := in.Valid(); verr != nil {
+				t.Fatalf("Parse accepted invalid instruction %d (%v): %v", i, in, verr)
+			}
+		}
+		img, err := isa.EncodeProgram(prog)
+		if err != nil {
+			t.Fatalf("assembled program does not encode: %v", err)
+		}
+		back, err := isa.DecodeProgram(img)
+		if err != nil {
+			t.Fatalf("assembled program does not decode: %v", err)
+		}
+		for i := range prog {
+			if back[i] != prog[i] {
+				t.Fatalf("codec round-trip changed instruction %d: %v -> %v", i, prog[i], back[i])
+			}
+		}
+		// Format must render any accepted program without panicking.
+		if out := Format(prog); out == "" {
+			t.Fatal("Format returned empty text for a non-empty program")
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"testing"
+
+	"rest/internal/attack"
+	"rest/internal/core"
+	"rest/internal/prog"
+	"rest/internal/workload"
+	"rest/internal/world"
+)
+
+// The architectural-equivalence differential: the in-order core and the
+// out-of-order core are timing models over the same architectural machine,
+// so for any program and any instrumentation pass they must reach the same
+// world.Outcome — same checksum, same exception kind and faulting address,
+// or the same clean exit. Cycles may differ arbitrarily; architecture may
+// not. A divergence here means a timing model leaked into architectural
+// state (the bug class that would silently corrupt every figure).
+
+// runOn builds and runs one (builder, config) pair on the selected core.
+func runOn(t *testing.T, cfg BinaryConfig, build func(b *prog.Builder), inOrder bool) world.Outcome {
+	t.Helper()
+	w, err := world.Build(world.Spec{
+		Pass:          cfg.Pass,
+		Mode:          cfg.Mode,
+		Width:         core.Width(cfg.Pass.TokenWidth),
+		InterceptLibc: cfg.InterceptLibc,
+		InOrder:       inOrder,
+	}, build)
+	if err != nil {
+		t.Fatalf("world.Build(inorder=%v): %v", inOrder, err)
+	}
+	_, out := w.RunTimed()
+	return out
+}
+
+// assertArchEqual compares the architectural fields of two outcomes,
+// ignoring timing-resolved ones (exception precision and detection lag).
+func assertArchEqual(t *testing.T, ooo, inord world.Outcome) {
+	t.Helper()
+	if (ooo.Err == nil) != (inord.Err == nil) {
+		t.Fatalf("simulation error divergence: ooo=%v inorder=%v", ooo.Err, inord.Err)
+	}
+	if ooo.Checksum != inord.Checksum {
+		t.Errorf("checksum divergence: ooo=%#x inorder=%#x", ooo.Checksum, inord.Checksum)
+	}
+	if (ooo.Exception == nil) != (inord.Exception == nil) {
+		t.Fatalf("exception divergence: ooo=%v inorder=%v", ooo.Exception, inord.Exception)
+	}
+	if ooo.Exception != nil {
+		if ooo.Exception.Kind != inord.Exception.Kind ||
+			ooo.Exception.Addr != inord.Exception.Addr ||
+			ooo.Exception.PC != inord.Exception.PC {
+			t.Errorf("exception fields diverge: ooo=%v inorder=%v", ooo.Exception, inord.Exception)
+		}
+	}
+	if (ooo.Violation == nil) != (inord.Violation == nil) {
+		t.Fatalf("sw violation divergence: ooo=%v inorder=%v", ooo.Violation, inord.Violation)
+	}
+	if ooo.Violation != nil && *ooo.Violation != *inord.Violation {
+		t.Errorf("sw violation fields diverge: ooo=%v inorder=%v", ooo.Violation, inord.Violation)
+	}
+}
+
+// TestInOrderOoOEquivalenceWorkloads runs every workload under every Figure 7
+// pass combination on both cores: all must exit cleanly with identical
+// checksums. Under -short a varied three-workload subset runs instead.
+func TestInOrderOoOEquivalenceWorkloads(t *testing.T) {
+	t.Parallel()
+	wls := workload.All()
+	if testing.Short() {
+		wls = subset(t, "lbm", "xalanc", "gobmk")
+	}
+	for _, wl := range wls {
+		for _, cfg := range Fig7Configs() {
+			wl, cfg := wl, cfg
+			t.Run(wl.Name+"/"+cfg.Name, func(t *testing.T) {
+				t.Parallel()
+				build := wl.Build(1)
+				ooo := runOn(t, cfg, build, false)
+				inord := runOn(t, cfg, build, true)
+				if ooo.Err != nil {
+					t.Fatalf("simulation error: %v", ooo.Err)
+				}
+				if ooo.Detected() || inord.Detected() {
+					t.Fatalf("spurious detection: ooo=%s inorder=%s", ooo, inord)
+				}
+				assertArchEqual(t, ooo, inord)
+			})
+		}
+	}
+}
+
+// TestInOrderOoOEquivalenceAttacks runs the §V attack suite under the REST
+// and ASan passes on both cores: whichever exception or violation fires, its
+// architectural identity (kind, faulting address, PC) must not depend on the
+// core model, even when secure mode makes the *report* imprecise.
+func TestInOrderOoOEquivalenceAttacks(t *testing.T) {
+	t.Parallel()
+	cfgs := []BinaryConfig{
+		{Name: "secure-full", Pass: prog.RESTFull(64), Mode: core.Secure},
+		{Name: "debug-full", Pass: prog.RESTFull(64), Mode: core.Debug},
+		{Name: "secure-heap", Pass: prog.RESTHeap(64), Mode: core.Secure},
+		{Name: "asan", Pass: prog.ASanFull()},
+	}
+	for _, a := range attack.All() {
+		for _, cfg := range cfgs {
+			a, cfg := a, cfg
+			t.Run(a.Name+"/"+cfg.Name, func(t *testing.T) {
+				t.Parallel()
+				ooo := runOn(t, cfg, a.Build, false)
+				inord := runOn(t, cfg, a.Build, true)
+				assertArchEqual(t, ooo, inord)
+			})
+		}
+	}
+}

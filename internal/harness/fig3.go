@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -40,9 +41,15 @@ type Fig3Result struct {
 	Total     map[string]float64
 }
 
-// RunFig3 regenerates Figure 3's ASan overhead breakdown.
+// RunFig3 regenerates Figure 3's ASan overhead breakdown on the parallel
+// sweep engine at its default worker count.
 func RunFig3(wls []workload.Workload, scale int64) (*Fig3Result, error) {
-	m, err := RunMatrix(wls, fig3Configs(), scale)
+	return RunFig3Parallel(context.Background(), wls, scale, ParallelOptions{})
+}
+
+// RunFig3Parallel is RunFig3 with explicit sweep options (cmd/restbench -j).
+func RunFig3Parallel(ctx context.Context, wls []workload.Workload, scale int64, opt ParallelOptions) (*Fig3Result, error) {
+	m, err := RunMatrixParallel(ctx, wls, fig3Configs(), scale, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -101,8 +101,11 @@ type Matrix struct {
 	Results   map[string]map[string]*RunResult
 }
 
-// RunMatrix sweeps the workloads × configs grid. Baseline ("plain") must be
-// among the configs for overhead computation.
+// RunMatrix sweeps the workloads × configs grid strictly sequentially,
+// stopping at the first failing cell. It is the reference implementation the
+// determinism differential tests compare RunMatrixParallel against; the
+// report paths use the parallel engine. Baseline ("plain") must be among the
+// configs for overhead computation.
 func RunMatrix(wls []workload.Workload, cfgs []BinaryConfig, scale int64) (*Matrix, error) {
 	m := &Matrix{
 		Cycles:  make(map[string]map[string]uint64),

@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"rest/internal/workload"
+)
+
+// The parallel sweep engine. Every cell of the workload × config grid is an
+// independent simulation: world.Build assembles a fully self-contained World
+// (its own memory, allocator, token register with a per-world seeded RNG,
+// cache hierarchy, predictor and core), so cells can run concurrently with
+// no shared mutable state. The engine guarantees that the resulting Matrix
+// is byte-identical to a sequential RunMatrix at any worker count — cells
+// are deterministic functions of (workload, config, scale), and results are
+// assembled in grid order regardless of completion order. The determinism
+// differential tests pin this guarantee.
+
+// ParallelOptions configures RunMatrixParallel.
+type ParallelOptions struct {
+	// Workers is the worker-pool size. Zero or negative selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// FailFast cancels the cells not yet started as soon as one cell
+	// fails. Off by default: every cell runs and all failures are
+	// aggregated into one MatrixError.
+	FailFast bool
+}
+
+// EffectiveWorkers resolves the worker-pool size actually used.
+func (o ParallelOptions) EffectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// CellError is the failure of one grid cell, tagged with its coordinates so
+// aggregated reports stay attributable.
+type CellError struct {
+	Workload string
+	Config   string
+	Err      error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("cell %s/%s: %v", e.Workload, e.Config, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// MatrixError aggregates every failed cell of a sweep. Cells appear in grid
+// order (workload-major), not completion order, so the message is
+// deterministic at any worker count.
+type MatrixError struct {
+	Cells []*CellError
+	// Skipped counts cells never started because the sweep was cancelled
+	// (FailFast or an external context cancellation).
+	Skipped int
+}
+
+func (e *MatrixError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "harness: %d of the sweep's cells failed", len(e.Cells))
+	if e.Skipped > 0 {
+		fmt.Fprintf(&b, " (%d skipped after cancellation)", e.Skipped)
+	}
+	for _, c := range e.Cells {
+		b.WriteString("\n  ")
+		b.WriteString(c.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the per-cell errors to errors.Is/As.
+func (e *MatrixError) Unwrap() []error {
+	out := make([]error, len(e.Cells))
+	for i, c := range e.Cells {
+		out[i] = c
+	}
+	return out
+}
+
+// cellOutcome is one worker's report for one grid cell.
+type cellOutcome struct {
+	res     *RunResult
+	err     error
+	skipped bool
+}
+
+// RunMatrixParallel sweeps the workloads × configs grid on a worker pool.
+// It is the parallel equivalent of RunMatrix and produces bit-identical
+// cycle matrices at any worker count (each cell is a deterministic,
+// self-contained simulation; collection order is fixed to grid order).
+//
+// Unlike RunMatrix, it does not stop at the first failure: every cell runs
+// and all failures come back as one *MatrixError, alongside the partial
+// Matrix holding the cells that did complete. With opt.FailFast (or when
+// ctx is cancelled) the cells not yet started are skipped and counted in
+// MatrixError.Skipped.
+func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []BinaryConfig, scale int64, opt ParallelOptions) (*Matrix, error) {
+	type cell struct {
+		wl  workload.Workload
+		cfg BinaryConfig
+	}
+	cells := make([]cell, 0, len(wls)*len(cfgs))
+	for _, wl := range wls {
+		for _, cfg := range cfgs {
+			cells = append(cells, cell{wl, cfg})
+		}
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	outcomes := make([]cellOutcome, len(cells))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := opt.EffectiveWorkers()
+	if workers > len(cells) && len(cells) > 0 {
+		workers = len(cells)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// Each worker writes only its own slot; no locking needed.
+				if cctx.Err() != nil {
+					outcomes[i].skipped = true
+					continue
+				}
+				r, err := Run(cells[i].wl, cells[i].cfg, scale)
+				outcomes[i] = cellOutcome{res: r, err: err}
+				if err != nil && opt.FailFast {
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Assemble in grid order so the Matrix (and any aggregated error) is
+	// identical no matter which worker finished first.
+	m := &Matrix{
+		Cycles:  make(map[string]map[string]uint64),
+		Results: make(map[string]map[string]*RunResult),
+	}
+	for _, c := range cfgs {
+		m.Configs = append(m.Configs, c.Name)
+	}
+	merr := &MatrixError{}
+	for i, c := range cells {
+		if _, ok := m.Cycles[c.wl.Name]; !ok {
+			m.Workloads = append(m.Workloads, c.wl.Name)
+			m.Cycles[c.wl.Name] = make(map[string]uint64)
+			m.Results[c.wl.Name] = make(map[string]*RunResult)
+		}
+		switch o := outcomes[i]; {
+		case o.skipped:
+			merr.Skipped++
+		case o.err != nil:
+			merr.Cells = append(merr.Cells, &CellError{
+				Workload: c.wl.Name, Config: c.cfg.Name, Err: o.err,
+			})
+		default:
+			m.Cycles[c.wl.Name][c.cfg.Name] = o.res.Cycles
+			m.Results[c.wl.Name][c.cfg.Name] = o.res
+		}
+	}
+	if len(merr.Cells) > 0 || merr.Skipped > 0 {
+		return m, merr
+	}
+	return m, nil
+}

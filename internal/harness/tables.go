@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -274,14 +275,22 @@ type MicroStats struct {
 // RunMicroStats runs the secure and debug REST-full configurations for a
 // workload and extracts the §VI-B statistics.
 func RunMicroStats(wl workload.Workload, scale int64) (*MicroStats, error) {
-	sec, err := Run(wl, BinaryConfig{Name: "secure-full", Pass: prog.RESTFull(64), Mode: core.Secure}, scale)
+	return RunMicroStatsParallel(context.Background(), wl, scale, ParallelOptions{})
+}
+
+// RunMicroStatsParallel is RunMicroStats on the parallel sweep engine (the
+// secure and debug runs are independent cells and proceed concurrently).
+func RunMicroStatsParallel(ctx context.Context, wl workload.Workload, scale int64, opt ParallelOptions) (*MicroStats, error) {
+	cfgs := []BinaryConfig{
+		{Name: "secure-full", Pass: prog.RESTFull(64), Mode: core.Secure},
+		{Name: "debug-full", Pass: prog.RESTFull(64), Mode: core.Debug},
+	}
+	m, err := RunMatrixParallel(ctx, []workload.Workload{wl}, cfgs, scale, opt)
 	if err != nil {
 		return nil, err
 	}
-	dbg, err := Run(wl, BinaryConfig{Name: "debug-full", Pass: prog.RESTFull(64), Mode: core.Debug}, scale)
-	if err != nil {
-		return nil, err
-	}
+	sec := m.Results[wl.Name]["secure-full"]
+	dbg := m.Results[wl.Name]["debug-full"]
 	kinstr := float64(sec.Stats.Instructions) / 1000
 	return &MicroStats{
 		Workload:            wl.Name,

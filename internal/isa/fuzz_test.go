@@ -1,0 +1,104 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzEncodeDecode fuzzes the binary instruction codec with arbitrary
+// bytes: Decode must never panic, anything it accepts must survive an
+// encode→decode round-trip unchanged, and re-encoding must be canonical
+// (reserved bytes zeroed).
+func FuzzEncodeDecode(f *testing.F) {
+	// Seed corpus: one valid encoding per instruction shape, plus
+	// malformed inputs (short buffer, bad opcode, bad access size).
+	seeds := []Instr{
+		{Op: OpNop},
+		{Op: OpHalt},
+		{Op: OpMovI, Rd: 1, Imm: -1},
+		{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3},
+		{Op: OpLoad, Rd: 4, Rs: 5, Imm: 64, Size: 8},
+		{Op: OpStore, Rs: 6, Rt: 7, Imm: -64, Size: 1},
+		{Op: OpArm, Rs: 8, Imm: 128},
+		{Op: OpDisarm, Rs: 8, Imm: 128},
+		{Op: OpBeq, Rs: 9, Rt: 10, Imm: 0x400100},
+		{Op: OpRTCall, Imm: 2},
+	}
+	for _, in := range seeds {
+		var buf [InstrBytes]byte
+		if err := Encode(in, buf[:]); err != nil {
+			f.Fatalf("seed %v does not encode: %v", in, err)
+		}
+		f.Add(buf[:])
+	}
+	f.Add([]byte{1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0xFF}, InstrBytes))
+	bad := make([]byte, InstrBytes)
+	bad[0] = uint8(OpLoad)
+	bad[4] = 3 // invalid access size
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := Decode(data)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		if verr := in.Valid(); verr != nil {
+			t.Fatalf("Decode accepted invalid instruction %v: %v", in, verr)
+		}
+		var buf [InstrBytes]byte
+		if err := Encode(in, buf[:]); err != nil {
+			t.Fatalf("decoded instruction %v does not re-encode: %v", in, err)
+		}
+		back, err := Decode(buf[:])
+		if err != nil {
+			t.Fatalf("re-encoded instruction %v does not decode: %v", in, err)
+		}
+		if back != in {
+			t.Fatalf("round-trip changed the instruction: %v -> %v", in, back)
+		}
+		if buf[5] != 0 || buf[6] != 0 || buf[7] != 0 {
+			t.Fatalf("encoding is not canonical: reserved bytes %v", buf[5:8])
+		}
+	})
+}
+
+// FuzzDecodeProgram fuzzes the whole-image decoder: it must never panic, and
+// any accepted image must round-trip through EncodeProgram.
+func FuzzDecodeProgram(f *testing.F) {
+	img, err := EncodeProgram([]Instr{
+		{Op: OpMovI, Rd: 1, Imm: 10},
+		{Op: OpAddI, Rd: 1, Rs: 1, Imm: -1},
+		{Op: OpBne, Rs: 1, Rt: 0, Imm: 0x400010},
+		{Op: OpHalt},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	f.Add(img[:InstrBytes+1]) // misaligned
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := DecodeProgram(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeProgram(prog)
+		if err != nil {
+			t.Fatalf("decoded program does not re-encode: %v", err)
+		}
+		back, err := DecodeProgram(out)
+		if err != nil {
+			t.Fatalf("re-encoded program does not decode: %v", err)
+		}
+		if len(back) != len(prog) {
+			t.Fatalf("round-trip changed program length: %d -> %d", len(prog), len(back))
+		}
+		for i := range prog {
+			if back[i] != prog[i] {
+				t.Fatalf("round-trip changed instruction %d: %v -> %v", i, prog[i], back[i])
+			}
+		}
+	})
+}

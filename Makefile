@@ -5,16 +5,21 @@
 #   make race        the parallel sweep engine under the race detector
 #   make fuzz-short  brief run of every native fuzz target (seed corpus +
 #                    FUZZTIME of new inputs each)
+#   make faults      the §V fault-injection campaign (deterministic in SEED)
 #   make bench       regenerate every figure/table as benchmarks
-#   make verify      what CI runs: test + race
+#   make verify      what CI runs: vet + test + race
 
 GO       ?= go
 FUZZTIME ?= 10s
+SEED     ?= 42
 
-.PHONY: build test race fuzz-short bench verify
+.PHONY: build vet test race fuzz-short faults bench verify
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test: build
 	$(GO) test ./...
@@ -27,8 +32,12 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecode  -fuzztime=$(FUZZTIME) ./internal/isa
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeProgram -fuzztime=$(FUZZTIME) ./internal/isa
 	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecode  -fuzztime=$(FUZZTIME) ./internal/asm
+	$(GO) test -run='^$$' -fuzz=FuzzTokenDetector -fuzztime=$(FUZZTIME) ./internal/core
+
+faults:
+	$(GO) run ./cmd/restbench -faults -seed $(SEED) -csv
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-verify: test race
+verify: vet test race

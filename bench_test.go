@@ -58,7 +58,7 @@ func BenchmarkFigure3ASanBreakdown(b *testing.B) {
 	var r *harness.Fig3Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		r, err = harness.RunFig3(workload.All(), benchScale)
+		r, err = harness.RunFig3(context.Background(), workload.All(), benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +151,7 @@ func BenchmarkMicroStats(b *testing.B) {
 	var s *harness.MicroStats
 	var err error
 	for i := 0; i < b.N; i++ {
-		s, err = harness.RunMicroStats(wl, benchScale)
+		s, err = harness.RunMicroStats(context.Background(), wl, benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,5 +1,5 @@
 // Command restbench regenerates every table and figure of the paper's
-// evaluation section (§VI):
+// evaluation section (§VI), plus the §V fault-injection campaign:
 //
 //	restbench -fig3          ASan overhead component breakdown
 //	restbench -fig7          REST vs ASan overheads, all modes and scopes
@@ -8,6 +8,7 @@
 //	restbench -table2        simulated hardware configuration
 //	restbench -table3        qualitative hardware-scheme comparison
 //	restbench -stats         §VI-B microarchitectural statistics
+//	restbench -faults        §V fault-injection campaign
 //	restbench -all           everything
 //
 // Use -scale to lengthen the runs and -csv to emit machine-readable output.
@@ -19,15 +20,28 @@
 // at any -j — only the wall clock changes, roughly by min(j, cells, cores)
 // on an otherwise idle machine. Each sweep prints its elapsed time and
 // worker count to stderr, keeping stdout identical across -j values.
+//
+// Robustness controls:
+//
+//	-timeout D       wall-clock deadline for the whole invocation; cells
+//	                 still running when it expires are cut loose by the
+//	                 per-cell watchdog and reported as holes
+//	-cell-timeout D  per-cell wall-clock watchdog
+//	-cell-budget N   per-cell simulated-instruction budget (0 = sim default)
+//	-keep-going      print partial reports with annotated holes and exit 0
+//	                 when cells fail; without it any failed cell exits 1
+//	-seed N          seed for the -faults campaign (same seed, same report)
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"rest/internal/fault"
 	"rest/internal/harness"
 	"rest/internal/prog"
 	"rest/internal/workload"
@@ -41,6 +55,7 @@ func main() {
 	table2 := flag.Bool("table2", false, "print Table II")
 	table3 := flag.Bool("table3", false, "print Table III")
 	stats := flag.Bool("stats", false, "print §VI-B microarchitectural statistics")
+	faults := flag.Bool("faults", false, "run the §V fault-injection campaign")
 	all := flag.Bool("all", false, "run everything")
 	scale := flag.Int64("scale", 5, "workload scale factor")
 	statsWL := flag.String("stats-workload", "xalanc", "workload for -stats")
@@ -50,9 +65,15 @@ func main() {
 	variants := flag.Bool("variants", false, "expand per-input variants (Figure 7's full x-axis)")
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	failFast := flag.Bool("failfast", false, "cancel a sweep's remaining cells on the first error")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the whole invocation (0 = none)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock watchdog (0 = none)")
+	cellBudget := flag.Uint64("cell-budget", 0, "per-cell simulated-instruction budget (0 = sim default)")
+	keepGoing := flag.Bool("keep-going", false, "report failed cells as holes and exit 0")
+	seed := flag.Int64("seed", 42, "seed for the -faults campaign")
+	only := flag.String("only", "", "substring filter for -faults scenarios")
 	flag.Parse()
 
-	if !(*fig3 || *fig7 || *fig8 || *table1 || *table2 || *table3 || *stats || *all) {
+	if !(*fig3 || *fig7 || *fig8 || *table1 || *table2 || *table3 || *stats || *faults || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -61,7 +82,37 @@ func main() {
 		os.Exit(1)
 	}
 	ctx := context.Background()
-	opt := harness.ParallelOptions{Workers: *jobs, FailFast: *failFast}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt := harness.ParallelOptions{
+		Workers:         *jobs,
+		FailFast:        *failFast,
+		CellTimeout:     *cellTimeout,
+		CellInstrBudget: *cellBudget,
+	}
+	// degraded flips when a sweep came back partial under -keep-going; the
+	// holes are already annotated in the printed reports, so the process
+	// still exits 0 — the campaign completed, just not every cell.
+	degraded := false
+	// sweepErr decides what a failed sweep means: under -keep-going a
+	// *MatrixError (partial result available) is downgraded to a stderr
+	// notice, anything else still aborts.
+	sweepErr := func(name string, err error) {
+		if err == nil {
+			return
+		}
+		var merr *harness.MatrixError
+		if *keepGoing && errors.As(err, &merr) {
+			degraded = true
+			fmt.Fprintf(os.Stderr, "%s: %d cells failed, %d skipped; continuing with holes\n",
+				name, len(merr.Cells), merr.Skipped)
+			return
+		}
+		fail(err)
+	}
 	// elapsed reports each sweep's wall clock on stderr so that stdout stays
 	// byte-identical across -j values (the determinism guarantee).
 	elapsed := func(name string, start time.Time) {
@@ -82,9 +133,7 @@ func main() {
 	if *all || *fig3 {
 		start := time.Now()
 		r, err := harness.RunFig3Parallel(ctx, workload.All(), *scale, opt)
-		if err != nil {
-			fail(err)
-		}
+		sweepErr("fig3", err)
 		elapsed("fig3", start)
 		fmt.Println(r.Render())
 	}
@@ -95,9 +144,7 @@ func main() {
 		}
 		start := time.Now()
 		m, err := harness.RunMatrixParallel(ctx, wls, harness.Fig7Configs(), *scale, opt)
-		if err != nil {
-			fail(err)
-		}
+		sweepErr("fig7", err)
 		elapsed("fig7", start)
 		fmt.Println(m.RenderOverheadTable(
 			fmt.Sprintf("Figure 7: runtime overheads over plain binaries (scale %d)", *scale)))
@@ -122,9 +169,7 @@ func main() {
 			harness.BinaryConfig{Name: "plain", Pass: prog.Plain()})
 		start := time.Now()
 		m, err := harness.RunMatrixParallel(ctx, workload.All(), cfgs, *scale, opt)
-		if err != nil {
-			fail(err)
-		}
+		sweepErr("fig8", err)
 		elapsed("fig8", start)
 		fmt.Println(m.RenderOverheadTable(
 			fmt.Sprintf("Figure 8: token-width overheads, secure mode (scale %d)", *scale)))
@@ -143,7 +188,25 @@ func main() {
 		}
 		fmt.Println(s.Render())
 	}
+	if *all || *faults {
+		start := time.Now()
+		c, err := fault.RunCampaign(fault.Options{Seed: *seed, Only: *only})
+		if err != nil {
+			fail(err)
+		}
+		elapsed("faults", start)
+		fmt.Println(c.Render())
+		if *csv {
+			fmt.Println(c.CSV())
+		}
+		if n := c.Failures(); n > 0 {
+			fail(fmt.Errorf("fault campaign: %d scenarios deviated from the paper's predicted verdicts", n))
+		}
+	}
 	if *all || *table3 {
 		fmt.Println(harness.RenderTableIII())
+	}
+	if degraded {
+		fmt.Fprintln(os.Stderr, "some sweep cells failed; reports contain annotated holes (-keep-going)")
 	}
 }

@@ -98,6 +98,13 @@ type Cache struct {
 
 	group *snoopGroup // nil on single-core machines
 
+	// OnTokenEvict, when non-nil, observes every eviction of a line whose
+	// token mask is set, after the token value has been filled into the
+	// outgoing packet (Table I, Eviction row). The fault-injection plane
+	// hooks it to corrupt the writeback in flight (token-bit loss on L1-D
+	// eviction, §V-B); it must never be set on measurement runs.
+	OnTokenEvict func(lineAddr uint64, mask uint8)
+
 	Stats Stats
 }
 
@@ -229,6 +236,9 @@ func (c *Cache) evict(now uint64, lineAddr uint64) *cline {
 			// The token value is filled into the outgoing packet (Table I,
 			// Eviction row); content is already authoritative in memory.
 			c.Stats.TokenEvicts++
+			if c.OnTokenEvict != nil {
+				c.OnTokenEvict(v.tag<<c.setShift, v.tokenMask)
+			}
 		}
 		if v.dirty || v.tokenMask != 0 {
 			c.Stats.Writebacks++

@@ -184,6 +184,67 @@ func (t *TokenTracker) DisarmRange(addr, n, pc uint64) *Exception {
 	return nil
 }
 
+// --- Fault-injection primitives (internal/fault) ---
+//
+// The injectors below deliberately break the content/tracker invariant the
+// way real hardware faults would, then re-derive the armed set from memory
+// content — exactly what the fill-time detector does. They exist so the §V
+// failure-mode analysis (token corruption, collisions, token-bit loss) can
+// be reproduced as executable scenarios; nothing on the normal Arm/Disarm
+// path calls them.
+
+// InjectBitFlip flips bit (0..7) of the byte at addr directly in memory,
+// modelling a DRAM/cache-line bit flip that no store instruction carried
+// (and which therefore no detector saw). The armed set is then resynced
+// from content for the affected chunk, because that is all the hardware
+// ever knows: a corrupted token no longer matches the token register, so
+// the fill-time detector silently stops flagging the chunk (§V-B). It
+// returns true when the flip changed the chunk's armed status.
+func (t *TokenTracker) InjectBitFlip(addr uint64, bit uint) bool {
+	b := t.m.Byte(addr)
+	t.m.SetByte(addr, b^(1<<(bit&7)))
+	return t.ResyncChunk(addr)
+}
+
+// InjectTokenWrite copies the secret token value into the chunk containing
+// addr without going through Arm, modelling a token-value collision: program
+// data that happens to equal the token (§V-B estimates the probability at
+// 2^-128 or less; the injector forces the coincidence). The detector will
+// flag the chunk on the next fill even though no redzone lives there.
+func (t *TokenTracker) InjectTokenWrite(addr uint64) {
+	a := t.reg.Align(addr)
+	t.m.Write(a, t.reg.value)
+	t.ResyncChunk(a)
+}
+
+// InjectTokenDrop zeroes the chunk containing addr directly in memory,
+// modelling a writeback packet that lost the token value (token-bit loss on
+// eviction: the metadata bit existed only at the L1-D, and the fault dropped
+// the materialized token from the outgoing line). The chunk silently leaves
+// the armed set — protection is gone and nothing was reported.
+func (t *TokenTracker) InjectTokenDrop(addr uint64) {
+	a := t.reg.Align(addr)
+	t.m.Zero(a, uint64(t.reg.width))
+	t.ResyncChunk(a)
+}
+
+// ResyncChunk re-derives the armed status of the chunk containing addr from
+// memory content, the way a fill-time detector pass over the line would. It
+// returns true when the status changed. This is the hardware-faithful
+// repair step after any content mutation that bypassed Arm/Disarm.
+func (t *TokenTracker) ResyncChunk(addr uint64) bool {
+	a := t.reg.Align(addr)
+	_, was := t.armed[a]
+	is := t.m.Equal(a, t.reg.value)
+	switch {
+	case is && !was:
+		t.armed[a] = struct{}{}
+	case !is && was:
+		delete(t.armed, a)
+	}
+	return is != was
+}
+
 // VerifyConsistency exhaustively checks the tracker/content invariant for
 // every armed chunk and returns an error naming the first divergence. Used
 // by tests and the harness's self-check mode.

@@ -1,0 +1,192 @@
+// Package fault is the deterministic fault-injection plane for the REST
+// reproduction. It makes the paper's §V robustness analysis executable:
+// every scenario perturbs a system the way a real-world fault or attack
+// would — DRAM/cache-line bit flips, token loss on L1-D eviction, partial
+// token overwrites inside armed redzones, forced token-value collisions,
+// quarantine exhaustion and allocator metadata corruption — and is paired
+// with the verdict the paper's analysis predicts: a raised REST exception,
+// a silent loss of protection, or no effect at all.
+//
+// The campaign is seed-driven and fully deterministic: the same seed
+// produces a byte-identical scenario list, byte-identical verdicts and
+// byte-identical reports, so a surprising verdict can always be replayed.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Verdict classifies what the system did about an injected fault.
+type Verdict int
+
+const (
+	// Benign: the fault neither raised an exception nor degraded
+	// protection (e.g. a bit flip in clean data).
+	Benign Verdict = iota
+	// Detected: a REST exception or a software (allocator) violation was
+	// raised. For collision scenarios this is a *spurious* detection — the
+	// fail-safe direction.
+	Detected
+	// SilentMiss: protection was lost and nothing was reported. These are
+	// the paper's documented false-negative windows (§V-B, §V-C).
+	SilentMiss
+)
+
+// String names the verdict for reports.
+func (v Verdict) String() string {
+	switch v {
+	case Detected:
+		return "detected"
+	case SilentMiss:
+		return "silent-miss"
+	default:
+		return "benign"
+	}
+}
+
+// Scenario is one injectable fault paired with its predicted outcome.
+type Scenario struct {
+	// Name identifies the scenario (stable; part of the report format).
+	Name string
+	// Section is the paper section whose analysis predicts the verdict.
+	Section string
+	// Description says what is injected and why the verdict follows.
+	Description string
+	// Expected is the verdict §V predicts.
+	Expected Verdict
+	// run injects the fault and observes the system's reaction. All
+	// randomness (token values, fault sites, bit positions) must come from
+	// rng so the campaign stays deterministic per seed.
+	run func(rng *rand.Rand) (Verdict, string, error)
+}
+
+// Result is one executed scenario.
+type Result struct {
+	Scenario string
+	Section  string
+	Expected Verdict
+	Observed Verdict
+	// Detail records the concrete fault site/probe for replayability.
+	Detail string
+	// Err is a scenario execution error (rig failure — not a verdict).
+	Err error
+}
+
+// Pass reports whether the observation matched the paper's prediction.
+func (r Result) Pass() bool { return r.Err == nil && r.Observed == r.Expected }
+
+// Options parameterizes a campaign run.
+type Options struct {
+	// Seed drives every random choice in the campaign. Identical seeds
+	// yield byte-identical reports.
+	Seed int64
+	// Only, when non-empty, restricts the campaign to scenarios whose name
+	// contains the substring.
+	Only string
+}
+
+// Campaign is one executed fault-injection sweep.
+type Campaign struct {
+	Seed    int64
+	Results []Result
+}
+
+// RunCampaign executes every scenario in its fixed registration order. Each
+// scenario draws from its own seed stream (derived from Options.Seed and
+// the scenario's position), so adding a scenario never perturbs the
+// randomness of those before it.
+func RunCampaign(opt Options) (*Campaign, error) {
+	c := &Campaign{Seed: opt.Seed}
+	for i, sc := range Scenarios() {
+		if opt.Only != "" && !strings.Contains(sc.Name, opt.Only) {
+			continue
+		}
+		rng := rand.New(rand.NewSource(opt.Seed ^ (int64(i+1) * 0x9E37_79B9_7F4A_7C1)))
+		obs, detail, err := sc.run(rng)
+		c.Results = append(c.Results, Result{
+			Scenario: sc.Name,
+			Section:  sc.Section,
+			Expected: sc.Expected,
+			Observed: obs,
+			Detail:   detail,
+			Err:      err,
+		})
+	}
+	if len(c.Results) == 0 {
+		return nil, fmt.Errorf("fault: no scenario matches %q", opt.Only)
+	}
+	return c, nil
+}
+
+// Failures counts scenarios whose observation diverged from the paper's
+// prediction (or which failed to execute).
+func (c *Campaign) Failures() int {
+	n := 0
+	for _, r := range c.Results {
+		if !r.Pass() {
+			n++
+		}
+	}
+	return n
+}
+
+// Detections counts scenarios that ended in a raised exception/violation.
+func (c *Campaign) Detections() int {
+	n := 0
+	for _, r := range c.Results {
+		if r.Observed == Detected {
+			n++
+		}
+	}
+	return n
+}
+
+// SilentMisses counts scenarios that silently lost protection.
+func (c *Campaign) SilentMisses() int {
+	n := 0
+	for _, r := range c.Results {
+		if r.Observed == SilentMiss {
+			n++
+		}
+	}
+	return n
+}
+
+// Render prints the campaign as the §V verdict table.
+func (c *Campaign) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault-injection campaign (seed %d): %d scenarios, %d detected, %d silent misses, %d mismatches\n",
+		c.Seed, len(c.Results), c.Detections(), c.SilentMisses(), c.Failures())
+	fmt.Fprintf(&b, "%-28s %-6s %-12s %-12s %-6s %s\n",
+		"scenario", "paper", "expected", "observed", "match", "detail")
+	for _, r := range c.Results {
+		status := "OK"
+		if !r.Pass() {
+			status = "FAIL"
+		}
+		detail := r.Detail
+		if r.Err != nil {
+			detail = fmt.Sprintf("error: %v", r.Err)
+		}
+		fmt.Fprintf(&b, "%-28s %-6s %-12s %-12s %-6s %s\n",
+			r.Scenario, r.Section, r.Expected, r.Observed, status, detail)
+	}
+	return b.String()
+}
+
+// CSV renders the campaign as machine-readable rows.
+func (c *Campaign) CSV() string {
+	var b strings.Builder
+	b.WriteString("scenario,section,expected,observed,match,detail\n")
+	for _, r := range c.Results {
+		detail := r.Detail
+		if r.Err != nil {
+			detail = fmt.Sprintf("error: %v", r.Err)
+		}
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%v,%q\n",
+			r.Scenario, r.Section, r.Expected, r.Observed, r.Pass(), detail)
+	}
+	return b.String()
+}

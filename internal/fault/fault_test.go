@@ -1,0 +1,150 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCampaignMatchesPaper runs the full campaign and requires every
+// scenario to land on the verdict §V predicts — this is the executable form
+// of the paper's false-negative analysis.
+func TestCampaignMatchesPaper(t *testing.T) {
+	c, err := RunCampaign(Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range c.Results {
+		if r.Err != nil {
+			t.Errorf("%s: rig error: %v", r.Scenario, r.Err)
+			continue
+		}
+		if r.Observed != r.Expected {
+			t.Errorf("%s (§%s): expected %s, observed %s (%s)",
+				r.Scenario, r.Section, r.Expected, r.Observed, r.Detail)
+		}
+	}
+	if c.Failures() != 0 {
+		t.Errorf("campaign reports %d failures", c.Failures())
+	}
+}
+
+// TestCampaignDeterministic pins the seed contract: the same seed produces
+// a byte-identical report (scenario list, verdicts, fault sites), and a
+// different seed moves the random fault sites without changing verdicts.
+func TestCampaignDeterministic(t *testing.T) {
+	a, err := RunCampaign(Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaign(Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Errorf("same seed, different reports:\n%s\nvs\n%s", a.Render(), b.Render())
+	}
+	if a.CSV() != b.CSV() {
+		t.Errorf("same seed, different CSV")
+	}
+
+	c, err := RunCampaign(Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Results) != len(a.Results) {
+		t.Fatalf("seed changed the scenario list: %d vs %d", len(c.Results), len(a.Results))
+	}
+	moved := false
+	for i := range c.Results {
+		if c.Results[i].Scenario != a.Results[i].Scenario {
+			t.Errorf("scenario order changed under a different seed")
+		}
+		if c.Results[i].Observed != a.Results[i].Observed {
+			t.Errorf("%s: verdict depends on the seed: %s vs %s",
+				c.Results[i].Scenario, c.Results[i].Observed, a.Results[i].Observed)
+		}
+		if c.Results[i].Detail != a.Results[i].Detail {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Errorf("different seeds picked identical fault sites everywhere — scenarios ignore the rng")
+	}
+}
+
+// TestCampaignCoverage checks the shape the ISSUE demands: at least one
+// detected case per paper section exercised, and a documented silent miss
+// wherever §V predicts one.
+func TestCampaignCoverage(t *testing.T) {
+	c, err := RunCampaign(Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detectedBySection := map[string]int{}
+	missBySection := map[string]int{}
+	for _, r := range c.Results {
+		if r.Observed == Detected {
+			detectedBySection[r.Section]++
+		}
+		if r.Observed == SilentMiss {
+			missBySection[r.Section]++
+		}
+	}
+	for _, sec := range []string{"III-A", "III-B", "IV-A", "V-B"} {
+		if detectedBySection[sec] == 0 {
+			t.Errorf("no detected scenario for §%s", sec)
+		}
+	}
+	// The paper's documented false-negative windows must appear as silent
+	// misses: memory errors / detector placement (V-B) and the temporal
+	// quarantine window (V-C).
+	for _, sec := range []string{"V-B", "V-C"} {
+		if missBySection[sec] == 0 {
+			t.Errorf("no silent-miss scenario for §%s (the paper predicts one)", sec)
+		}
+	}
+	if c.Detections() == 0 || c.SilentMisses() == 0 {
+		t.Errorf("campaign must contain both detections (%d) and silent misses (%d)",
+			c.Detections(), c.SilentMisses())
+	}
+}
+
+// TestCampaignOnlyFilter exercises the substring filter the CLI exposes.
+func TestCampaignOnlyFilter(t *testing.T) {
+	c, err := RunCampaign(Options{Seed: 1, Only: "collision"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Results) != 3 {
+		t.Fatalf("want the 3 collision widths, got %d results", len(c.Results))
+	}
+	for _, r := range c.Results {
+		if !strings.Contains(r.Scenario, "collision") {
+			t.Errorf("filter leaked scenario %s", r.Scenario)
+		}
+	}
+	if _, err := RunCampaign(Options{Seed: 1, Only: "no-such-scenario"}); err == nil {
+		t.Errorf("want an error for a filter matching nothing")
+	}
+}
+
+// TestCSVShape pins the machine-readable format: header plus one row per
+// scenario, every row carrying a match column.
+func TestCSVShape(t *testing.T) {
+	c, err := RunCampaign(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(c.CSV()), "\n")
+	if lines[0] != "scenario,section,expected,observed,match,detail" {
+		t.Errorf("unexpected CSV header %q", lines[0])
+	}
+	if len(lines)-1 != len(c.Results) {
+		t.Errorf("CSV rows %d != results %d", len(lines)-1, len(c.Results))
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, ",true,") && !strings.Contains(l, ",false,") {
+			t.Errorf("CSV row missing match column: %q", l)
+		}
+	}
+}

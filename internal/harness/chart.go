@@ -20,6 +20,14 @@ func (m *Matrix) RenderBarChart(title string, clipPct float64) string {
 			if c == "plain" {
 				continue
 			}
+			if !m.complete(wl, c) {
+				reason, _ := m.Hole(wl, c)
+				if reason == "" {
+					reason, _ = m.Hole(wl, "plain")
+				}
+				fmt.Fprintf(&b, "  %-16s|%-*s|  hole: %s\n", c, width, "", reason)
+				continue
+			}
 			ov := m.Overhead(wl, c)
 			clipped := ov > clipPct
 			frac := ov / clipPct

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -35,22 +36,31 @@ func fig3Configs() []BinaryConfig {
 
 // Fig3Result holds the component breakdown: Breakdown[workload][i] is the
 // marginal overhead (percentage points over plain) of Fig3Components[i].
+// Workloads with a failed/timed-out level have no breakdown; they appear in
+// Holes[workload] with the first failing level's reason instead.
 type Fig3Result struct {
 	Workloads []string
 	Breakdown map[string][]float64
 	Total     map[string]float64
+	Holes     map[string]string
 }
 
 // RunFig3 regenerates Figure 3's ASan overhead breakdown on the parallel
-// sweep engine at its default worker count.
-func RunFig3(wls []workload.Workload, scale int64) (*Fig3Result, error) {
-	return RunFig3Parallel(context.Background(), wls, scale, ParallelOptions{})
+// sweep engine at its default worker count. The context bounds the whole
+// figure (cmd/restbench -timeout reaches every report path through it).
+func RunFig3(ctx context.Context, wls []workload.Workload, scale int64) (*Fig3Result, error) {
+	return RunFig3Parallel(ctx, wls, scale, ParallelOptions{})
 }
 
 // RunFig3Parallel is RunFig3 with explicit sweep options (cmd/restbench -j).
+// A sweep with failed cells still returns the partial breakdown: the
+// workloads whose five levels all completed are computed normally, the rest
+// become annotated holes, and the *MatrixError comes back alongside so the
+// caller chooses between strict and keep-going behaviour.
 func RunFig3Parallel(ctx context.Context, wls []workload.Workload, scale int64, opt ParallelOptions) (*Fig3Result, error) {
 	m, err := RunMatrixParallel(ctx, wls, fig3Configs(), scale, opt)
-	if err != nil {
+	var merr *MatrixError
+	if err != nil && !errors.As(err, &merr) {
 		return nil, err
 	}
 	res := &Fig3Result{
@@ -60,6 +70,13 @@ func RunFig3Parallel(ctx context.Context, wls []workload.Workload, scale int64, 
 	}
 	levels := []string{"alloc", "alloc+stack", "alloc+stack+checks", "asan-full"}
 	for _, wl := range m.Workloads {
+		if reason, holed := fig3RowHole(m, wl, levels); holed {
+			if res.Holes == nil {
+				res.Holes = make(map[string]string)
+			}
+			res.Holes[wl] = reason
+			continue
+		}
 		prev := 0.0
 		parts := make([]float64, len(levels))
 		for i, lv := range levels {
@@ -70,10 +87,26 @@ func RunFig3Parallel(ctx context.Context, wls []workload.Workload, scale int64, 
 		res.Breakdown[wl] = parts
 		res.Total[wl] = prev
 	}
-	return res, nil
+	return res, err
 }
 
-// Render prints the stacked breakdown.
+// fig3RowHole reports whether a workload's breakdown is uncomputable (any of
+// its cumulative levels or its baseline missing) and with which reason.
+func fig3RowHole(m *Matrix, wl string, levels []string) (string, bool) {
+	for _, lv := range append([]string{"plain"}, levels...) {
+		if _, ok := m.Cycles[wl][lv]; ok {
+			continue
+		}
+		if reason, ok := m.Hole(wl, lv); ok {
+			return fmt.Sprintf("%s: %s", lv, reason), true
+		}
+		return fmt.Sprintf("%s: missing", lv), true
+	}
+	return "", false
+}
+
+// Render prints the stacked breakdown; workloads without one are rendered as
+// explicit hole rows, never as zeros.
 func (r *Fig3Result) Render() string {
 	var b strings.Builder
 	b.WriteString("Figure 3: breakdown of ASan overhead sources (% over plain/libc)\n")
@@ -84,6 +117,10 @@ func (r *Fig3Result) Render() string {
 	fmt.Fprintf(&b, "%10s\n", "total")
 	for _, wl := range r.Workloads {
 		fmt.Fprintf(&b, "%-12s", wl)
+		if reason, ok := r.Holes[wl]; ok {
+			fmt.Fprintf(&b, "  hole (%s)\n", reason)
+			continue
+		}
 		for _, v := range r.Breakdown[wl] {
 			fmt.Fprintf(&b, "%25.1f%%", v)
 		}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"rest/internal/core"
 	"rest/internal/cpu"
@@ -68,21 +69,46 @@ type RunResult struct {
 	World    *world.World
 }
 
+// CellLimits bounds one cell's execution: the watchdog budgets every sweep
+// cell runs under. The zero value imposes nothing beyond the simulator's
+// own runaway cap.
+type CellLimits struct {
+	// MaxInstructions caps the cell's simulated user instructions
+	// (0 = sim default).
+	MaxInstructions uint64
+	// Timeout bounds the cell's wall clock (0 = none). A cell that exceeds
+	// it fails with a *sim.BudgetExceededError.
+	Timeout time.Duration
+}
+
 // Run executes one workload under one configuration at the given scale.
 func Run(wl workload.Workload, cfg BinaryConfig, scale int64) (*RunResult, error) {
+	return RunLimited(wl, cfg, scale, CellLimits{})
+}
+
+// RunLimited is Run under explicit watchdog budgets.
+func RunLimited(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLimits) (*RunResult, error) {
+	var deadline time.Time
+	if lim.Timeout > 0 {
+		deadline = time.Now().Add(lim.Timeout)
+	}
 	w, err := world.Build(world.Spec{
-		Pass:          cfg.Pass,
-		Mode:          cfg.Mode,
-		Width:         core.Width(cfg.Pass.TokenWidth),
-		InterceptLibc: cfg.InterceptLibc,
-		InOrder:       cfg.InOrder,
+		Pass:            cfg.Pass,
+		Mode:            cfg.Mode,
+		Width:           core.Width(cfg.Pass.TokenWidth),
+		InterceptLibc:   cfg.InterceptLibc,
+		InOrder:         cfg.InOrder,
+		MaxInstructions: lim.MaxInstructions,
+		Deadline:        deadline,
 	}, wl.Build(scale))
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name, cfg.Name, err)
 	}
 	stats, out := w.RunTimed()
 	if out.Err != nil {
-		return nil, fmt.Errorf("harness: %s/%s: %v", wl.Name, cfg.Name, out.Err)
+		// %w, not %v: the sweep engine classifies watchdog kills by
+		// unwrapping to *sim.BudgetExceededError.
+		return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name, cfg.Name, out.Err)
 	}
 	if out.Detected() {
 		return nil, fmt.Errorf("harness: %s/%s: spurious detection: %s", wl.Name, cfg.Name, out)
@@ -99,6 +125,45 @@ type Matrix struct {
 	Configs   []string
 	Cycles    map[string]map[string]uint64
 	Results   map[string]map[string]*RunResult
+	// Holes annotates cells with no result — failed, timed out or skipped —
+	// as Holes[workload][config] = reason. A sweep that degrades gracefully
+	// returns the partial matrix with its holes instead of aborting; every
+	// renderer marks them explicitly so a gap can never pass for a zero.
+	Holes map[string]map[string]string
+}
+
+// AddHole records why a cell has no result.
+func (m *Matrix) AddHole(wl, config, reason string) {
+	if m.Holes == nil {
+		m.Holes = make(map[string]map[string]string)
+	}
+	if m.Holes[wl] == nil {
+		m.Holes[wl] = make(map[string]string)
+	}
+	m.Holes[wl][config] = reason
+}
+
+// Hole reports the reason a cell has no result, if it is annotated.
+func (m *Matrix) Hole(wl, config string) (string, bool) {
+	r, ok := m.Holes[wl][config]
+	return r, ok
+}
+
+// HoleCount reports how many cells of the sweep are annotated holes.
+func (m *Matrix) HoleCount() int {
+	n := 0
+	for _, row := range m.Holes {
+		n += len(row)
+	}
+	return n
+}
+
+// complete reports whether workload wl has a result for config (and for the
+// plain baseline, which every derived number needs).
+func (m *Matrix) complete(wl, config string) bool {
+	_, okCfg := m.Cycles[wl][config]
+	_, okBase := m.Cycles[wl]["plain"]
+	return okCfg && okBase
 }
 
 // RunMatrix sweeps the workloads × configs grid strictly sequentially,
@@ -142,10 +207,15 @@ func (m *Matrix) Overhead(wl, config string) float64 {
 
 // WtdAriMeanOverhead computes the paper's weighted arithmetic mean overhead
 // (footnote 5): AriMean(normalized runtime × plain runtime / Σ plain
-// runtimes) − 1, i.e. total-cycles ratio across the suite.
+// runtimes) − 1, i.e. total-cycles ratio across the suite. Workloads with a
+// hole in either the config or the plain baseline are excluded (the mean is
+// over the complete rows only; holes are annotated in the rendering).
 func (m *Matrix) WtdAriMeanOverhead(config string) float64 {
 	var sumPlain, sumCfg float64
 	for _, wl := range m.Workloads {
+		if !m.complete(wl, config) {
+			continue
+		}
 		sumPlain += float64(m.Cycles[wl]["plain"])
 		sumCfg += float64(m.Cycles[wl][config])
 	}
@@ -161,6 +231,9 @@ func (m *Matrix) GeoMeanOverhead(config string) float64 {
 	logSum := 0.0
 	n := 0
 	for _, wl := range m.Workloads {
+		if !m.complete(wl, config) {
+			continue
+		}
 		base := float64(m.Cycles[wl]["plain"])
 		if base == 0 {
 			continue
@@ -193,6 +266,10 @@ func (m *Matrix) RenderOverheadTable(title string) string {
 	for _, wl := range m.Workloads {
 		fmt.Fprintf(&b, "%-12s", wl)
 		for _, c := range cfgs {
+			if !m.complete(wl, c) {
+				fmt.Fprintf(&b, "%16s", "hole")
+				continue
+			}
 			fmt.Fprintf(&b, "%15.1f%%", m.Overhead(wl, c))
 		}
 		b.WriteString("\n")
@@ -207,6 +284,26 @@ func (m *Matrix) RenderOverheadTable(title string) string {
 		fmt.Fprintf(&b, "%15.1f%%", m.GeoMeanOverhead(c))
 	}
 	b.WriteString("\n")
+	b.WriteString(m.renderHoles())
+	return b.String()
+}
+
+// renderHoles appends the hole annotations (empty string for a full matrix).
+// Rows follow grid order so the output is deterministic.
+func (m *Matrix) renderHoles() string {
+	if m.HoleCount() == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "holes (%d of %d cells; means cover complete rows only):\n",
+		m.HoleCount(), len(m.Workloads)*len(m.Configs))
+	for _, wl := range m.Workloads {
+		for _, c := range m.Configs {
+			if reason, ok := m.Hole(wl, c); ok {
+				fmt.Fprintf(&b, "  %s/%s: %s\n", wl, c, reason)
+			}
+		}
+	}
 	return b.String()
 }
 
@@ -221,7 +318,12 @@ func (m *Matrix) CSV() string {
 	for _, wl := range m.Workloads {
 		b.WriteString(wl)
 		for _, c := range m.Configs {
-			fmt.Fprintf(&b, ",%d", m.Cycles[wl][c])
+			if v, ok := m.Cycles[wl][c]; ok {
+				fmt.Fprintf(&b, ",%d", v)
+			} else {
+				// Annotated hole: never render a missing cell as a number.
+				b.WriteString(",NA")
+			}
 		}
 		b.WriteString("\n")
 	}

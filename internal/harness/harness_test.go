@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -93,7 +94,7 @@ func TestMatrixOverheads(t *testing.T) {
 
 func TestFig3Breakdown(t *testing.T) {
 	wls := subset(t, "xalanc", "lbm")
-	r, err := RunFig3(wls, 1)
+	r, err := RunFig3(context.Background(), wls, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestTableRenderers(t *testing.T) {
 
 func TestMicroStats(t *testing.T) {
 	wl, _ := workload.ByName("xalanc")
-	s, err := RunMicroStats(wl, 1)
+	s, err := RunMicroStats(context.Background(), wl, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

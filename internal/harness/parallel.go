@@ -2,11 +2,15 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"time"
 
+	"rest/internal/sim"
 	"rest/internal/workload"
 )
 
@@ -29,6 +33,13 @@ type ParallelOptions struct {
 	// fails. Off by default: every cell runs and all failures are
 	// aggregated into one MatrixError.
 	FailFast bool
+	// CellTimeout is each cell's wall-clock watchdog (0 = none). A cell
+	// that exceeds it fails with a *sim.BudgetExceededError and becomes an
+	// annotated hole; its siblings keep running.
+	CellTimeout time.Duration
+	// CellInstrBudget caps each cell's simulated user instructions
+	// (0 = the simulator's own runaway cap).
+	CellInstrBudget uint64
 }
 
 // EffectiveWorkers resolves the worker-pool size actually used.
@@ -52,6 +63,51 @@ func (e *CellError) Error() string {
 }
 
 func (e *CellError) Unwrap() error { return e.Err }
+
+// PanicError is a panic captured inside one sweep cell, converted into an
+// ordinary error so a crashing cell becomes an annotated hole instead of
+// taking the whole sweep process down. Stack is the panicking goroutine's
+// stack trace at recovery time.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements the error interface; the message carries the full stack
+// so the failure stays diagnosable after aggregation.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// runCell executes one cell with panic containment: a panic anywhere under
+// Run (workload builder, world assembly, simulation, timing model) comes
+// back as a *PanicError instead of unwinding the worker goroutine.
+func runCell(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLimits) (res *RunResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return RunLimited(wl, cfg, scale, lim)
+}
+
+// holeReason compresses a cell error into the one-line annotation renderers
+// attach to the hole (the full error, stack included, stays in MatrixError).
+func holeReason(err error) string {
+	var bud *sim.BudgetExceededError
+	if errors.As(err, &bud) {
+		return fmt.Sprintf("watchdog: %s budget exceeded (%s)", bud.Resource, bud.Limit)
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return fmt.Sprintf("panic: %v", pe.Value)
+	}
+	msg := err.Error()
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
+	}
+	return msg
+}
 
 // MatrixError aggregates every failed cell of a sweep. Cells appear in grid
 // order (workload-major), not completion order, so the message is
@@ -102,6 +158,13 @@ type cellOutcome struct {
 // Matrix holding the cells that did complete. With opt.FailFast (or when
 // ctx is cancelled) the cells not yet started are skipped and counted in
 // MatrixError.Skipped.
+//
+// The sweep is crash-contained and watchdogged: a cell that panics is
+// recovered into a *PanicError (stack trace attached) without disturbing
+// its sibling workers, and a cell that exceeds opt.CellTimeout or
+// opt.CellInstrBudget fails with a *sim.BudgetExceededError. Either way the
+// cell becomes an annotated hole in the partial Matrix (Matrix.Holes) and
+// one entry of the grid-ordered MatrixError.
 func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []BinaryConfig, scale int64, opt ParallelOptions) (*Matrix, error) {
 	type cell struct {
 		wl  workload.Workload
@@ -134,7 +197,23 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 					outcomes[i].skipped = true
 					continue
 				}
-				r, err := Run(cells[i].wl, cells[i].cfg, scale)
+				// Per-cell watchdog: the explicit cell timeout, tightened by
+				// whatever remains of the caller context's deadline.
+				lim := CellLimits{
+					MaxInstructions: opt.CellInstrBudget,
+					Timeout:         opt.CellTimeout,
+				}
+				if dl, ok := cctx.Deadline(); ok {
+					rem := time.Until(dl)
+					if rem <= 0 {
+						outcomes[i].skipped = true
+						continue
+					}
+					if lim.Timeout == 0 || rem < lim.Timeout {
+						lim.Timeout = rem
+					}
+				}
+				r, err := runCell(cells[i].wl, cells[i].cfg, scale, lim)
 				outcomes[i] = cellOutcome{res: r, err: err}
 				if err != nil && opt.FailFast {
 					cancel()
@@ -167,10 +246,12 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 		switch o := outcomes[i]; {
 		case o.skipped:
 			merr.Skipped++
+			m.AddHole(c.wl.Name, c.cfg.Name, "skipped (sweep cancelled)")
 		case o.err != nil:
 			merr.Cells = append(merr.Cells, &CellError{
 				Workload: c.wl.Name, Config: c.cfg.Name, Err: o.err,
 			})
+			m.AddHole(c.wl.Name, c.cfg.Name, holeReason(o.err))
 		default:
 			m.Cycles[c.wl.Name][c.cfg.Name] = o.res.Cycles
 			m.Results[c.wl.Name][c.cfg.Name] = o.res

@@ -5,7 +5,10 @@ import (
 	"fmt"
 )
 
-// JSONReport is the machine-readable form of an experiment matrix.
+// JSONReport is the machine-readable form of an experiment matrix. Holes
+// lists the cells with no result (failed/timed out/skipped) with their
+// reasons; consumers must treat a missing cycles entry as a gap, never as a
+// zero, and the means only cover the complete rows.
 type JSONReport struct {
 	Title      string                        `json:"title"`
 	Scale      int64                         `json:"scale"`
@@ -13,6 +16,7 @@ type JSONReport struct {
 	OverheadPc map[string]map[string]float64 `json:"overhead_percent"`
 	WtdMeanPc  map[string]float64            `json:"weighted_mean_percent"`
 	GeoMeanPc  map[string]float64            `json:"geo_mean_percent"`
+	Holes      map[string]map[string]string  `json:"holes,omitempty"`
 }
 
 // JSON renders the matrix as a machine-readable report.
@@ -24,11 +28,12 @@ func (m *Matrix) JSON(title string, scale int64) ([]byte, error) {
 		OverheadPc: make(map[string]map[string]float64),
 		WtdMeanPc:  make(map[string]float64),
 		GeoMeanPc:  make(map[string]float64),
+		Holes:      m.Holes,
 	}
 	for _, wl := range m.Workloads {
 		rep.OverheadPc[wl] = make(map[string]float64)
 		for _, c := range m.Configs {
-			if c == "plain" {
+			if c == "plain" || !m.complete(wl, c) {
 				continue
 			}
 			rep.OverheadPc[wl][c] = m.Overhead(wl, c)
@@ -44,15 +49,22 @@ func (m *Matrix) JSON(title string, scale int64) ([]byte, error) {
 	return json.MarshalIndent(rep, "", "  ")
 }
 
-// JSON renders the Figure 3 breakdown as machine-readable output.
+// JSON renders the Figure 3 breakdown as machine-readable output. A
+// workload without a computable breakdown is emitted with a "hole" reason
+// and no component figures.
 func (r *Fig3Result) JSON() ([]byte, error) {
 	type row struct {
 		Benchmark  string             `json:"benchmark"`
-		Components map[string]float64 `json:"components_percent"`
+		Components map[string]float64 `json:"components_percent,omitempty"`
 		Total      float64            `json:"total_percent"`
+		Hole       string             `json:"hole,omitempty"`
 	}
 	rows := make([]row, 0, len(r.Workloads))
 	for _, wl := range r.Workloads {
+		if reason, ok := r.Holes[wl]; ok {
+			rows = append(rows, row{Benchmark: wl, Hole: reason})
+			continue
+		}
 		comp := make(map[string]float64, len(Fig3Components))
 		for i, c := range Fig3Components {
 			comp[c] = r.Breakdown[wl][i]

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -45,7 +46,7 @@ func TestMatrixJSON(t *testing.T) {
 }
 
 func TestFig3JSON(t *testing.T) {
-	r, err := RunFig3(subset(t, "lbm"), 1)
+	r, err := RunFig3(context.Background(), subset(t, "lbm"), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,292 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rest/internal/prog"
+	"rest/internal/sim"
+	"rest/internal/workload"
+)
+
+// panickingWorkload crashes inside the program builder — deep under
+// world.Build — the way a buggy workload generator would.
+func panickingWorkload(name string) workload.Workload {
+	return workload.Workload{
+		Name:        name,
+		Description: "panics during program construction (test fixture)",
+		Build: func(scale int64) func(b *prog.Builder) {
+			return func(b *prog.Builder) {
+				panic("fixture: workload builder exploded")
+			}
+		},
+	}
+}
+
+// spinningWorkload runs an unbounded loop, the fixture for both watchdogs.
+func spinningWorkload(name string) workload.Workload {
+	return workload.Workload{
+		Name:        name,
+		Description: "never terminates (test fixture)",
+		Build: func(scale int64) func(b *prog.Builder) {
+			return func(b *prog.Builder) {
+				f := b.Func("main")
+				top := f.NewLabel()
+				f.Bind(top)
+				f.Nop()
+				f.Jmp(top)
+			}
+		},
+	}
+}
+
+// TestPanicBecomesCellError: a panicking cell must come back as a
+// *PanicError carrying a stack trace, while its sibling cells survive and
+// the failed cell becomes an annotated hole.
+func TestPanicBecomesCellError(t *testing.T) {
+	t.Parallel()
+	wls := []workload.Workload{goodWorkload(t), panickingWorkload("crasher")}
+	cfgs := []BinaryConfig{
+		{Name: "plain", Pass: prog.Plain()},
+		{Name: "secure-heap", Pass: prog.RESTHeap(64)},
+	}
+	m, err := RunMatrixParallel(context.Background(), wls, cfgs, 1,
+		ParallelOptions{Workers: 4})
+	var merr *MatrixError
+	if !errors.As(err, &merr) {
+		t.Fatalf("error is %T, want *MatrixError", err)
+	}
+	if len(merr.Cells) != 2 { // crasher fails under both configs
+		t.Fatalf("got %d cell errors, want 2: %v", len(merr.Cells), err)
+	}
+	for _, c := range merr.Cells {
+		if c.Workload != "crasher" {
+			t.Errorf("panic attributed to %s, want crasher", c.Workload)
+		}
+		var pe *PanicError
+		if !errors.As(c.Err, &pe) {
+			t.Fatalf("cell error is %T, want *PanicError", c.Err)
+		}
+		if pe.Value != "fixture: workload builder exploded" {
+			t.Errorf("panic value %v lost", pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "panickingWorkload") {
+			t.Errorf("stack trace does not reach the panic site:\n%s", pe.Stack)
+		}
+	}
+	// Sibling survival: the healthy workload completed under both configs.
+	for _, cfg := range []string{"plain", "secure-heap"} {
+		if m.Cycles["lbm"][cfg] == 0 {
+			t.Errorf("healthy cell lbm/%s did not survive the sibling panic", cfg)
+		}
+	}
+	// The crashed cells are annotated holes with the panic reason.
+	for _, cfg := range []string{"plain", "secure-heap"} {
+		reason, ok := m.Hole("crasher", cfg)
+		if !ok {
+			t.Errorf("crasher/%s has no hole annotation", cfg)
+		} else if !strings.Contains(reason, "panic:") {
+			t.Errorf("hole reason %q does not name the panic", reason)
+		}
+	}
+}
+
+// TestPanicAggregationDeterministic: the aggregated MatrixError and the
+// rendered partial matrix must be identical at any worker count — grid
+// order, not completion order.
+func TestPanicAggregationDeterministic(t *testing.T) {
+	t.Parallel()
+	wls := []workload.Workload{panickingWorkload("crash-a"), goodWorkload(t), panickingWorkload("crash-z")}
+	cfgs := []BinaryConfig{
+		{Name: "plain", Pass: prog.Plain()},
+		{Name: "secure-heap", Pass: prog.RESTHeap(64)},
+	}
+	// Panic stack traces carry goroutine ids, so the full error text is not
+	// comparable across runs; the cell coordinate sequence and the rendered
+	// partial matrix (hole annotations included) must be.
+	run := func(workers int) (string, string) {
+		m, err := RunMatrixParallel(context.Background(), wls, cfgs, 1,
+			ParallelOptions{Workers: workers})
+		var merr *MatrixError
+		if !errors.As(err, &merr) {
+			t.Fatalf("error is %T, want *MatrixError", err)
+		}
+		var order strings.Builder
+		for _, c := range merr.Cells {
+			fmt.Fprintf(&order, "%s/%s\n", c.Workload, c.Config)
+		}
+		return order.String(), m.RenderOverheadTable("t")
+	}
+	ord1, tab1 := run(1)
+	ord4, tab4 := run(4)
+	if ord1 != ord4 {
+		t.Errorf("cell error order depends on worker count:\n%s\nvs\n%s", ord1, ord4)
+	}
+	if ord1 != "crash-a/plain\ncrash-a/secure-heap\ncrash-z/plain\ncrash-z/secure-heap\n" {
+		t.Errorf("cell errors not in grid order:\n%s", ord1)
+	}
+	if tab1 != tab4 {
+		t.Errorf("rendered matrix depends on worker count:\n%s\nvs\n%s", tab1, tab4)
+	}
+}
+
+// TestCellInstrBudget: an over-budget cell must fail with the typed
+// *sim.BudgetExceededError and become a watchdog-annotated hole.
+func TestCellInstrBudget(t *testing.T) {
+	t.Parallel()
+	wls := []workload.Workload{spinningWorkload("spinner")}
+	cfgs := []BinaryConfig{{Name: "plain", Pass: prog.Plain()}}
+	m, err := RunMatrixParallel(context.Background(), wls, cfgs, 1,
+		ParallelOptions{Workers: 1, CellInstrBudget: 10_000})
+	var merr *MatrixError
+	if !errors.As(err, &merr) {
+		t.Fatalf("error is %T, want *MatrixError", err)
+	}
+	var bud *sim.BudgetExceededError
+	if !errors.As(merr, &bud) {
+		t.Fatalf("cell error does not unwrap to *sim.BudgetExceededError: %v", err)
+	}
+	if bud.Resource != "instructions" {
+		t.Errorf("budget resource %q, want instructions", bud.Resource)
+	}
+	reason, ok := m.Hole("spinner", "plain")
+	if !ok || !strings.Contains(reason, "watchdog:") {
+		t.Errorf("hole reason %q does not name the watchdog", reason)
+	}
+}
+
+// TestCellTimeout: the wall-clock watchdog must cut a spinning cell loose
+// and annotate the hole. (Sibling survival is pinned by the panic test —
+// here every cell shares the timeout, so a slow-but-healthy sibling would
+// be flaky under the race detector's ~10x slowdown.)
+func TestCellTimeout(t *testing.T) {
+	t.Parallel()
+	wls := []workload.Workload{spinningWorkload("spinner")}
+	cfgs := []BinaryConfig{{Name: "plain", Pass: prog.Plain()}}
+	start := time.Now()
+	m, err := RunMatrixParallel(context.Background(), wls, cfgs, 1,
+		ParallelOptions{Workers: 1, CellTimeout: time.Second})
+	if elapsed := time.Since(start); elapsed > 60*time.Second {
+		t.Fatalf("watchdog did not fire; sweep took %v", elapsed)
+	}
+	var merr *MatrixError
+	if !errors.As(err, &merr) {
+		t.Fatalf("error is %T, want *MatrixError", err)
+	}
+	var bud *sim.BudgetExceededError
+	if !errors.As(merr, &bud) {
+		t.Fatalf("cell error does not unwrap to *sim.BudgetExceededError: %v", err)
+	}
+	if bud.Resource != "wall-clock" {
+		t.Errorf("budget resource %q, want wall-clock", bud.Resource)
+	}
+	if _, ok := m.Hole("spinner", "plain"); !ok {
+		t.Error("timed-out cell has no hole annotation")
+	}
+}
+
+// TestContextDeadlineTightensCells: a caller deadline must reach the cells
+// even when no explicit CellTimeout is set (the -timeout flag path).
+func TestContextDeadlineTightensCells(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	wls := []workload.Workload{spinningWorkload("spinner")}
+	cfgs := []BinaryConfig{{Name: "plain", Pass: prog.Plain()}}
+	start := time.Now()
+	_, err := RunMatrixParallel(ctx, wls, cfgs, 1, ParallelOptions{Workers: 1})
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("context deadline did not reach the cell; sweep took %v", elapsed)
+	}
+	var merr *MatrixError
+	if !errors.As(err, &merr) {
+		t.Fatalf("error is %T, want *MatrixError", err)
+	}
+}
+
+// TestHoleRenderers: every renderer must mark holes explicitly — a gap can
+// never pass for a zero.
+func TestHoleRenderers(t *testing.T) {
+	t.Parallel()
+	wls := []workload.Workload{goodWorkload(t), panickingWorkload("crasher")}
+	cfgs := []BinaryConfig{
+		{Name: "plain", Pass: prog.Plain()},
+		{Name: "secure-heap", Pass: prog.RESTHeap(64)},
+	}
+	m, err := RunMatrixParallel(context.Background(), wls, cfgs, 1,
+		ParallelOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("want a MatrixError")
+	}
+
+	table := m.RenderOverheadTable("Figure 7 (partial)")
+	if !strings.Contains(table, "hole") {
+		t.Errorf("overhead table does not mark the hole:\n%s", table)
+	}
+	if !strings.Contains(table, "holes (") || !strings.Contains(table, "crasher/plain") {
+		t.Errorf("overhead table lacks the hole footer:\n%s", table)
+	}
+
+	csv := m.CSV()
+	for _, line := range strings.Split(csv, "\n") {
+		if strings.HasPrefix(line, "crasher") && !strings.Contains(line, "NA") {
+			t.Errorf("CSV renders the crashed row without NA markers: %q", line)
+		}
+	}
+
+	chart := m.RenderBarChart("chart", 180)
+	if !strings.Contains(chart, "hole:") {
+		t.Errorf("bar chart does not mark the hole:\n%s", chart)
+	}
+
+	js, jerr := m.JSON("t", 1)
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	if !strings.Contains(string(js), `"holes"`) {
+		t.Errorf("JSON report omits the holes block:\n%s", js)
+	}
+
+	// Means must cover complete rows only: with the crasher row broken, the
+	// weighted mean must equal the healthy row's overhead exactly.
+	want := m.Overhead("lbm", "secure-heap")
+	if got := m.WtdAriMeanOverhead("secure-heap"); got != want {
+		t.Errorf("mean over holes: got %v, want the complete row's %v", got, want)
+	}
+}
+
+// TestFig3PartialBreakdown: a Figure 3 sweep with a broken workload must
+// still deliver the healthy workload's breakdown plus an annotated hole row.
+func TestFig3PartialBreakdown(t *testing.T) {
+	t.Parallel()
+	wls := []workload.Workload{goodWorkload(t), panickingWorkload("crasher")}
+	r, err := RunFig3Parallel(context.Background(), wls, 1, ParallelOptions{Workers: 2})
+	var merr *MatrixError
+	if !errors.As(err, &merr) {
+		t.Fatalf("error is %T, want *MatrixError", err)
+	}
+	if r == nil {
+		t.Fatal("no partial Fig3Result alongside the MatrixError")
+	}
+	if _, ok := r.Breakdown["lbm"]; !ok {
+		t.Error("healthy workload missing from the partial breakdown")
+	}
+	if _, ok := r.Holes["crasher"]; !ok {
+		t.Error("broken workload not annotated as a hole")
+	}
+	render := r.Render()
+	if !strings.Contains(render, "hole") {
+		t.Errorf("Fig3 render does not mark the hole:\n%s", render)
+	}
+	js, jerr := r.JSON()
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	if !strings.Contains(string(js), `"hole"`) {
+		t.Errorf("Fig3 JSON omits the hole:\n%s", js)
+	}
+}

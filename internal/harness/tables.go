@@ -78,6 +78,9 @@ func newL1D(tok cache.TokenSource) *cache.Cache {
 		WriteBuf: 8, RESTEnabled: true,
 	}, next, tok)
 	if err != nil {
+		// Invariant assertion, not an error path: the config is a hardcoded
+		// literal above, so cache.New can only fail if that literal is edited
+		// into something invalid. No user input reaches this constructor.
 		panic(err)
 	}
 	return c
@@ -98,6 +101,8 @@ func (f *flatLevel) Access(now uint64, lineAddr uint64, write bool) uint64 {
 func pipelineFor(mode core.Mode) *cpu.Pipeline {
 	h, err := cache.NewHierarchy(cache.DefaultHierConfig(), &tokenStub{masks: map[uint64]uint8{}})
 	if err != nil {
+		// Invariant assertion: DefaultHierConfig is the Table II literal and
+		// always valid; failure here means the defaults themselves broke.
 		panic(err)
 	}
 	cfg := cpu.DefaultConfig()
@@ -273,9 +278,10 @@ type MicroStats struct {
 }
 
 // RunMicroStats runs the secure and debug REST-full configurations for a
-// workload and extracts the §VI-B statistics.
-func RunMicroStats(wl workload.Workload, scale int64) (*MicroStats, error) {
-	return RunMicroStatsParallel(context.Background(), wl, scale, ParallelOptions{})
+// workload and extracts the §VI-B statistics. The context bounds both runs
+// (cmd/restbench -timeout reaches every report path through it).
+func RunMicroStats(ctx context.Context, wl workload.Workload, scale int64) (*MicroStats, error) {
+	return RunMicroStatsParallel(ctx, wl, scale, ParallelOptions{})
 }
 
 // RunMicroStatsParallel is RunMicroStats on the parallel sweep engine (the
@@ -291,6 +297,9 @@ func RunMicroStatsParallel(ctx context.Context, wl workload.Workload, scale int6
 	}
 	sec := m.Results[wl.Name]["secure-full"]
 	dbg := m.Results[wl.Name]["debug-full"]
+	if sec == nil || dbg == nil {
+		return nil, fmt.Errorf("harness: micro stats for %s: incomplete sweep", wl.Name)
+	}
 	kinstr := float64(sec.Stats.Instructions) / 1000
 	return &MicroStats{
 		Workload:            wl.Name,

@@ -86,6 +86,12 @@ func (m *Memory) Write(addr uint64, src []byte) {
 
 // ReadUint reads a little-endian unsigned integer of size 1, 2, 4 or 8 bytes
 // and zero-extends it.
+//
+// The panic on any other size is an invariant assertion, not an error path:
+// sim.New validates every instruction's Size field (isa.Instr.Valid) before
+// execution, and runtime-service accesses use literal sizes, so no user
+// input can reach here with a bad size. TestInvalidSizePanics pins the
+// assertion.
 func (m *Memory) ReadUint(addr uint64, size uint8) uint64 {
 	var buf [8]byte
 	m.Read(addr, buf[:size])
@@ -103,7 +109,10 @@ func (m *Memory) ReadUint(addr uint64, size uint8) uint64 {
 	}
 }
 
-// WriteUint writes the low size bytes of v little-endian at addr.
+// WriteUint writes the low size bytes of v little-endian at addr. The
+// invalid-size panic is an invariant assertion with the same justification
+// as ReadUint's: instruction validation in sim.New closes every user-input
+// path to it.
 func (m *Memory) WriteUint(addr uint64, size uint8, v uint64) {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)

@@ -42,12 +42,30 @@ type Buffer struct {
 }
 
 // Builder assembles a program from functions under one pass configuration.
+//
+// Misuse of the fluent DSL (duplicate functions, register exhaustion,
+// late buffer declarations, calls to undeclared functions) is recorded as a
+// build error rather than panicking: the DSL is user-facing API surface, so
+// a bad program must surface as an error from Build, never as a crash. Only
+// the first misuse is kept — everything after it builds on a broken
+// program anyway.
 type Builder struct {
 	pass    PassConfig
 	funcs   []*Function
 	byName  map[string]*Function
 	globals []*Global
+	err     error
 }
+
+// fail records the first DSL misuse; Build returns it.
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Err returns the recorded DSL misuse, if any (Build reports it too).
+func (b *Builder) Err() error { return b.err }
 
 // NewBuilder starts a program build under the given pass.
 func NewBuilder(pass PassConfig) *Builder {
@@ -60,10 +78,13 @@ func (b *Builder) Pass() PassConfig { return b.pass }
 // Func declares a function. The name "main" is the program entry; it ends in
 // HALT instead of RET.
 func (b *Builder) Func(name string) *Function {
-	if _, dup := b.byName[name]; dup {
-		panic(fmt.Sprintf("prog: duplicate function %q", name))
-	}
 	f := &Function{name: name, b: b, nextReg: 1}
+	if _, dup := b.byName[name]; dup {
+		// Recorded, not panicked: the duplicate is user input. The orphan
+		// function keeps the fluent API usable until Build reports it.
+		b.fail("prog: duplicate function %q", name)
+		return f
+	}
 	b.funcs = append(b.funcs, f)
 	b.byName[name] = f
 	return f
@@ -94,7 +115,11 @@ func (f *Function) Name() string { return f.name }
 // linkage (see sim package).
 func (f *Function) Reg() Reg {
 	if f.nextReg >= 20 {
-		panic(fmt.Sprintf("prog: %s: out of registers", f.name))
+		// Register exhaustion depends on the user's program shape; report it
+		// from Build instead of crashing mid-DSL. The returned handle aliases
+		// r19 — harmless, since the build is already doomed.
+		f.b.fail("prog: %s: out of registers", f.name)
+		return Reg(19)
 	}
 	r := Reg(f.nextReg)
 	f.nextReg++
@@ -107,15 +132,18 @@ func (f *Function) Reg() Reg {
 // Buffer declares a stack array. Protected buffers receive redzones under
 // protecting passes. All buffers must be declared before any body code.
 func (f *Function) Buffer(size uint64, protected bool) *Buffer {
-	if f.sealed {
-		panic(fmt.Sprintf("prog: %s: Buffer() after body code", f.name))
-	}
 	w := f.b.pass.TokenWidth
 	buf := &Buffer{
 		fn:        f,
 		Size:      size,
 		Padded:    (size + w - 1) &^ (w - 1),
 		Protected: protected,
+	}
+	if f.sealed {
+		// Declaration order is user input; the orphan buffer keeps later
+		// BufAddr calls from dereferencing nil while Build reports the error.
+		f.b.fail("prog: %s: Buffer() after body code", f.name)
+		return buf
 	}
 	f.buffers = append(f.buffers, buf)
 	return buf
@@ -181,6 +209,9 @@ type Program struct {
 // Build lays out frames, inserts prologue/epilogue instrumentation, links
 // calls and branches, and returns the executable program.
 func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
 	main, ok := b.byName["main"]
 	if !ok {
 		return nil, fmt.Errorf("prog: no main function")

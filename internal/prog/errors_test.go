@@ -1,0 +1,133 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"rest/internal/isa"
+)
+
+// The builder DSL is user-facing API: misuse must come back as an error
+// from Build, never as a panic. Each case below used to crash.
+
+func buildErr(t *testing.T, build func(b *Builder)) error {
+	t.Helper()
+	b := NewBuilder(Plain())
+	build(b)
+	_, err := b.Build()
+	if err == nil {
+		t.Fatalf("want a build error, got none")
+	}
+	return err
+}
+
+func TestDuplicateFunctionIsError(t *testing.T) {
+	err := buildErr(t, func(b *Builder) {
+		b.Func("main")
+		f := b.Func("main") // duplicate: recorded, orphan stays usable
+		r := f.Reg()
+		f.MovI(r, 1)
+	})
+	if !strings.Contains(err.Error(), "duplicate function") {
+		t.Errorf("wrong error: %v", err)
+	}
+}
+
+func TestRegisterExhaustionIsError(t *testing.T) {
+	err := buildErr(t, func(b *Builder) {
+		f := b.Func("main")
+		for i := 0; i < 25; i++ {
+			r := f.Reg()
+			f.MovI(r, int64(i))
+		}
+	})
+	if !strings.Contains(err.Error(), "out of registers") {
+		t.Errorf("wrong error: %v", err)
+	}
+}
+
+func TestLateBufferIsError(t *testing.T) {
+	err := buildErr(t, func(b *Builder) {
+		f := b.Func("main")
+		r := f.Reg()
+		f.MovI(r, 1)
+		buf := f.Buffer(64, true) // after body code
+		f.BufAddr(r, buf, 0)
+	})
+	if !strings.Contains(err.Error(), "Buffer() after body code") {
+		t.Errorf("wrong error: %v", err)
+	}
+}
+
+func TestCallUndeclaredIsError(t *testing.T) {
+	err := buildErr(t, func(b *Builder) {
+		f := b.Func("main")
+		f.Call("no-such-function")
+	})
+	if !strings.Contains(err.Error(), "undeclared function") {
+		t.Errorf("wrong error: %v", err)
+	}
+}
+
+func TestFuncAddrUndeclaredIsError(t *testing.T) {
+	err := buildErr(t, func(b *Builder) {
+		f := b.Func("main")
+		r := f.Reg()
+		f.FuncAddr(r, "no-such-function")
+	})
+	if !strings.Contains(err.Error(), "undeclared function") {
+		t.Errorf("wrong error: %v", err)
+	}
+}
+
+func TestIfNonBranchOpIsError(t *testing.T) {
+	err := buildErr(t, func(b *Builder) {
+		f := b.Func("main")
+		a, c := f.Reg(), f.Reg()
+		f.If(isa.OpAdd, a, c, func() { f.MovI(a, 1) }, nil)
+	})
+	if !strings.Contains(err.Error(), "non-branch op") {
+		t.Errorf("wrong error: %v", err)
+	}
+}
+
+func TestForeignBufferIsError(t *testing.T) {
+	err := buildErr(t, func(b *Builder) {
+		other := b.Func("other")
+		buf := other.Buffer(64, true)
+		f := b.Func("main")
+		r := f.Reg()
+		f.BufAddr(r, buf, 0) // buffer belongs to "other"
+	})
+	if !strings.Contains(err.Error(), "outside its function") {
+		t.Errorf("wrong error: %v", err)
+	}
+}
+
+// TestFirstErrorWins pins the recording contract: the first misuse is the
+// one Build reports, later ones (often knock-on effects) don't mask it.
+func TestFirstErrorWins(t *testing.T) {
+	err := buildErr(t, func(b *Builder) {
+		f := b.Func("main")
+		f.Call("missing-one")
+		f.Call("missing-two")
+		b.Func("main")
+	})
+	if !strings.Contains(err.Error(), "missing-one") {
+		t.Errorf("first error masked: %v", err)
+	}
+}
+
+// TestErrAccessor checks the misuse is visible before Build for callers
+// that want to fail fast.
+func TestErrAccessor(t *testing.T) {
+	b := NewBuilder(Plain())
+	if b.Err() != nil {
+		t.Fatalf("fresh builder reports error: %v", b.Err())
+	}
+	f := b.Func("main")
+	f.Call("nope")
+	if b.Err() == nil {
+		t.Errorf("Err() nil after misuse")
+	}
+}

@@ -1,8 +1,6 @@
 package prog
 
 import (
-	"fmt"
-
 	"rest/internal/isa"
 	"rest/internal/layout"
 	"rest/internal/rt"
@@ -218,7 +216,8 @@ func (f *Function) Call(name string) {
 		}
 	}
 	if idx < 0 {
-		panic(fmt.Sprintf("prog: %s: call to undeclared function %q", f.name, name))
+		f.b.fail("prog: %s: call to undeclared function %q", f.name, name)
+		return
 	}
 	f.emitFix(isa.Instr{Op: isa.OpCall}, fixCall, idx)
 }
@@ -234,7 +233,8 @@ func (f *Function) FuncAddr(dst Reg, name string) {
 		}
 	}
 	if idx < 0 {
-		panic(fmt.Sprintf("prog: %s: address of undeclared function %q", f.name, name))
+		f.b.fail("prog: %s: address of undeclared function %q", f.name, name)
+		return
 	}
 	f.emitFix(isa.Instr{Op: isa.OpMovI, Rd: uint8(dst)}, fixCall, idx)
 }
@@ -283,11 +283,17 @@ func (f *Function) ForRangeI(n int64, body func(i Reg)) {
 	f.nextReg = save
 }
 
-// If emits if a <op> b { then } else { els } (els may be nil).
+// If emits if a <op> b { then } else { els } (els may be nil). op must be a
+// branch opcode; anything else is recorded as a build error.
 func (f *Function) If(op isa.Op, a, b Reg, then func(), els func()) {
+	inv, ok := invertBranch(op)
+	if !ok {
+		f.b.fail("prog: %s: If() with non-branch op %v", f.name, op)
+		return
+	}
 	elseL := f.NewLabel()
 	endL := f.NewLabel()
-	f.Branch(invertBranch(op), a, b, elseL)
+	f.Branch(inv, a, b, elseL)
 	then()
 	f.Jmp(endL)
 	f.Bind(elseL)
@@ -297,22 +303,22 @@ func (f *Function) If(op isa.Op, a, b Reg, then func(), els func()) {
 	f.Bind(endL)
 }
 
-func invertBranch(op isa.Op) isa.Op {
+func invertBranch(op isa.Op) (isa.Op, bool) {
 	switch op {
 	case isa.OpBeq:
-		return isa.OpBne
+		return isa.OpBne, true
 	case isa.OpBne:
-		return isa.OpBeq
+		return isa.OpBeq, true
 	case isa.OpBlt:
-		return isa.OpBge
+		return isa.OpBge, true
 	case isa.OpBge:
-		return isa.OpBlt
+		return isa.OpBlt, true
 	case isa.OpBltu:
-		return isa.OpBgeu
+		return isa.OpBgeu, true
 	case isa.OpBgeu:
-		return isa.OpBltu
+		return isa.OpBltu, true
 	}
-	panic(fmt.Sprintf("prog: cannot invert %v", op))
+	return op, false
 }
 
 // Checksum accumulates a value into the result register (used to verify that
@@ -328,7 +334,8 @@ func (f *Function) Checksum(v Reg) {
 // frame (redzones shift payloads).
 func (f *Function) BufAddr(dst Reg, buf *Buffer, off int64) {
 	if buf.fn != f {
-		panic("prog: buffer used outside its function")
+		f.b.fail("prog: %s: buffer of %s used outside its function", f.name, buf.fn.name)
+		return
 	}
 	idx := -1
 	for i, bf := range f.buffers {
@@ -336,6 +343,12 @@ func (f *Function) BufAddr(dst Reg, buf *Buffer, off int64) {
 			idx = i
 			break
 		}
+	}
+	if idx < 0 {
+		// Orphan from a rejected Buffer() declaration; the root cause is
+		// already recorded.
+		f.b.fail("prog: %s: address of undeclared buffer", f.name)
+		return
 	}
 	f.emitFix(isa.Instr{Op: isa.OpAddI, Rd: uint8(dst), Rs: isa.RSP, Imm: off}, fixBuf, idx)
 }

@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"rest/internal/core"
 	"rest/internal/isa"
@@ -82,6 +83,31 @@ type Config struct {
 	Runtime Runtime
 	// MaxInstructions aborts runaway programs (0 = 500M).
 	MaxInstructions uint64
+	// Deadline is the wall-clock watchdog: a run still executing past it is
+	// aborted with a *BudgetExceededError. The clock is polled once every
+	// deadlineCheckStride user instructions, so enforcement lags by at most
+	// that many instructions. Zero disables the watchdog — runs without one
+	// stay perfectly deterministic.
+	Deadline time.Time
+}
+
+// deadlineCheckStride is how many user instructions run between wall-clock
+// polls (a time.Now() every instruction would dominate the simulator).
+const deadlineCheckStride = 4096
+
+// BudgetExceededError aborts a run that outlived one of its watchdog
+// budgets. It is a simulation error (Machine.Err), not a memory-safety
+// detection: the harness converts it into an annotated hole in the sweep.
+type BudgetExceededError struct {
+	Resource string // "instructions" or "wall-clock"
+	Limit    string // human-readable budget that was exhausted
+	Instrs   uint64 // user instructions retired when the watchdog fired
+}
+
+// Error implements the error interface.
+func (e *BudgetExceededError) Error() string {
+	return fmt.Sprintf("sim: %s budget exceeded (%s) after %d instructions",
+		e.Resource, e.Limit, e.Instrs)
 }
 
 // Violation is a software-detected memory-safety report (ASan's equivalent
@@ -137,6 +163,16 @@ func New(cfg Config, prog []isa.Instr, entry int) (*Machine, error) {
 	}
 	if cfg.Tracker != nil && cfg.Mem == nil {
 		return nil, fmt.Errorf("sim: REST machine requires the tracker's memory in Config.Mem")
+	}
+	// Reject malformed instructions at the boundary so execution never
+	// reaches memory with an invalid access size (the mem package treats
+	// that as an unreachable invariant and panics). prog.Build validates its
+	// own output, but raw instruction slices also arrive here from the
+	// assembler and from API users.
+	for i, in := range prog {
+		if err := in.Valid(); err != nil {
+			return nil, fmt.Errorf("sim: instruction %d (%s): %w", i, in, err)
+		}
 	}
 	m := cfg.Mem
 	if m == nil {
@@ -197,7 +233,21 @@ func (m *Machine) Next() (trace.Entry, bool) {
 		}
 		if m.UserInstrs >= m.cfg.MaxInstructions {
 			m.halted = true
-			m.runErr = fmt.Errorf("sim: instruction cap %d exceeded", m.cfg.MaxInstructions)
+			m.runErr = &BudgetExceededError{
+				Resource: "instructions",
+				Limit:    fmt.Sprintf("cap %d", m.cfg.MaxInstructions),
+				Instrs:   m.UserInstrs,
+			}
+			return trace.Entry{}, false
+		}
+		if !m.cfg.Deadline.IsZero() && m.UserInstrs%deadlineCheckStride == 0 &&
+			time.Now().After(m.cfg.Deadline) {
+			m.halted = true
+			m.runErr = &BudgetExceededError{
+				Resource: "wall-clock",
+				Limit:    "deadline passed",
+				Instrs:   m.UserInstrs,
+			}
 			return trace.Entry{}, false
 		}
 		m.step()

@@ -8,6 +8,7 @@ package world
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"rest/internal/alloc"
 	"rest/internal/bpred"
@@ -35,6 +36,9 @@ type Spec struct {
 	Seed int64
 	// MaxInstructions caps functional execution (0 = sim default).
 	MaxInstructions uint64
+	// Deadline is the wall-clock watchdog for the run (zero = none); a run
+	// still executing past it aborts with a *sim.BudgetExceededError.
+	Deadline time.Time
 	// InterceptLibc overrides the runtime's libc interception when non-nil
 	// (Figure 3 component toggle).
 	InterceptLibc *bool
@@ -170,6 +174,7 @@ func Build(spec Spec, build func(b *prog.Builder)) (*World, error) {
 		Tracker:         tracker,
 		Runtime:         runtime,
 		MaxInstructions: spec.MaxInstructions,
+		Deadline:        spec.Deadline,
 	}, program.Instrs, program.Entry)
 	if err != nil {
 		return nil, err

@@ -41,10 +41,13 @@
 package rest
 
 import (
+	"context"
+
 	"rest/internal/asm"
 	"rest/internal/attack"
 	"rest/internal/core"
 	"rest/internal/cpu"
+	"rest/internal/fault"
 	"rest/internal/harness"
 	"rest/internal/isa"
 	"rest/internal/prog"
@@ -160,23 +163,35 @@ func WorkloadByName(name string) (Workload, error) { return workload.ByName(name
 // Attacks returns the §V attack/violation suite.
 func Attacks() []Attack { return attack.All() }
 
-// Experiment entry points (see cmd/restbench for the CLI):
+// Experiment entry points (see cmd/restbench for the CLI). Each takes a
+// context so callers can bound whole figures with a deadline; a sweep cut
+// short degrades into a partial matrix with annotated holes plus a
+// *harness.MatrixError describing the missing cells.
 
 // RunFigure7 sweeps all workloads over the eight Figure 7 configurations at
 // the given scale and returns the overhead matrix.
-func RunFigure7(scale int64) (*harness.Matrix, error) {
-	return harness.RunMatrix(workload.All(), harness.Fig7Configs(), scale)
+func RunFigure7(ctx context.Context, scale int64) (*harness.Matrix, error) {
+	return harness.RunMatrixParallel(ctx, workload.All(), harness.Fig7Configs(), scale, harness.ParallelOptions{})
 }
 
 // RunFigure8 sweeps the token-width configurations of Figure 8.
-func RunFigure8(scale int64) (*harness.Matrix, error) {
+func RunFigure8(ctx context.Context, scale int64) (*harness.Matrix, error) {
 	cfgs := append(harness.Fig8Configs(), harness.BinaryConfig{Name: "plain", Pass: prog.Plain()})
-	return harness.RunMatrix(workload.All(), cfgs, scale)
+	return harness.RunMatrixParallel(ctx, workload.All(), cfgs, scale, harness.ParallelOptions{})
 }
 
 // RunFigure3 regenerates the ASan overhead component breakdown.
-func RunFigure3(scale int64) (*harness.Fig3Result, error) {
-	return harness.RunFig3(workload.All(), scale)
+func RunFigure3(ctx context.Context, scale int64) (*harness.Fig3Result, error) {
+	return harness.RunFig3(ctx, workload.All(), scale)
+}
+
+// RunFaultCampaign executes the deterministic fault-injection campaign
+// (§V robustness analysis): every scenario perturbs a running world —
+// bit flips, token loss on eviction, partial token overwrites, forced
+// collisions, quarantine exhaustion — and is checked against its expected
+// verdict (detected / silent miss / benign).
+func RunFaultCampaign(seed int64) (*fault.Campaign, error) {
+	return fault.RunCampaign(fault.Options{Seed: seed})
 }
 
 // TableI runs the REST semantics conformance matrix and reports whether

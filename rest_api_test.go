@@ -1,6 +1,7 @@
 package rest_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -111,7 +112,7 @@ func TestFigure7SubsetThroughFacade(t *testing.T) {
 	if testing.Short() {
 		t.Skip("matrix run")
 	}
-	m, err := rest.RunFigure7(1)
+	m, err := rest.RunFigure7(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

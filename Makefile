@@ -7,13 +7,15 @@
 #                    FUZZTIME of new inputs each)
 #   make faults      the §V fault-injection campaign (deterministic in SEED)
 #   make bench       regenerate every figure/table as benchmarks
+#   make bench-smoke every benchmark in every package, one iteration each —
+#                    proves the bench suite still compiles and runs
 #   make verify      what CI runs: vet + test + race
 
 GO       ?= go
 FUZZTIME ?= 10s
 SEED     ?= 42
 
-.PHONY: build vet test race fuzz-short faults bench verify
+.PHONY: build vet test race fuzz-short faults bench bench-smoke verify
 
 build:
 	$(GO) build ./...
@@ -39,5 +41,10 @@ faults:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# One iteration of every benchmark in every package: a cheap CI gate that
+# keeps the bench suite from bit-rotting between real benchmarking sessions.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 verify: vet test race

@@ -11,6 +11,7 @@ import (
 	"context"
 	"runtime"
 	"testing"
+	"time"
 
 	"rest"
 	"rest/internal/attack"
@@ -132,6 +133,33 @@ func BenchmarkFigure8TokenWidths(b *testing.B) {
 	b.ReportMetric(m.WtdAriMeanOverhead("16-full"), "w16-full-%")
 	b.ReportMetric(m.WtdAriMeanOverhead("32-full"), "w32-full-%")
 	b.ReportMetric(m.WtdAriMeanOverhead("64-full"), "w64-full-%")
+}
+
+// BenchmarkObsOverhead pairs the Figure 3 sweep with the observability plane
+// enabled (per-cell registries, live occupancy sampling, end-of-run flushes)
+// against the default nil sink, on one worker so the comparison is pure
+// simulation throughput. The contract is that the nil fast path keeps the
+// disabled cost at zero and the enabled cost under a few percent;
+// "obs-delta-%" reports the measured gap.
+func BenchmarkObsOverhead(b *testing.B) {
+	wls := workload.All()
+	run := func(metrics bool) time.Duration {
+		start := time.Now()
+		_, err := harness.RunFig3Parallel(context.Background(), wls, benchScale,
+			harness.ParallelOptions{Workers: 1, Metrics: metrics})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var nilSink, observed time.Duration
+	for i := 0; i < b.N; i++ {
+		nilSink += run(false)
+		observed += run(true)
+	}
+	b.ReportMetric(float64(nilSink.Nanoseconds())/float64(b.N), "nilsink-ns")
+	b.ReportMetric(float64(observed.Nanoseconds())/float64(b.N), "observed-ns")
+	b.ReportMetric(100*(float64(observed)/float64(nilSink)-1), "obs-delta-%")
 }
 
 // BenchmarkTable1Semantics runs the Table I conformance matrix.

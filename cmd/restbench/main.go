@@ -31,18 +31,38 @@
 //	-keep-going      print partial reports with annotated holes and exit 0
 //	                 when cells fail; without it any failed cell exits 1
 //	-seed N          seed for the -faults campaign (same seed, same report)
+//
+// Observability controls (all off by default; none of them perturbs stdout,
+// so reports stay byte-identical with or without them):
+//
+//	-metrics FILE    write the sweeps' aggregated metric registries (CSV, or
+//	                 JSON when FILE ends in .json); holes are annotated rows
+//	-trace FILE      write a Chrome/Catapult JSON timeline of the sweeps'
+//	                 cells (one track per worker; open in chrome://tracing
+//	                 or https://ui.perfetto.dev)
+//	-progress        live cells-done/holes/ETA meter on stderr
+//	-pprof ADDR      serve net/http/pprof and expvar on ADDR; /debug/vars
+//	                 carries build identity, live sweep progress and the
+//	                 latest metric snapshot under the "rest" key
+//	-version         print module version + VCS revision and exit
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"rest/internal/fault"
 	"rest/internal/harness"
+	"rest/internal/obs"
 	"rest/internal/prog"
 	"rest/internal/workload"
 )
@@ -71,8 +91,17 @@ func main() {
 	keepGoing := flag.Bool("keep-going", false, "report failed cells as holes and exit 0")
 	seed := flag.Int64("seed", 42, "seed for the -faults campaign")
 	only := flag.String("only", "", "substring filter for -faults scenarios")
+	metricsOut := flag.String("metrics", "", "write sweep metrics to this file (CSV, or JSON if it ends in .json)")
+	traceOut := flag.String("trace", "", "write a Chrome/Catapult JSON trace of the sweeps to this file")
+	progress := flag.Bool("progress", false, "live cells-done/holes/ETA meter on stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof + expvar on this address (e.g. localhost:6060)")
+	version := flag.Bool("version", false, "print build/version information and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(obs.ReadBuild())
+		return
+	}
 	if !(*fig3 || *fig7 || *fig8 || *table1 || *table2 || *table3 || *stats || *faults || *all) {
 		flag.Usage()
 		os.Exit(2)
@@ -80,6 +109,13 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// A typo'd -only fails here, before any sweep runs, with the list of
+	// valid scenario names — not after minutes of unrelated figures.
+	if *faults || *all {
+		if err := fault.ValidateOnly(*only); err != nil {
+			fail(err)
+		}
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -92,6 +128,66 @@ func main() {
 		FailFast:        *failFast,
 		CellTimeout:     *cellTimeout,
 		CellInstrBudget: *cellBudget,
+	}
+
+	// The observability plane. All of it writes to files or stderr, never
+	// stdout, so enabling any of these flags cannot perturb the reports.
+	var live *obs.Live
+	if *pprofAddr != "" {
+		live = &obs.Live{}
+		expvar.Publish("rest", expvar.Func(live.Vars))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "serving http://%s/debug/pprof/ and /debug/vars\n", *pprofAddr)
+	}
+	var tracer *obs.Trace
+	if *traceOut != "" {
+		tracer = obs.NewTrace()
+	}
+	var reports []*harness.MetricsReport
+	// sweepOpt clones the sweep options for one named sweep, attaching the
+	// requested observability surfaces to its cell-event stream; the returned
+	// finish hook harvests the sweep's metrics report once its matrix exists.
+	sweepOpt := func(name string, cells int) (harness.ParallelOptions, func(*harness.Matrix)) {
+		o := opt
+		o.Metrics = *metricsOut != ""
+		var meter *obs.Progress
+		if *progress {
+			meter = obs.NewProgress(os.Stderr, name, cells)
+		}
+		live.AddTotal(cells)
+		if *traceOut != "" || *progress || *pprofAddr != "" {
+			o.OnCell = func(ev harness.CellEvent) {
+				ok := ev.Err == nil && !ev.Skipped
+				meter.Observe(ok)
+				live.ObserveCell(ok)
+				verdict := "ok"
+				switch {
+				case ev.Skipped:
+					verdict = "skipped"
+				case ev.Err != nil:
+					verdict = "hole"
+				}
+				tracer.Slice(ev.Worker, ev.Workload+"/"+ev.Config, name, ev.Start, ev.End,
+					map[string]any{
+						"workload": ev.Workload, "config": ev.Config,
+						"verdict": verdict, "instrs": ev.Instrs, "cycles": ev.Cycles,
+					})
+			}
+		}
+		return o, func(m *harness.Matrix) {
+			meter.Finish()
+			if m == nil || !o.Metrics {
+				return
+			}
+			if rep := m.Metrics(name); rep != nil {
+				reports = append(reports, rep)
+				live.SetMetrics(m.Obs.Snapshot())
+			}
+		}
 	}
 	// degraded flips when a sweep came back partial under -keep-going; the
 	// holes are already annotated in the printed reports, so the process
@@ -132,8 +228,10 @@ func main() {
 	}
 	if *all || *fig3 {
 		start := time.Now()
-		r, err := harness.RunFig3Parallel(ctx, workload.All(), *scale, opt)
+		o, finish := sweepOpt("fig3", len(workload.All())*(len(harness.Fig3Components)+1))
+		r, err := harness.RunFig3Parallel(ctx, workload.All(), *scale, o)
 		sweepErr("fig3", err)
+		finish(r.Matrix)
 		elapsed("fig3", start)
 		fmt.Println(r.Render())
 	}
@@ -143,8 +241,10 @@ func main() {
 			wls = workload.AllVariants()
 		}
 		start := time.Now()
-		m, err := harness.RunMatrixParallel(ctx, wls, harness.Fig7Configs(), *scale, opt)
+		o, finish := sweepOpt("fig7", len(wls)*len(harness.Fig7Configs()))
+		m, err := harness.RunMatrixParallel(ctx, wls, harness.Fig7Configs(), *scale, o)
 		sweepErr("fig7", err)
+		finish(m)
 		elapsed("fig7", start)
 		fmt.Println(m.RenderOverheadTable(
 			fmt.Sprintf("Figure 7: runtime overheads over plain binaries (scale %d)", *scale)))
@@ -168,8 +268,10 @@ func main() {
 		cfgs := append(harness.Fig8Configs(),
 			harness.BinaryConfig{Name: "plain", Pass: prog.Plain()})
 		start := time.Now()
-		m, err := harness.RunMatrixParallel(ctx, workload.All(), cfgs, *scale, opt)
+		o, finish := sweepOpt("fig8", len(workload.All())*len(cfgs))
+		m, err := harness.RunMatrixParallel(ctx, workload.All(), cfgs, *scale, o)
 		sweepErr("fig8", err)
+		finish(m)
 		elapsed("fig8", start)
 		fmt.Println(m.RenderOverheadTable(
 			fmt.Sprintf("Figure 8: token-width overheads, secure mode (scale %d)", *scale)))
@@ -182,10 +284,12 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		s, err := harness.RunMicroStatsParallel(ctx, wl, *scale, opt)
+		o, finish := sweepOpt("micro", 2)
+		s, err := harness.RunMicroStatsParallel(ctx, wl, *scale, o)
 		if err != nil {
 			fail(err)
 		}
+		finish(s.Matrix)
 		fmt.Println(s.Render())
 	}
 	if *all || *faults {
@@ -195,6 +299,13 @@ func main() {
 			fail(err)
 		}
 		elapsed("faults", start)
+		if *metricsOut != "" {
+			reg := obs.NewRegistry()
+			c.FlushObs(reg)
+			reports = append(reports, &harness.MetricsReport{
+				Sweep: "faults", Aggregate: reg.Snapshot(),
+			})
+		}
 		fmt.Println(c.Render())
 		if *csv {
 			fmt.Println(c.CSV())
@@ -206,7 +317,55 @@ func main() {
 	if *all || *table3 {
 		fmt.Println(harness.RenderTableIII())
 	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, reports); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: wrote %d report(s) to %s\n", len(reports), *metricsOut)
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := tracer.WriteTo(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+	}
 	if degraded {
 		fmt.Fprintln(os.Stderr, "some sweep cells failed; reports contain annotated holes (-keep-going)")
 	}
+}
+
+// writeMetrics renders the collected sweep reports to path: an indented JSON
+// array when the path ends in .json, otherwise CSV with one shared header.
+func writeMetrics(path string, reports []*harness.MetricsReport) error {
+	var out []byte
+	if strings.HasSuffix(path, ".json") {
+		raw, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(raw, '\n')
+	} else {
+		var b strings.Builder
+		for i, r := range reports {
+			csv := r.CSV()
+			if i > 0 {
+				// One header for the whole file; every row already carries
+				// its sweep name in column one.
+				if idx := strings.IndexByte(csv, '\n'); idx >= 0 {
+					csv = csv[idx+1:]
+				}
+			}
+			b.WriteString(csv)
+		}
+		out = []byte(b.String())
+	}
+	return os.WriteFile(path, out, 0o644)
 }

@@ -111,7 +111,9 @@ type Engine struct {
 	quarantine []*Chunk
 	qbytes     uint64
 
-	stats Stats
+	stats         Stats
+	probes        *Probes
+	probesFlushed bool
 }
 
 // Config parameterizes an Engine.
@@ -326,6 +328,12 @@ func (e *Engine) Free(m *sim.Machine, ptr uint64) error {
 	e.quarantine = append(e.quarantine, c)
 	e.qbytes += c.Padded
 	e.stats.QuarantineBytes = e.qbytes
+	if e.probes != nil {
+		// Live hook: the depth distribution over time is not recoverable
+		// from an end-of-run snapshot.
+		e.probes.QuarantineDepth.Observe(e.qbytes)
+		e.probes.PeakQuarantineBytes.Set(e.qbytes)
+	}
 	// Quarantine-link stores.
 	if exc := m.RTStore(sim.SvcFree, c.Header+16, 8, 0); exc != nil {
 		return exc

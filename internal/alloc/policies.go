@@ -132,6 +132,15 @@ func (p RESTPolicy) Name() string {
 	return "rest"
 }
 
+// TokenOps reports the tracker's arm/disarm totals for the observability
+// flush (0/0 under PerfectHW, which replaces token ops with plain stores).
+func (p RESTPolicy) TokenOps() (arms, disarms uint64) {
+	if p.Tracker == nil {
+		return 0, 0
+	}
+	return p.Tracker.Arms, p.Tracker.Disarms
+}
+
 func (p RESTPolicy) width() uint64 {
 	if p.Tracker == nil {
 		return 64 // PerfectHW runs on stock hardware: cost model only

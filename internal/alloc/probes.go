@@ -1,0 +1,85 @@
+package alloc
+
+import "rest/internal/obs"
+
+// Probes is the allocator's hook set into the observability plane. The
+// counters mirror the existing Stats fields and flush once at end of run;
+// the quarantine-depth histogram is the one genuinely live hook — it
+// observes the quarantine's byte depth after every free, a distribution no
+// end-of-run snapshot can reconstruct. A nil *Probes disables everything.
+type Probes struct {
+	Mallocs        *obs.Counter
+	Frees          *obs.Counter
+	DoubleFrees    *obs.Counter
+	InvalidFrees   *obs.Counter
+	QuarantinePops *obs.Counter
+	BytesRequested *obs.Counter
+	// RedzoneBytes counts total redzone bytes installed (2 sides per
+	// malloc), the paper's §VI-C memory-overhead component.
+	RedzoneBytes *obs.Counter
+	// TokenArms/TokenDisarms count the tracker's arm/disarm operations
+	// (REST flavours only; flushed via the policy at end of run).
+	TokenArms    *obs.Counter
+	TokenDisarms *obs.Counter
+	// PeakLiveBytes / PeakQuarantineBytes are high-water gauges.
+	PeakLiveBytes       *obs.Gauge
+	PeakQuarantineBytes *obs.Gauge
+	// QuarantineDepth is the quarantine's byte depth observed at every
+	// free that parks a chunk.
+	QuarantineDepth *obs.Histogram
+}
+
+// NewProbes registers the alloc metric set in r (nil r -> nil probes). The
+// quarantine-depth bounds bracket the default 256KB cap.
+func NewProbes(r *obs.Registry) *Probes {
+	if r == nil {
+		return nil
+	}
+	return &Probes{
+		Mallocs:             r.Counter("alloc.mallocs"),
+		Frees:               r.Counter("alloc.frees"),
+		DoubleFrees:         r.Counter("alloc.double_frees"),
+		InvalidFrees:        r.Counter("alloc.invalid_frees"),
+		QuarantinePops:      r.Counter("alloc.quarantine_pops"),
+		BytesRequested:      r.Counter("alloc.bytes_requested"),
+		RedzoneBytes:        r.Counter("alloc.redzone_bytes"),
+		TokenArms:           r.Counter("alloc.token_arms"),
+		TokenDisarms:        r.Counter("alloc.token_disarms"),
+		PeakLiveBytes:       r.Gauge("alloc.peak_live_bytes"),
+		PeakQuarantineBytes: r.Gauge("alloc.peak_quarantine_bytes"),
+		QuarantineDepth:     r.Histogram("alloc.quarantine_depth_bytes", 0, 4096, 16384, 65536, 262144, 1<<20),
+	}
+}
+
+// SetProbes attaches an observability probe set (nil = off). Call before
+// the first allocation.
+func (e *Engine) SetProbes(p *Probes) { e.probes = p }
+
+// tokenOps is the optional policy extension FlushProbes uses to read the
+// arm/disarm totals (the REST policy forwards its tracker's counters).
+type tokenOps interface {
+	TokenOps() (arms, disarms uint64)
+}
+
+// FlushProbes publishes the end-of-run allocator statistics. Idempotent;
+// called by world teardown.
+func (e *Engine) FlushProbes() {
+	p := e.probes
+	if p == nil || e.probesFlushed {
+		return
+	}
+	e.probesFlushed = true
+	p.Mallocs.Add(e.stats.Mallocs)
+	p.Frees.Add(e.stats.Frees)
+	p.DoubleFrees.Add(e.stats.DoubleFrees)
+	p.InvalidFrees.Add(e.stats.InvalidFrees)
+	p.QuarantinePops.Add(e.stats.QuarantinePops)
+	p.BytesRequested.Add(e.stats.BytesRequested)
+	p.RedzoneBytes.Add(2 * e.rz * e.stats.Mallocs)
+	p.PeakLiveBytes.Set(e.stats.PeakBytesLive)
+	if to, ok := e.policy.(tokenOps); ok {
+		arms, disarms := to.TokenOps()
+		p.TokenArms.Add(arms)
+		p.TokenDisarms.Add(disarms)
+	}
+}

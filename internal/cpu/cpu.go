@@ -163,9 +163,10 @@ type sqEntry struct {
 
 // Pipeline is a single-use timing model instance.
 type Pipeline struct {
-	cfg  Config
-	hier *cache.Hierarchy
-	pred *bpred.Predictor
+	cfg    Config
+	hier   *cache.Hierarchy
+	pred   *bpred.Predictor
+	probes *Probes
 }
 
 // New builds a pipeline over a hierarchy and predictor.
@@ -173,6 +174,10 @@ func New(cfg Config, hier *cache.Hierarchy, pred *bpred.Predictor) *Pipeline {
 	cfg.applyDefaults()
 	return &Pipeline{cfg: cfg, hier: hier, pred: pred}
 }
+
+// SetProbes attaches an observability probe set (nil = off). Call before
+// Run.
+func (p *Pipeline) SetProbes(pr *Probes) { p.probes = pr }
 
 // Run replays the trace and returns timing statistics.
 func (p *Pipeline) Run(r trace.Reader) *Stats {
@@ -236,6 +241,12 @@ func (p *Pipeline) Run(r trace.Reader) *Stats {
 				st.IQFullCycles += m - d
 				d = m
 			}
+		}
+		// Occupancy probes, sampled at dispatch: how full each window
+		// structure is at cycle d. Deterministic (a function of the trace
+		// and the timing model alone) and off the fast path when disabled.
+		if p.probes != nil && st.Instructions&(probeSampleStride-1) == 0 {
+			p.probes.sample(d, rob, lq, sq, iq)
 		}
 		isLoad := e.Op == isa.OpLoad
 		isStoreLike := e.Op == isa.OpStore || e.Op == isa.OpArm || e.Op == isa.OpDisarm
@@ -453,6 +464,7 @@ func (p *Pipeline) Run(r trace.Reader) *Stats {
 	if st.Cycles > 0 {
 		st.IPC = float64(st.Instructions) / float64(st.Cycles)
 	}
+	p.probes.record(st)
 	return st
 }
 

@@ -14,9 +14,10 @@ import (
 // use, blocking loads, with the same caches, DRAM and branch predictor as
 // the out-of-order model.
 type InOrder struct {
-	cfg  Config
-	hier *cache.Hierarchy
-	pred *bpred.Predictor
+	cfg    Config
+	hier   *cache.Hierarchy
+	pred   *bpred.Predictor
+	probes *Probes
 }
 
 // NewInOrder builds the in-order core over a hierarchy and predictor. Width
@@ -25,6 +26,11 @@ func NewInOrder(cfg Config, hier *cache.Hierarchy, pred *bpred.Predictor) *InOrd
 	cfg.applyDefaults()
 	return &InOrder{cfg: cfg, hier: hier, pred: pred}
 }
+
+// SetProbes attaches an observability probe set (nil = off). The in-order
+// core records the counter metrics only — it has no window structures for
+// the occupancy histograms. Call before Run.
+func (p *InOrder) SetProbes(pr *Probes) { p.probes = pr }
 
 // Run replays the trace through the in-order pipeline and returns timing
 // statistics. Loads block until data returns; stores write through the
@@ -137,5 +143,6 @@ func (p *InOrder) Run(r trace.Reader) *Stats {
 	if st.Cycles > 0 {
 		st.IPC = float64(st.Instructions) / float64(st.Cycles)
 	}
+	p.probes.record(st)
 	return st
 }

@@ -64,6 +64,19 @@ func (r *ring) peek() uint64 {
 	return r.buf[r.head%uint64(len(r.buf))]
 }
 
+// occupancy counts entries still allocated at cycle now (free cycle in the
+// future). O(size); used only by the sampled occupancy probes, never on the
+// per-instruction fast path.
+func (r *ring) occupancy(now uint64) uint64 {
+	var n uint64
+	for _, free := range r.buf {
+		if free > now {
+			n++
+		}
+	}
+	return n
+}
+
 // minHeap is a small min-heap of cycles, used for IQ occupancy (entries
 // leave the IQ out of order, at issue).
 type minHeap struct {
@@ -108,6 +121,18 @@ func (h *minHeap) pop() uint64 {
 }
 
 func (h *minHeap) len() int { return len(h.a) }
+
+// occupancy counts entries that have not yet left (issue cycle in the
+// future). O(size); sampled-probe use only, like ring.occupancy.
+func (h *minHeap) occupancy(now uint64) uint64 {
+	var n uint64
+	for _, v := range h.a {
+		if v > now {
+			n++
+		}
+	}
+	return n
+}
 
 func max64(a, b uint64) uint64 {
 	if a > b {

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+
+	"rest/internal/obs"
 )
 
 // Verdict classifies what the system did about an injected fault.
@@ -115,9 +117,64 @@ func RunCampaign(opt Options) (*Campaign, error) {
 		})
 	}
 	if len(c.Results) == 0 {
-		return nil, fmt.Errorf("fault: no scenario matches %q", opt.Only)
+		return nil, fmt.Errorf("fault: no scenario matches %q; valid names:\n  %s",
+			opt.Only, strings.Join(ScenarioNames(), "\n  "))
 	}
 	return c, nil
+}
+
+// ScenarioNames returns every registered scenario name in registration
+// order (the -only validation surface).
+func ScenarioNames() []string {
+	scs := Scenarios()
+	out := make([]string, len(scs))
+	for i, sc := range scs {
+		out[i] = sc.Name
+	}
+	return out
+}
+
+// ValidateOnly checks an Options.Only substring filter against the scenario
+// registry before a campaign runs, so a typo fails fast with the list of
+// valid names instead of silently running nothing.
+func ValidateOnly(only string) error {
+	if only == "" {
+		return nil
+	}
+	for _, name := range ScenarioNames() {
+		if strings.Contains(name, only) {
+			return nil
+		}
+	}
+	return fmt.Errorf("fault: no scenario matches %q; valid names:\n  %s",
+		only, strings.Join(ScenarioNames(), "\n  "))
+}
+
+// FlushObs tallies the campaign's verdicts into the registry: one counter
+// per verdict class plus the prediction mismatches — §V's coverage story as
+// metrics.
+func (c *Campaign) FlushObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter("fault.scenarios").Add(uint64(len(c.Results)))
+	benign := r.Counter("fault.benign")
+	detected := r.Counter("fault.detected")
+	silent := r.Counter("fault.silent_misses")
+	mismatch := r.Counter("fault.mismatches")
+	for _, res := range c.Results {
+		switch res.Observed {
+		case Detected:
+			detected.Inc()
+		case SilentMiss:
+			silent.Inc()
+		default:
+			benign.Inc()
+		}
+		if !res.Pass() {
+			mismatch.Inc()
+		}
+	}
 }
 
 // Failures counts scenarios whose observation diverged from the paper's

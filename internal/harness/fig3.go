@@ -43,6 +43,17 @@ type Fig3Result struct {
 	Breakdown map[string][]float64
 	Total     map[string]float64
 	Holes     map[string]string
+	// Matrix is the underlying sweep (metrics/holes export surface).
+	Matrix *Matrix
+}
+
+// Metrics exports the sweep's observability report (nil unless the sweep ran
+// with ParallelOptions.Metrics).
+func (r *Fig3Result) Metrics() *MetricsReport {
+	if r.Matrix == nil {
+		return nil
+	}
+	return r.Matrix.Metrics("fig3")
 }
 
 // RunFig3 regenerates Figure 3's ASan overhead breakdown on the parallel
@@ -67,6 +78,7 @@ func RunFig3Parallel(ctx context.Context, wls []workload.Workload, scale int64, 
 		Workloads: m.Workloads,
 		Breakdown: make(map[string][]float64),
 		Total:     make(map[string]float64),
+		Matrix:    m,
 	}
 	levels := []string{"alloc", "alloc+stack", "alloc+stack+checks", "asan-full"}
 	for _, wl := range m.Workloads {

@@ -15,6 +15,7 @@ import (
 
 	"rest/internal/core"
 	"rest/internal/cpu"
+	"rest/internal/obs"
 	"rest/internal/prog"
 	"rest/internal/workload"
 	"rest/internal/world"
@@ -67,6 +68,10 @@ type RunResult struct {
 	Stats    *cpu.Stats
 	Outcome  world.Outcome
 	World    *world.World
+	// Obs is the cell's private metric registry (nil unless the cell ran
+	// with CellLimits.Metrics). The sweep merges cell registries in grid
+	// order into Matrix.Obs.
+	Obs *obs.Registry
 }
 
 // CellLimits bounds one cell's execution: the watchdog budgets every sweep
@@ -79,6 +84,10 @@ type CellLimits struct {
 	// Timeout bounds the cell's wall clock (0 = none). A cell that exceeds
 	// it fails with a *sim.BudgetExceededError.
 	Timeout time.Duration
+	// Metrics gives the cell a fresh obs.Registry, threaded through every
+	// layer of its world; the result carries it in RunResult.Obs. Off by
+	// default: a nil registry keeps every probe on its nil fast path.
+	Metrics bool
 }
 
 // Run executes one workload under one configuration at the given scale.
@@ -92,6 +101,10 @@ func RunLimited(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLim
 	if lim.Timeout > 0 {
 		deadline = time.Now().Add(lim.Timeout)
 	}
+	var reg *obs.Registry
+	if lim.Metrics {
+		reg = obs.NewRegistry()
+	}
 	w, err := world.Build(world.Spec{
 		Pass:            cfg.Pass,
 		Mode:            cfg.Mode,
@@ -100,6 +113,7 @@ func RunLimited(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLim
 		InOrder:         cfg.InOrder,
 		MaxInstructions: lim.MaxInstructions,
 		Deadline:        deadline,
+		Obs:             reg,
 	}, wl.Build(scale))
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name, cfg.Name, err)
@@ -116,6 +130,7 @@ func RunLimited(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLim
 	return &RunResult{
 		Workload: wl.Name, Config: cfg.Name,
 		Cycles: stats.Cycles, Stats: stats, Outcome: out, World: w,
+		Obs: reg,
 	}, nil
 }
 
@@ -130,6 +145,12 @@ type Matrix struct {
 	// returns the partial matrix with its holes instead of aborting; every
 	// renderer marks them explicitly so a gap can never pass for a zero.
 	Holes map[string]map[string]string
+	// Obs is the sweep-level metric registry: every cell's private registry
+	// merged in grid order, plus harness.* sweep counters. Nil unless the
+	// sweep ran with metrics enabled. Because cell registries are merged in
+	// grid order (never completion order) and every merge operation is
+	// commutative, the aggregate is byte-identical at any worker count.
+	Obs *obs.Registry
 }
 
 // AddHole records why a cell has no result.
@@ -156,6 +177,72 @@ func (m *Matrix) HoleCount() int {
 		n += len(row)
 	}
 	return n
+}
+
+// aggregateObs folds every cell's private registry into Matrix.Obs in grid
+// order (workload-major, then config), then adds the sweep-level harness.*
+// counters derived from the hole annotations. Grid-order merging plus
+// commutative merge operations make the aggregate independent of cell
+// completion order, so the sweep's metrics honour the same determinism
+// contract as its tables: byte-identical at any -j.
+func (m *Matrix) aggregateObs() error {
+	agg := obs.NewRegistry()
+	ok := agg.Counter("harness.cells_ok")
+	hole := agg.Counter("harness.cells_hole")
+	skipped := agg.Counter("harness.cells_skipped")
+	watchdog := agg.Counter("harness.watchdog_trips")
+	for _, wl := range m.Workloads {
+		for _, c := range m.Configs {
+			if r := m.Results[wl][c]; r != nil && r.Obs != nil {
+				if err := agg.Merge(r.Obs); err != nil {
+					return fmt.Errorf("harness: %s/%s: %w", wl, c, err)
+				}
+				ok.Inc()
+				continue
+			}
+			if reason, isHole := m.Hole(wl, c); isHole {
+				hole.Inc()
+				if strings.HasPrefix(reason, "skipped") {
+					skipped.Inc()
+				}
+				if strings.HasPrefix(reason, "watchdog") {
+					watchdog.Inc()
+				}
+			}
+		}
+	}
+	m.Obs = agg
+	return nil
+}
+
+// RunMatrixObserved is RunMatrix with per-cell metric registries enabled and
+// aggregated: the strictly sequential reference implementation the metrics
+// determinism tests compare the parallel engine against.
+func RunMatrixObserved(wls []workload.Workload, cfgs []BinaryConfig, scale int64) (*Matrix, error) {
+	m := &Matrix{
+		Cycles:  make(map[string]map[string]uint64),
+		Results: make(map[string]map[string]*RunResult),
+	}
+	for _, c := range cfgs {
+		m.Configs = append(m.Configs, c.Name)
+	}
+	for _, wl := range wls {
+		m.Workloads = append(m.Workloads, wl.Name)
+		m.Cycles[wl.Name] = make(map[string]uint64)
+		m.Results[wl.Name] = make(map[string]*RunResult)
+		for _, cfg := range cfgs {
+			r, err := RunLimited(wl, cfg, scale, CellLimits{Metrics: true})
+			if err != nil {
+				return nil, err
+			}
+			m.Cycles[wl.Name][cfg.Name] = r.Cycles
+			m.Results[wl.Name][cfg.Name] = r
+		}
+	}
+	if err := m.aggregateObs(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // complete reports whether workload wl has a result for config (and for the

@@ -40,6 +40,38 @@ type ParallelOptions struct {
 	// CellInstrBudget caps each cell's simulated user instructions
 	// (0 = the simulator's own runaway cap).
 	CellInstrBudget uint64
+	// Metrics gives every cell a private obs.Registry and merges them in
+	// grid order into Matrix.Obs after assembly (with the harness.* sweep
+	// counters added). The aggregate is byte-identical at any worker count.
+	Metrics bool
+	// OnCell, when non-nil, receives one CellEvent per grid cell as it
+	// finishes (or is skipped). Events arrive in completion order and may be
+	// delivered concurrently from multiple workers; the callback must be
+	// safe for concurrent use. The trace/progress surfaces hang off this
+	// stream — it reports wall-clock facts, which are explicitly NOT part of
+	// the determinism contract.
+	OnCell func(CellEvent)
+}
+
+// CellEvent is one cell's lifecycle report for the observability stream:
+// which worker ran which grid cell, over which wall-clock window, and what
+// came of it.
+type CellEvent struct {
+	// Worker is the worker-pool slot (0-based) that processed the cell.
+	Worker int
+	// Index is the cell's grid-order position; Total is the grid size.
+	Index, Total int
+	Workload     string
+	Config       string
+	// Start and End bound the cell's execution wall-clock window. For a
+	// skipped cell they are the moment the skip was decided.
+	Start, End time.Time
+	// Err is the cell's failure (nil on success); Skipped marks a cell never
+	// started because the sweep was cancelled.
+	Err     error
+	Skipped bool
+	// Instrs and Cycles summarize a successful cell (zero otherwise).
+	Instrs, Cycles uint64
 }
 
 // EffectiveWorkers resolves the worker-pool size actually used.
@@ -187,14 +219,34 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 	if workers > len(cells) && len(cells) > 0 {
 		workers = len(cells)
 	}
+	emit := func(worker, i int, start, end time.Time, o cellOutcome) {
+		if opt.OnCell == nil {
+			return
+		}
+		ev := CellEvent{
+			Worker: worker, Index: i, Total: len(cells),
+			Workload: cells[i].wl.Name, Config: cells[i].cfg.Name,
+			Start: start, End: end,
+			Err: o.err, Skipped: o.skipped,
+		}
+		if o.res != nil {
+			ev.Cycles = o.res.Cycles
+			if o.res.Stats != nil {
+				ev.Instrs = o.res.Stats.Instructions
+			}
+		}
+		opt.OnCell(ev)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range jobs {
 				// Each worker writes only its own slot; no locking needed.
 				if cctx.Err() != nil {
 					outcomes[i].skipped = true
+					now := time.Now()
+					emit(worker, i, now, now, outcomes[i])
 					continue
 				}
 				// Per-cell watchdog: the explicit cell timeout, tightened by
@@ -202,24 +254,29 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 				lim := CellLimits{
 					MaxInstructions: opt.CellInstrBudget,
 					Timeout:         opt.CellTimeout,
+					Metrics:         opt.Metrics,
 				}
 				if dl, ok := cctx.Deadline(); ok {
 					rem := time.Until(dl)
 					if rem <= 0 {
 						outcomes[i].skipped = true
+						now := time.Now()
+						emit(worker, i, now, now, outcomes[i])
 						continue
 					}
 					if lim.Timeout == 0 || rem < lim.Timeout {
 						lim.Timeout = rem
 					}
 				}
+				start := time.Now()
 				r, err := runCell(cells[i].wl, cells[i].cfg, scale, lim)
 				outcomes[i] = cellOutcome{res: r, err: err}
+				emit(worker, i, start, time.Now(), outcomes[i])
 				if err != nil && opt.FailFast {
 					cancel()
 				}
 			}
-		}()
+		}(w)
 	}
 	for i := range cells {
 		jobs <- i
@@ -255,6 +312,14 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 		default:
 			m.Cycles[c.wl.Name][c.cfg.Name] = o.res.Cycles
 			m.Results[c.wl.Name][c.cfg.Name] = o.res
+		}
+	}
+	if opt.Metrics {
+		// Grid-order merge of the per-cell registries; merge errors are
+		// impossible by construction (every cell registers identical
+		// histogram bounds) but surfaced rather than swallowed.
+		if err := m.aggregateObs(); err != nil {
+			merr.Cells = append(merr.Cells, &CellError{Err: err})
 		}
 	}
 	if len(merr.Cells) > 0 || merr.Skipped > 0 {

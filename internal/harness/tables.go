@@ -275,6 +275,17 @@ type MicroStats struct {
 	DebugROBFull        uint64
 	TokenL2MemPerKInstr float64
 	TokenL1EvPerKInstr  float64
+	// Matrix is the underlying two-cell sweep (metrics export surface).
+	Matrix *Matrix
+}
+
+// Metrics exports the sweep's observability report (nil unless the sweep ran
+// with ParallelOptions.Metrics).
+func (s *MicroStats) Metrics() *MetricsReport {
+	if s.Matrix == nil {
+		return nil
+	}
+	return s.Matrix.Metrics("micro")
 }
 
 // RunMicroStats runs the secure and debug REST-full configurations for a
@@ -311,6 +322,7 @@ func RunMicroStatsParallel(ctx context.Context, wl workload.Workload, scale int6
 		DebugROBFull:        dbg.Stats.ROBFullCycles,
 		TokenL2MemPerKInstr: float64(sec.World.Hier.TokenL2MemCrossings()) / kinstr,
 		TokenL1EvPerKInstr:  float64(sec.World.Hier.L1D.Stats.TokenEvicts) / kinstr,
+		Matrix:              m,
 	}, nil
 }
 

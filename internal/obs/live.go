@@ -1,0 +1,63 @@
+package obs
+
+import "sync"
+
+// Live is the mutable state behind restbench's expvar endpoint: overall
+// cell progress plus the latest aggregated metric snapshot. It is updated
+// from the sweep completion stream (worker goroutines) and read by HTTP
+// handlers, so every access is mutex-protected.
+type Live struct {
+	mu      sync.Mutex
+	total   int
+	done    int
+	holes   int
+	metrics []Metric
+}
+
+// AddTotal registers n more expected cells (called once per sweep).
+// Nil-safe.
+func (l *Live) AddTotal(n int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.total += n
+	l.mu.Unlock()
+}
+
+// ObserveCell records one finished cell; ok=false counts a hole. Nil-safe.
+func (l *Live) ObserveCell(ok bool) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.done++
+	if !ok {
+		l.holes++
+	}
+	l.mu.Unlock()
+}
+
+// SetMetrics publishes the latest aggregated registry snapshot. Nil-safe.
+func (l *Live) SetMetrics(ms []Metric) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.metrics = ms
+	l.mu.Unlock()
+}
+
+// Vars returns the expvar payload: progress counters, the build identity
+// and the latest metric snapshot. The signature matches expvar.Func.
+func (l *Live) Vars() any {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return map[string]any{
+		"build":       ReadBuild(),
+		"cells_total": l.total,
+		"cells_done":  l.done,
+		"cells_holes": l.holes,
+		"metrics":     l.metrics,
+	}
+}

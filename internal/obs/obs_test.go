@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", 1, 2)
+	c.Inc()
+	c.Add(7)
+	g.Set(9)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles must observe nothing")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry must snapshot empty")
+	}
+	if err := r.Merge(NewRegistry()); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("counter registration not idempotent")
+	}
+	if r.Gauge("b") != r.Gauge("b") {
+		t.Error("gauge registration not idempotent")
+	}
+	if r.Histogram("c", 1, 2) != r.Histogram("c", 1, 2) {
+		t.Error("histogram registration not idempotent")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("occ", 4, 16, 64)
+	for _, v := range []uint64{0, 4, 5, 16, 17, 64, 65, 1000} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("want 1 metric, got %d", len(snap))
+	}
+	m := snap[0]
+	if m.Count != 8 || m.Sum != 0+4+5+16+17+64+65+1000 {
+		t.Errorf("count/sum wrong: %+v", m)
+	}
+	want := []Bucket{{"4", 2}, {"16", 2}, {"64", 2}, {"inf", 2}}
+	if !reflect.DeepEqual(m.Buckets, want) {
+		t.Errorf("buckets = %v, want %v", m.Buckets, want)
+	}
+}
+
+func TestGaugeKeepsHighWaterMark(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("peak")
+	g.Set(10)
+	g.Set(3)
+	g.Set(12)
+	g.Set(7)
+	if g.Value() != 12 {
+		t.Errorf("gauge = %d, want 12", g.Value())
+	}
+}
+
+// TestMergeIsOrderInsensitive pins the determinism argument: merging cell
+// registries in any order yields the same snapshot, because counters add,
+// gauges max and histograms add bucket-wise.
+func TestMergeIsOrderInsensitive(t *testing.T) {
+	mkCell := func(n uint64) *Registry {
+		r := NewRegistry()
+		r.Counter("c").Add(n)
+		r.Gauge("g").Set(n * 10)
+		h := r.Histogram("h", 2, 5)
+		h.Observe(n)
+		h.Observe(n + 3)
+		return r
+	}
+	cells := []*Registry{mkCell(1), mkCell(2), mkCell(3), mkCell(4)}
+
+	forward := NewRegistry()
+	for _, c := range cells {
+		if err := forward.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backward := NewRegistry()
+	for i := len(cells) - 1; i >= 0; i-- {
+		if err := backward.Merge(cells[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(forward.Snapshot(), backward.Snapshot()) {
+		t.Errorf("merge order changed the snapshot:\n%v\n%v",
+			forward.Snapshot(), backward.Snapshot())
+	}
+	if got := forward.Counter("c").Value(); got != 10 {
+		t.Errorf("merged counter = %d, want 10", got)
+	}
+	if got := forward.Gauge("g").Value(); got != 40 {
+		t.Errorf("merged gauge = %d, want 40", got)
+	}
+	if got := forward.Histogram("h").Count(); got != 8 {
+		t.Errorf("merged histogram count = %d, want 8", got)
+	}
+}
+
+func TestMergeRejectsBoundMismatch(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram("h", 1, 2)
+	b := NewRegistry()
+	b.Histogram("h", 1, 3).Observe(1)
+	if err := a.Merge(b); err == nil {
+		t.Error("merge of mismatched histogram bounds must fail")
+	}
+}
+
+func TestSnapshotSortedAndCSVStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Inc()
+	r.Counter("a.first").Add(2)
+	r.Gauge("m.middle").Set(5)
+	r.Histogram("b.hist", 10).Observe(4)
+	snap := r.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q >= %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+	var b strings.Builder
+	CSVRows(&b, "pfx,", snap)
+	want := "pfx,a.first,counter,value,2\n" +
+		"pfx,b.hist,histogram,count,1\n" +
+		"pfx,b.hist,histogram,sum,4\n" +
+		"pfx,b.hist,histogram,le_10,1\n" +
+		"pfx,b.hist,histogram,le_inf,0\n" +
+		"pfx,m.middle,gauge,value,5\n" +
+		"pfx,z.last,counter,value,1\n"
+	if b.String() != want {
+		t.Errorf("CSV rows:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestBuildString(t *testing.T) {
+	b := ReadBuild()
+	if b.String() == "" {
+		t.Error("build string must never be empty")
+	}
+	if b.Version == "" {
+		t.Error("version must default to (devel)")
+	}
+}

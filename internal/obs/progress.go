@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress renders a live cells-done/holes/ETA meter for one sweep. It is
+// fed from the sweep engine's completion stream (worker goroutines), so it
+// carries its own mutex. The meter writes to stderr in restbench — stdout
+// must stay byte-identical across -j values, and a live meter is inherently
+// timing-dependent.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+	total int
+	done  int
+	holes int
+	start time.Time
+	now   func() time.Time // injectable clock for tests
+}
+
+// NewProgress starts a meter for a sweep of total cells, writing to w.
+func NewProgress(w io.Writer, label string, total int) *Progress {
+	return &Progress{w: w, label: label, total: total, start: time.Now(), now: time.Now}
+}
+
+// Observe records one finished cell; ok=false counts it as a hole
+// (failed or skipped). Nil-safe for the disabled path.
+func (p *Progress) Observe(ok bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if !ok {
+		p.holes++
+	}
+	p.render()
+}
+
+// render paints the meter line; callers hold p.mu.
+func (p *Progress) render() {
+	elapsed := p.now().Sub(p.start)
+	line := fmt.Sprintf("\r%s: %d/%d cells", p.label, p.done, p.total)
+	if p.holes > 0 {
+		line += fmt.Sprintf(", %d holes", p.holes)
+	}
+	line += fmt.Sprintf(", elapsed %s", elapsed.Round(100*time.Millisecond))
+	if p.done > 0 && p.done < p.total {
+		eta := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		line += fmt.Sprintf(", eta %s", eta.Round(100*time.Millisecond))
+	}
+	fmt.Fprint(p.w, line)
+}
+
+// Finish terminates the meter line. Nil-safe.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintln(p.w)
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace collects a Chrome/Catapult trace ("chrome://tracing" / Perfetto
+// JSON object format): one process, one track (tid) per sweep worker, one
+// complete ("X") slice per sweep cell. Slice timestamps are wall clock and
+// therefore not deterministic — the trace is a profiling surface, not a
+// report surface; determinism is the metrics registry's job.
+//
+// Trace is safe for concurrent use: the sweep engine's completion stream
+// calls Slice from worker goroutines.
+type Trace struct {
+	mu     sync.Mutex
+	base   time.Time
+	events []traceEvent
+	named  map[int]bool
+}
+
+// traceEvent is one Catapult event. Field names and the enclosing
+// {"traceEvents": [...]} wrapper follow the Trace Event Format spec.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTrace starts an empty trace; slice timestamps are relative to now.
+func NewTrace() *Trace {
+	return &Trace{base: time.Now(), named: make(map[int]bool)}
+}
+
+// Slice records one complete slice on track tid. Nil-safe, so callers can
+// hold a nil *Trace when tracing is off.
+func (t *Trace) Slice(tid int, name, cat string, start, end time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.named[tid] {
+		t.named[tid] = true
+		t.events = append(t.events, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": workerName(tid)},
+		})
+	}
+	ts := float64(start.Sub(t.base).Microseconds())
+	dur := float64(end.Sub(start).Microseconds())
+	if dur < 1 {
+		dur = 1 // chrome://tracing drops zero-duration X slices
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: cat, Ph: "X", TS: ts, Dur: dur, PID: 1, TID: tid, Args: args,
+	})
+}
+
+func workerName(tid int) string {
+	return "worker " + itoa(tid)
+}
+
+// itoa avoids strconv for this one two-digit use.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// WriteTo emits the trace as a Catapult JSON object. Events are sorted by
+// (timestamp, tid) so repeated writes of the same trace are stable.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	t.mu.Lock()
+	events := append([]traceEvent(nil), t.events...)
+	t.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		return events[i].TID < events[j].TID
+	})
+	if events == nil {
+		events = []traceEvent{}
+	}
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{events, "ms"}
+	raw, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return 0, err
+	}
+	raw = append(raw, '\n')
+	n, err := w.Write(raw)
+	return int64(n), err
+}
+
+// ValidateCatapult checks that raw parses as a Catapult JSON object with a
+// traceEvents array whose entries carry the fields chrome://tracing needs:
+// every event has name/ph/pid/tid, and every "X" (complete) slice also has
+// ts and a positive dur. The schema acceptance test and the restbench
+// integration test share this checker.
+func ValidateCatapult(raw []byte) error {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				return fmt.Errorf("obs: traceEvents[%d] missing %q: %v", i, key, ev)
+			}
+		}
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X":
+			ts, ok := ev["ts"].(float64)
+			if !ok || ts < 0 {
+				return fmt.Errorf("obs: traceEvents[%d]: X slice needs a non-negative ts", i)
+			}
+			dur, ok := ev["dur"].(float64)
+			if !ok || dur <= 0 {
+				return fmt.Errorf("obs: traceEvents[%d]: X slice needs a positive dur", i)
+			}
+		case "M":
+			// Metadata events carry their payload in args.
+		default:
+			return fmt.Errorf("obs: traceEvents[%d]: unexpected phase %q", i, ph)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceCatapultSchema(t *testing.T) {
+	tr := NewTrace()
+	base := time.Now()
+	tr.Slice(0, "lbm/plain", "fig7", base, base.Add(3*time.Millisecond),
+		map[string]any{"workload": "lbm", "config": "plain", "verdict": "completed", "instructions": 12345, "seed": 0})
+	tr.Slice(1, "lbm/asan", "fig7", base.Add(time.Millisecond), base.Add(2*time.Millisecond), nil)
+	tr.Slice(0, "xalanc/plain", "fig7", base.Add(4*time.Millisecond), base.Add(4*time.Millisecond), nil)
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateCatapult(buf.Bytes()); err != nil {
+		t.Fatalf("trace fails its own schema: %v\n%s", err, buf.String())
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// 3 slices + 2 thread_name metadata events (tids 0 and 1).
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("want 5 events, got %d", len(doc.TraceEvents))
+	}
+	meta, slices := 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+			if ev["name"] != "thread_name" {
+				t.Errorf("metadata event is not thread_name: %v", ev)
+			}
+		case "X":
+			slices++
+		}
+	}
+	if meta != 2 || slices != 3 {
+		t.Errorf("want 2 metadata + 3 slices, got %d + %d", meta, slices)
+	}
+	if !strings.Contains(buf.String(), `"verdict": "completed"`) {
+		t.Error("slice args not serialized")
+	}
+}
+
+func TestValidateCatapultRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`not json`,
+		`{}`,
+		`{"traceEvents":[{"ph":"X","ts":0,"dur":1}]}`,                             // missing name/pid/tid
+		`{"traceEvents":[{"name":"a","ph":"X","pid":1,"tid":0,"ts":0}]}`,          // missing dur
+		`{"traceEvents":[{"name":"a","ph":"X","pid":1,"tid":0,"ts":0,"dur":0}]}`,  // zero dur
+		`{"traceEvents":[{"name":"a","ph":"Q","pid":1,"tid":0,"ts":0,"dur":1}]}`,  // unknown phase
+		`{"traceEvents":[{"name":"a","ph":"X","pid":1,"tid":0,"ts":-5,"dur":1}]}`, // negative ts
+	} {
+		if err := ValidateCatapult([]byte(bad)); err == nil {
+			t.Errorf("ValidateCatapult accepted %q", bad)
+		}
+	}
+	if err := ValidateCatapult([]byte(`{"traceEvents":[]}`)); err != nil {
+		t.Errorf("empty trace must validate: %v", err)
+	}
+}
+
+func TestTraceConcurrentSlices(t *testing.T) {
+	tr := NewTrace()
+	base := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.Slice(w, "cell", "sweep", base, base.Add(time.Millisecond), nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateCatapult(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgressMeter(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "fig7", 4)
+	now := time.Now()
+	p.now = func() time.Time { return now.Add(2 * time.Second) }
+	p.start = now
+	p.Observe(true)
+	p.Observe(false)
+	p.Finish()
+	out := buf.String()
+	if !strings.Contains(out, "fig7: 2/4 cells") {
+		t.Errorf("meter missing progress: %q", out)
+	}
+	if !strings.Contains(out, "1 holes") {
+		t.Errorf("meter missing holes: %q", out)
+	}
+	if !strings.Contains(out, "eta") {
+		t.Errorf("meter missing eta: %q", out)
+	}
+	// Nil meter must be a silent no-op.
+	var np *Progress
+	np.Observe(true)
+	np.Finish()
+}
+
+func TestLiveVars(t *testing.T) {
+	l := &Live{}
+	l.AddTotal(10)
+	l.ObserveCell(true)
+	l.ObserveCell(false)
+	r := NewRegistry()
+	r.Counter("sim.user_instructions").Add(42)
+	l.SetMetrics(r.Snapshot())
+	vars, ok := l.Vars().(map[string]any)
+	if !ok {
+		t.Fatalf("Vars() is not a map: %T", l.Vars())
+	}
+	if vars["cells_total"] != 10 || vars["cells_done"] != 2 || vars["cells_holes"] != 1 {
+		t.Errorf("progress vars wrong: %v", vars)
+	}
+	if _, ok := vars["build"].(Build); !ok {
+		t.Errorf("build identity missing: %v", vars["build"])
+	}
+	ms, ok := vars["metrics"].([]Metric)
+	if !ok || len(ms) != 1 || ms[0].Value != 42 {
+		t.Errorf("metrics snapshot wrong: %v", vars["metrics"])
+	}
+}

@@ -89,6 +89,9 @@ type Config struct {
 	// that many instructions. Zero disables the watchdog — runs without one
 	// stay perfectly deterministic.
 	Deadline time.Time
+	// Probes hooks the machine into the observability plane (nil = off;
+	// every hook site is a single nil check).
+	Probes *Probes
 }
 
 // deadlineCheckStride is how many user instructions run between wall-clock
@@ -139,10 +142,11 @@ type Machine struct {
 	pendPos int
 	seq     uint64
 
-	halted    bool
-	exc       *core.Exception
-	violation *Violation
-	runErr    error
+	halted        bool
+	exc           *core.Exception
+	violation     *Violation
+	runErr        error
+	probesFlushed bool
 
 	rtPC      uint64
 	rtPCCount uint64
@@ -229,6 +233,7 @@ func (m *Machine) Next() (trace.Entry, bool) {
 			return e, true
 		}
 		if m.halted {
+			m.FlushProbes()
 			return trace.Entry{}, false
 		}
 		if m.UserInstrs >= m.cfg.MaxInstructions {
@@ -238,6 +243,10 @@ func (m *Machine) Next() (trace.Entry, bool) {
 				Limit:    fmt.Sprintf("cap %d", m.cfg.MaxInstructions),
 				Instrs:   m.UserInstrs,
 			}
+			if p := m.cfg.Probes; p != nil {
+				p.WatchdogTrips.Inc()
+			}
+			m.FlushProbes()
 			return trace.Entry{}, false
 		}
 		if !m.cfg.Deadline.IsZero() && m.UserInstrs%deadlineCheckStride == 0 &&
@@ -248,6 +257,10 @@ func (m *Machine) Next() (trace.Entry, bool) {
 				Limit:    "deadline passed",
 				Instrs:   m.UserInstrs,
 			}
+			if p := m.cfg.Probes; p != nil {
+				p.WatchdogTrips.Inc()
+			}
+			m.FlushProbes()
 			return trace.Entry{}, false
 		}
 		m.step()
@@ -445,6 +458,9 @@ func (m *Machine) step() {
 		if err := m.cfg.Runtime.Call(in.Imm, m); err != nil {
 			if v, ok := err.(*Violation); ok {
 				m.violation = v
+				if p := m.cfg.Probes; p != nil {
+					p.SWViolations.Inc()
+				}
 			} else if exc, ok := err.(*core.Exception); ok {
 				m.raise(exc)
 			} else {
@@ -467,6 +483,9 @@ func (m *Machine) step() {
 func (m *Machine) raise(exc *core.Exception) {
 	m.exc = exc
 	m.halted = true
+	if p := m.cfg.Probes; p != nil {
+		p.RESTExceptions.Inc()
+	}
 }
 
 // checkREST applies the hardware token check to a regular access.

@@ -1,0 +1,48 @@
+package sim
+
+import "rest/internal/obs"
+
+// Probes is the functional simulator's hook set into the observability
+// plane: the architectural events the paper's claims are argued from.
+// A nil *Probes disables all of them; hook sites guard with one nil check,
+// so a machine without observability pays nothing measurable.
+type Probes struct {
+	// UserInstructions / RuntimeOps are flushed once at end of run from the
+	// machine's existing counters (zero hot-path cost).
+	UserInstructions *obs.Counter
+	RuntimeOps       *obs.Counter
+	// RESTExceptions counts raised hardware exceptions; SWViolations counts
+	// software (ASan/allocator) reports; WatchdogTrips counts budget aborts.
+	RESTExceptions *obs.Counter
+	SWViolations   *obs.Counter
+	WatchdogTrips  *obs.Counter
+}
+
+// NewProbes registers the sim metric set in r (nil r -> nil probes, the
+// disabled fast path).
+func NewProbes(r *obs.Registry) *Probes {
+	if r == nil {
+		return nil
+	}
+	return &Probes{
+		UserInstructions: r.Counter("sim.user_instructions"),
+		RuntimeOps:       r.Counter("sim.runtime_ops"),
+		RESTExceptions:   r.Counter("sim.rest_exceptions"),
+		SWViolations:     r.Counter("sim.sw_violations"),
+		WatchdogTrips:    r.Counter("sim.watchdog_trips"),
+	}
+}
+
+// FlushProbes publishes the machine's end-of-run counters into the probe
+// set. Idempotent; called when the machine halts and again defensively by
+// world teardown (the timing model may stop pulling the trace early on an
+// exception, leaving the halt path unreached).
+func (m *Machine) FlushProbes() {
+	p := m.cfg.Probes
+	if p == nil || m.probesFlushed {
+		return
+	}
+	m.probesFlushed = true
+	p.UserInstructions.Add(m.UserInstrs)
+	p.RuntimeOps.Add(m.RTOps)
+}

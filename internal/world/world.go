@@ -16,6 +16,7 @@ import (
 	"rest/internal/core"
 	"rest/internal/cpu"
 	"rest/internal/mem"
+	"rest/internal/obs"
 	"rest/internal/prog"
 	"rest/internal/rt"
 	"rest/internal/shadow"
@@ -58,6 +59,12 @@ type Spec struct {
 	// RandomizeHeap enables heap layout randomization with the given seed
 	// (§V-C Predictability; REST arms the random slack).
 	RandomizeHeap *int64
+	// Obs, when non-nil, threads the observability plane through every
+	// layer of this world: sim/cpu/alloc get live probes, and RunTimed /
+	// RunFunctional flush the cache and allocator statistics into the
+	// registry at end of run. Nil (the default) keeps every hook on its
+	// zero-cost nil fast path.
+	Obs *obs.Registry
 }
 
 // Outcome summarizes a run's architectural result.
@@ -99,6 +106,8 @@ type World struct {
 	Pipeline *cpu.Pipeline
 	InOrder  *cpu.InOrder
 	Pred     *bpred.Predictor
+
+	obsFlushed bool
 }
 
 // Build constructs a world for the given program builder function.
@@ -168,6 +177,9 @@ func Build(spec Spec, build func(b *prog.Builder)) (*World, error) {
 	if spec.InterceptLibc != nil {
 		runtime.InterceptLibc = *spec.InterceptLibc
 	}
+	// Probe constructors are nil-safe: a nil registry yields nil probe
+	// sets, and every hook site degrades to one nil check.
+	engine.SetProbes(alloc.NewProbes(spec.Obs))
 
 	mach, err := sim.New(sim.Config{
 		Mem:             m,
@@ -175,6 +187,7 @@ func Build(spec Spec, build func(b *prog.Builder)) (*World, error) {
 		Runtime:         runtime,
 		MaxInstructions: spec.MaxInstructions,
 		Deadline:        spec.Deadline,
+		Probes:          sim.NewProbes(spec.Obs),
 	}, program.Instrs, program.Entry)
 	if err != nil {
 		return nil, err
@@ -213,10 +226,27 @@ func Build(spec Spec, build func(b *prog.Builder)) (*World, error) {
 	}
 	if spec.InOrder {
 		w.InOrder = cpu.NewInOrder(ccfg, hier, pred)
+		w.InOrder.SetProbes(cpu.NewProbes(spec.Obs))
 	} else {
 		w.Pipeline = cpu.New(ccfg, hier, pred)
+		w.Pipeline.SetProbes(cpu.NewProbes(spec.Obs))
 	}
 	return w, nil
+}
+
+// FlushObs publishes the world's end-of-run observability state into
+// Spec.Obs: the machine's architectural counters, every cache level's
+// statistics and the allocator totals. Idempotent and nil-safe; RunTimed
+// and RunFunctional call it, so callers only need it for worlds they drive
+// by hand.
+func (w *World) FlushObs() {
+	if w.Spec.Obs == nil || w.obsFlushed {
+		return
+	}
+	w.obsFlushed = true
+	w.Machine.FlushProbes()
+	w.Alloc.FlushProbes()
+	cache.RecordHierarchy(w.Spec.Obs, w.Hier)
 }
 
 // outcome derives the Outcome from the machine's final state.
@@ -233,6 +263,7 @@ func (w *World) outcome() Outcome {
 // returns the outcome.
 func (w *World) RunFunctional() Outcome {
 	w.Machine.Run()
+	w.FlushObs()
 	return w.outcome()
 }
 
@@ -248,6 +279,7 @@ func (w *World) RunTimed() (*cpu.Stats, Outcome) {
 	} else {
 		stats = w.Pipeline.Run(w.Machine)
 	}
+	w.FlushObs()
 	out := w.outcome()
 	if stats.Exception != nil && out.Exception != nil {
 		out.Exception.Precise = stats.Exception.Precise

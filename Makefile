@@ -9,13 +9,15 @@
 #   make bench       regenerate every figure/table as benchmarks
 #   make bench-smoke every benchmark in every package, one iteration each —
 #                    proves the bench suite still compiles and runs
+#   make bench-json  measure the trace-cache capture/replay A/B and record it
+#                    as BENCH_4.json (the perf trajectory artifact)
 #   make verify      what CI runs: vet + test + race
 
 GO       ?= go
 FUZZTIME ?= 10s
 SEED     ?= 42
 
-.PHONY: build vet test race fuzz-short faults bench bench-smoke verify
+.PHONY: build vet test race fuzz-short faults bench bench-smoke bench-json verify
 
 build:
 	$(GO) build ./...
@@ -26,8 +28,11 @@ vet:
 test: build
 	$(GO) test ./...
 
+# The harness package's differential suites run close to go test's default
+# 10-minute per-package deadline under the race detector (they already
+# subset their workload grids when built with -race); give them headroom.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 # `go test -fuzz` accepts a single package per invocation.
 fuzz-short:
@@ -46,5 +51,10 @@ bench:
 # keeps the bench suite from bit-rotting between real benchmarking sessions.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# The Figure 8 sensitivity sweep, cache on vs cache off (best of two rounds
+# each), recorded as a machine-readable point of the perf trajectory.
+bench-json:
+	$(GO) test -run TestBenchJSON -bench-json=BENCH_4.json .
 
 verify: vet test race

@@ -9,6 +9,9 @@ package rest_test
 
 import (
 	"context"
+	"encoding/json"
+	"flag"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -133,6 +136,103 @@ func BenchmarkFigure8TokenWidths(b *testing.B) {
 	b.ReportMetric(m.WtdAriMeanOverhead("16-full"), "w16-full-%")
 	b.ReportMetric(m.WtdAriMeanOverhead("32-full"), "w32-full-%")
 	b.ReportMetric(m.WtdAriMeanOverhead("64-full"), "w64-full-%")
+}
+
+// runFig8Sensitivity times one Figure 8 sensitivity sweep, with or without
+// the trace cache, and returns the wall clock plus the cache counters.
+func runFig8Sensitivity(tb testing.TB, cached bool) (time.Duration, uint64, uint64) {
+	tb.Helper()
+	opt := harness.ParallelOptions{Workers: runtime.GOMAXPROCS(0)}
+	var tc *harness.TraceCache
+	if cached {
+		tc = harness.NewTraceCache()
+		opt.TraceCache = tc
+	}
+	start := time.Now()
+	if _, err := harness.RunFig8Sensitivity(context.Background(), workload.All(), benchScale, opt); err != nil {
+		tb.Fatal(err)
+	}
+	wall := time.Since(start)
+	if tc == nil {
+		return wall, 0, 0
+	}
+	hits, misses, _ := tc.Counters()
+	return wall, hits, misses
+}
+
+// BenchmarkFig8CaptureReplay is the tentpole's headline A/B: the Figure 8
+// timing-sensitivity sweep with the trace cache on (each build executes once,
+// its timing variants replay) versus off (every cell re-executes the
+// functional simulator). The sweep reports are byte-identical either way —
+// the replay differential tests pin that — so "reduction-%" is pure saved
+// wall clock.
+func BenchmarkFig8CaptureReplay(b *testing.B) {
+	var on, off time.Duration
+	for i := 0; i < b.N; i++ {
+		don, _, _ := runFig8Sensitivity(b, true)
+		doff, _, _ := runFig8Sensitivity(b, false)
+		on += don
+		off += doff
+	}
+	b.ReportMetric(float64(on.Nanoseconds())/float64(b.N), "cacheon-ns")
+	b.ReportMetric(float64(off.Nanoseconds())/float64(b.N), "cacheoff-ns")
+	b.ReportMetric(100*(1-float64(on)/float64(off)), "reduction-%")
+}
+
+// benchJSONPath gates TestBenchJSON: `make bench-json` passes
+// -bench-json=BENCH_4.json to record the capture/replay A/B as a committed
+// machine-readable artifact.
+var benchJSONPath = flag.String("bench-json", "", "write the capture/replay A/B measurement to this JSON file")
+
+// TestBenchJSON measures the Figure 8 sensitivity sweep cache-on vs cache-off
+// (best of two rounds each, to shed scheduler noise) and writes the result to
+// the -bench-json path. Skipped unless the flag is set.
+func TestBenchJSON(t *testing.T) {
+	if *benchJSONPath == "" {
+		t.Skip("set -bench-json=FILE to record the capture/replay measurement")
+	}
+	best := func(cached bool) (time.Duration, uint64, uint64) {
+		w1, h, m := runFig8Sensitivity(t, cached)
+		w2, _, _ := runFig8Sensitivity(t, cached)
+		if w2 < w1 {
+			w1 = w2
+		}
+		return w1, h, m
+	}
+	on, hits, misses := best(true)
+	off, _, _ := best(false)
+	reduction := 100 * (1 - float64(on)/float64(off))
+	if reduction <= 0 {
+		t.Errorf("trace cache did not reduce sweep wall clock: on=%s off=%s", on, off)
+	}
+	out := struct {
+		Benchmark    string  `json:"benchmark"`
+		Scale        int64   `json:"scale"`
+		Workers      int     `json:"workers"`
+		CacheOnNs    int64   `json:"cache_on_ns"`
+		CacheOffNs   int64   `json:"cache_off_ns"`
+		ReductionPct float64 `json:"reduction_pct"`
+		TraceHits    uint64  `json:"trace_hits"`
+		TraceMisses  uint64  `json:"trace_misses"`
+	}{
+		Benchmark:    "Fig8SensitivityCaptureReplay",
+		Scale:        benchScale,
+		Workers:      runtime.GOMAXPROCS(0),
+		CacheOnNs:    on.Nanoseconds(),
+		CacheOffNs:   off.Nanoseconds(),
+		ReductionPct: reduction,
+		TraceHits:    hits,
+		TraceMisses:  misses,
+	}
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchJSONPath, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cache on %s, off %s: %.1f%% reduction (%d replays / %d captures) -> %s",
+		on, off, reduction, hits, misses, *benchJSONPath)
 }
 
 // BenchmarkObsOverhead pairs the Figure 3 sweep with the observability plane

@@ -4,6 +4,8 @@
 //	restbench -fig3          ASan overhead component breakdown
 //	restbench -fig7          REST vs ASan overheads, all modes and scopes
 //	restbench -fig8          token-width sweep (16/32/64B)
+//	restbench -fig8sens      Figure 8 timing-sensitivity sweep (ports, L2
+//	                         latency, in-order core)
 //	restbench -table1        REST semantics conformance matrix
 //	restbench -table2        simulated hardware configuration
 //	restbench -table3        qualitative hardware-scheme comparison
@@ -31,6 +33,14 @@
 //	-keep-going      print partial reports with annotated holes and exit 0
 //	                 when cells fail; without it any failed cell exits 1
 //	-seed N          seed for the -faults campaign (same seed, same report)
+//
+// Performance controls:
+//
+//	-trace-cache     capture each unique dynamic trace once and replay it
+//	                 for sweep cells that differ only in timing knobs
+//	                 (on by default; reports are byte-identical either way —
+//	                 the replay differential tests pin that). Cache hit/miss
+//	                 counts print to stderr after the sweeps.
 //
 // Observability controls (all off by default; none of them perturbs stdout,
 // so reports stay byte-identical with or without them):
@@ -71,6 +81,7 @@ func main() {
 	fig3 := flag.Bool("fig3", false, "regenerate Figure 3")
 	fig7 := flag.Bool("fig7", false, "regenerate Figure 7")
 	fig8 := flag.Bool("fig8", false, "regenerate Figure 8")
+	fig8sens := flag.Bool("fig8sens", false, "run the Figure 8 timing-sensitivity sweep")
 	table1 := flag.Bool("table1", false, "run the Table I conformance matrix")
 	table2 := flag.Bool("table2", false, "print Table II")
 	table3 := flag.Bool("table3", false, "print Table III")
@@ -89,6 +100,7 @@ func main() {
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock watchdog (0 = none)")
 	cellBudget := flag.Uint64("cell-budget", 0, "per-cell simulated-instruction budget (0 = sim default)")
 	keepGoing := flag.Bool("keep-going", false, "report failed cells as holes and exit 0")
+	traceCache := flag.Bool("trace-cache", true, "capture/replay dynamic traces across timing-only config variants")
 	seed := flag.Int64("seed", 42, "seed for the -faults campaign")
 	only := flag.String("only", "", "substring filter for -faults scenarios")
 	metricsOut := flag.String("metrics", "", "write sweep metrics to this file (CSV, or JSON if it ends in .json)")
@@ -102,7 +114,7 @@ func main() {
 		fmt.Println(obs.ReadBuild())
 		return
 	}
-	if !(*fig3 || *fig7 || *fig8 || *table1 || *table2 || *table3 || *stats || *faults || *all) {
+	if !(*fig3 || *fig7 || *fig8 || *fig8sens || *table1 || *table2 || *table3 || *stats || *faults || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -128,6 +140,14 @@ func main() {
 		FailFast:        *failFast,
 		CellTimeout:     *cellTimeout,
 		CellInstrBudget: *cellBudget,
+	}
+	// One cache for the whole invocation: grids that share functional
+	// identities across sweeps (e.g. -fig8 and -fig8sens both time the
+	// secure-full build) reuse each other's captures.
+	var tcache *harness.TraceCache
+	if *traceCache {
+		tcache = harness.NewTraceCache()
+		opt.TraceCache = tcache
 	}
 
 	// The observability plane. All of it writes to files or stderr, never
@@ -279,6 +299,19 @@ func main() {
 			fmt.Println(m.CSV())
 		}
 	}
+	if *all || *fig8sens {
+		start := time.Now()
+		o, finish := sweepOpt("fig8sens", len(workload.All())*len(harness.Fig8SensitivityConfigs()))
+		m, err := harness.RunFig8Sensitivity(ctx, workload.All(), *scale, o)
+		sweepErr("fig8sens", err)
+		finish(m)
+		elapsed("fig8sens", start)
+		fmt.Println(m.RenderOverheadTable(
+			fmt.Sprintf("Figure 8 sensitivity: overheads under timing variants (scale %d)", *scale)))
+		if *csv {
+			fmt.Println(m.CSV())
+		}
+	}
 	if *all || *stats {
 		wl, err := workload.ByName(*statsWL)
 		if err != nil {
@@ -336,6 +369,10 @@ func main() {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "trace: wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if tcache != nil {
+		hits, misses, bypass := tcache.Counters()
+		fmt.Fprintf(os.Stderr, "trace cache: %d replayed, %d captured, %d bypassed\n", hits, misses, bypass)
 	}
 	if degraded {
 		fmt.Fprintln(os.Stderr, "some sweep cells failed; reports contain annotated holes (-keep-going)")

@@ -93,8 +93,13 @@ type Cache struct {
 	tokens   TokenSource // nil when REST disabled or no tracker
 	useTick  uint64
 
-	mshr map[uint64]uint64 // line addr -> fill completion cycle
-	wbuf []uint64          // completion cycles of outstanding writebacks
+	// mshr holds the outstanding misses as a small bounded slice (at most
+	// cfg.MSHRs live entries, a handful in Table II's configuration):
+	// completed entries are pruned on every admit, so the structure never
+	// grows with run length, and the linear scan beats hashing a map key on
+	// every fill.
+	mshr []mshrEntry
+	wbuf []uint64 // completion cycles of outstanding writebacks
 
 	group *snoopGroup // nil on single-core machines
 
@@ -127,7 +132,7 @@ func New(cfg Config, next Level, tokens TokenSource) (*Cache, error) {
 		setMask:  uint64(nSets - 1),
 		sets:     make([][]cline, nSets),
 		next:     next,
-		mshr:     make(map[uint64]uint64),
+		mshr:     make([]mshrEntry, 0, cfg.MSHRs),
 	}
 	if cfg.RESTEnabled {
 		c.tokens = tokens
@@ -137,6 +142,11 @@ func New(cfg Config, next Level, tokens TokenSource) (*Cache, error) {
 	}
 	return c, nil
 }
+
+// ReleaseTokenSource drops the token-source reference. Only valid once the
+// cache will receive no further accesses: the fill-time detector consults
+// the source on every REST-enabled access.
+func (c *Cache) ReleaseTokenSource() { c.tokens = nil }
 
 func (c *Cache) setIndex(lineAddr uint64) uint64 {
 	return (lineAddr >> c.setShift) & c.setMask
@@ -174,13 +184,43 @@ func (c *Cache) touch(l *cline) {
 	l.lastUse = c.useTick
 }
 
-// reapMSHRs drops completed entries.
-func (c *Cache) reapMSHRs(now uint64) {
-	for a, ready := range c.mshr {
-		if ready <= now {
-			delete(c.mshr, a)
+// mshrEntry is one outstanding miss: the line being filled and the cycle the
+// fill completes.
+type mshrEntry struct {
+	addr  uint64
+	ready uint64
+}
+
+// mshrFind returns the outstanding entry for lineAddr, or nil. Entries are
+// unique per line address (mshrSet updates in place).
+func (c *Cache) mshrFind(lineAddr uint64) *mshrEntry {
+	for i := range c.mshr {
+		if c.mshr[i].addr == lineAddr {
+			return &c.mshr[i]
 		}
 	}
+	return nil
+}
+
+// mshrSet records lineAddr's fill completion, reusing the line's existing
+// entry if one is still tracked.
+func (c *Cache) mshrSet(lineAddr, ready uint64) {
+	if e := c.mshrFind(lineAddr); e != nil {
+		e.ready = ready
+		return
+	}
+	c.mshr = append(c.mshr, mshrEntry{addr: lineAddr, ready: ready})
+}
+
+// reapMSHRs prunes completed entries in place.
+func (c *Cache) reapMSHRs(now uint64) {
+	live := c.mshr[:0]
+	for _, e := range c.mshr {
+		if e.ready > now {
+			live = append(live, e)
+		}
+	}
+	c.mshr = live
 }
 
 // mshrAdmit blocks until an MSHR slot is free and returns the (possibly
@@ -192,15 +232,23 @@ func (c *Cache) mshrAdmit(now uint64) uint64 {
 	}
 	// Stall until the earliest in-flight fill completes.
 	earliest := ^uint64(0)
-	for _, ready := range c.mshr {
-		if ready < earliest {
-			earliest = ready
+	for _, e := range c.mshr {
+		if e.ready < earliest {
+			earliest = e.ready
 		}
 	}
 	c.Stats.MSHRStalls += earliest - now
 	c.reapMSHRs(earliest)
 	return earliest
 }
+
+// MSHROccupancy reports how many miss entries are currently tracked. Pruning
+// on every admit bounds it by the configured MSHR count no matter how long
+// the run is (regression-tested by TestMSHROccupancyBounded).
+func (c *Cache) MSHROccupancy() int { return len(c.mshr) }
+
+// MSHRCapacity reports the configured maximum outstanding misses.
+func (c *Cache) MSHRCapacity() int { return c.cfg.MSHRs }
 
 // wbufAdmit blocks until a write-buffer entry is free.
 func (c *Cache) wbufAdmit(now uint64) uint64 {
@@ -257,10 +305,10 @@ func (c *Cache) evict(now uint64, lineAddr uint64) *cline {
 // the cycle at which the line is resident and the installed way.
 func (c *Cache) fill(now uint64, lineAddr uint64, exclusive bool) (uint64, *cline) {
 	// Merge into an outstanding fill for the same line.
-	if ready, ok := c.mshr[lineAddr]; ok && ready > now {
+	if e := c.mshrFind(lineAddr); e != nil && e.ready > now {
 		c.Stats.MergedMisses++
 		if l := c.lookup(lineAddr); l != nil {
-			return ready, l
+			return e.ready, l
 		}
 		// The line will be installed by the primary miss; install now for
 		// bookkeeping (one-pass model).
@@ -273,7 +321,7 @@ func (c *Cache) fill(now uint64, lineAddr uint64, exclusive bool) (uint64, *clin
 		snoopLat = c.snoopRead(now, lineAddr)
 	}
 	done := c.next.Access(now+c.cfg.HitCycles+snoopLat, lineAddr, false)
-	c.mshr[lineAddr] = done
+	c.mshrSet(lineAddr, done)
 
 	v := c.evict(now, lineAddr)
 	v.valid = true

@@ -34,6 +34,9 @@ type Hierarchy struct {
 	DRAM *dram.DRAM
 
 	tokens TokenSource
+	// rest records whether the hierarchy was built with a token source, so
+	// stats derived from that fact survive ReleaseTokenSource.
+	rest bool
 	// UserInstrs is set by the pipeline so per-kilo-instruction interface
 	// stats can be derived.
 }
@@ -65,7 +68,18 @@ func NewHierarchy(cfg HierConfig, tokens TokenSource) (*Hierarchy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, DRAM: d, tokens: tokens}, nil
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, DRAM: d, tokens: tokens, rest: tokens != nil}, nil
+}
+
+// ReleaseTokenSource drops the hierarchy's (and L1-D's) reference to the
+// token source once no further accesses will happen. A replayed world's
+// token source is a trace.Replayer pinning the whole captured trace; without
+// this, every retained replay result keeps a multi-megabyte trace alive for
+// the rest of the sweep. Stats already accumulated (including the
+// token-crossing attribution) are unaffected.
+func (h *Hierarchy) ReleaseTokenSource() {
+	h.tokens = nil
+	h.L1D.ReleaseTokenSource()
 }
 
 // FetchInstr models an instruction fetch of the line holding pc.
@@ -82,7 +96,7 @@ func (h *Hierarchy) FetchInstr(now uint64, pc uint64) uint64 {
 // scanning with the token source; as an upper-bound proxy we report L2
 // writebacks plus DRAM fills of lines currently holding tokens.
 func (h *Hierarchy) TokenL2MemCrossings() uint64 {
-	if h.tokens == nil {
+	if !h.rest {
 		return 0
 	}
 	// L1-D token evictions are the injection point of token lines into L2;

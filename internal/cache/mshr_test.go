@@ -1,0 +1,62 @@
+package cache
+
+import "testing"
+
+// TestMSHROccupancyBounded is the pruning regression test: before completed
+// entries were reaped, a long run's miss table grew with every unique line
+// ever missed. Stream a miss-heavy workload far larger than the cache and
+// assert the tracked-entry count never exceeds the configured MSHRs.
+func TestMSHROccupancyBounded(t *testing.T) {
+	next := &flatMem{lat: 100}
+	c, err := New(Config{
+		Name: "L1-D", SizeBytes: 4096, Ways: 2, HitCycles: 2, MSHRs: 4,
+	}, next, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := uint64(0)
+	const lines = 50_000
+	for i := 0; i < lines; i++ {
+		// A fresh line every access: every one is a miss with its own MSHR
+		// entry, and now advances so earlier fills keep completing.
+		r := c.Load(now, uint64(i)*64, 8)
+		now = r.Done
+		if got := c.MSHROccupancy(); got > c.MSHRCapacity() {
+			t.Fatalf("after miss %d: MSHR occupancy %d exceeds capacity %d",
+				i, got, c.MSHRCapacity())
+		}
+	}
+	if c.Stats.Misses != lines {
+		t.Fatalf("misses = %d, want %d (every access must have missed)", c.Stats.Misses, lines)
+	}
+	// The structure holds at most the in-flight window, not run history.
+	if got := c.MSHROccupancy(); got > c.MSHRCapacity() {
+		t.Errorf("final occupancy %d exceeds capacity %d", got, c.MSHRCapacity())
+	}
+}
+
+// TestMSHRMergeAfterReap pins an update-in-place subtlety: a line that missed,
+// completed and was evicted can miss again; its stale (completed) entry must
+// not satisfy the merge check, and re-recording it must not duplicate it.
+func TestMSHRMergeAfterReap(t *testing.T) {
+	next := &flatMem{lat: 100}
+	c, err := New(Config{SizeBytes: 4096, Ways: 2, HitCycles: 2, MSHRs: 4}, next, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := c.Load(0, 0x0, 8)
+	// Evict 0x0 from its set (2 ways, 2KiB conflict stride).
+	c.Load(r1.FillDone, 0x800, 8)
+	c.Load(r1.FillDone+200, 0x1000, 8)
+	// Miss the same line again, long after its first fill completed.
+	r2 := c.Load(r1.FillDone+500, 0x0, 8)
+	if r2.Hit {
+		t.Fatal("re-missed line reported as hit")
+	}
+	if c.Stats.MergedMisses != 0 {
+		t.Errorf("stale completed entry merged a fresh miss (MergedMisses = %d)", c.Stats.MergedMisses)
+	}
+	if got := c.MSHROccupancy(); got > c.MSHRCapacity() {
+		t.Errorf("occupancy %d exceeds capacity %d", got, c.MSHRCapacity())
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rest/internal/mem"
+)
+
+// MatchesMem is an optimized spelling of mem.Equal(addr, t.Value()); these
+// tests pin the equivalence exhaustively enough that the word-compare path
+// can never silently diverge from the byte path.
+
+func TestMatchesMemEquivalence(t *testing.T) {
+	for _, w := range []Width{Width16, Width32, Width64} {
+		reg, err := NewTokenRegister(w, Secure, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mem.New()
+		addr := uint64(0x4000)
+		check := func(what string) {
+			t.Helper()
+			want := m.Equal(addr, reg.Value())
+			if got := reg.MatchesMem(m, addr); got != want {
+				t.Errorf("width %d, %s: MatchesMem = %v, mem.Equal = %v", w, what, got, want)
+			}
+		}
+		check("unwritten (zero) memory")
+		m.Write(addr, reg.Value())
+		check("exact token in memory")
+		// Flip each byte of the chunk in turn: every position must be seen by
+		// the word compares.
+		for i := 0; i < int(w); i++ {
+			m.SetByte(addr+uint64(i), m.Byte(addr+uint64(i))^0x80)
+			check("corrupted byte")
+			m.SetByte(addr+uint64(i), m.Byte(addr+uint64(i))^0x80)
+		}
+		check("restored token")
+		// Rotation must rebuild the word cache: the old value no longer
+		// matches, the new one does.
+		reg.Rotate(rand.New(rand.NewSource(7)))
+		check("stale value after rotate")
+		m.Write(addr, reg.Value())
+		check("rotated token in memory")
+		// Chunks straddling a page boundary exercise MatchesMem's buffered
+		// read against mem.Equal's chunked loop.
+		addr = uint64(mem.PageSize) - uint64(w)/2
+		m.Write(addr, reg.Value())
+		check("page-straddling token")
+	}
+}
+
+// BenchmarkTokenCompare measures the fill-path content check on an armed
+// full-line chunk (the always-match worst case: all eight words compared).
+func BenchmarkTokenCompare(b *testing.B) {
+	reg, err := NewTokenRegister(Width64, Secure, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := mem.New()
+	m.Write(0x4000, reg.Value())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !reg.MatchesMem(m, 0x4000) {
+			b.Fatal("armed chunk did not match")
+		}
+	}
+}

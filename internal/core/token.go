@@ -21,8 +21,11 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
+
+	"rest/internal/mem"
 )
 
 // Width is a supported token width in bytes (§III-B "Modifying Token Width").
@@ -144,6 +147,10 @@ type TokenRegister struct {
 	value []byte
 	width Width
 	mode  Mode
+	// words caches value as little-endian uint64 words (2/4/8 for the three
+	// widths) so content comparison — the fill-time detector's hot path —
+	// runs as word compares instead of byte loops. Rebuilt on Rotate.
+	words []uint64
 }
 
 // NewTokenRegister draws a fresh random token of the given width from rng.
@@ -165,7 +172,9 @@ func NewTokenRegister(w Width, mode Mode, rng *rand.Rand) (*TokenRegister, error
 			break
 		}
 	}
-	return &TokenRegister{value: v, width: w, mode: mode}, nil
+	t := &TokenRegister{value: v, width: w, mode: mode}
+	t.rebuildWords()
+	return t, nil
 }
 
 func allZero(b []byte) bool {
@@ -201,9 +210,34 @@ func (t *TokenRegister) Rotate(rng *rand.Rand) {
 	for {
 		rng.Read(t.value)
 		if !allZero(t.value) {
+			t.rebuildWords()
 			return
 		}
 	}
+}
+
+// rebuildWords refreshes the word-compare cache from the token bytes.
+func (t *TokenRegister) rebuildWords() {
+	t.words = t.words[:0]
+	for i := 0; i < len(t.value); i += 8 {
+		t.words = append(t.words, binary.LittleEndian.Uint64(t.value[i:]))
+	}
+}
+
+// MatchesMem reports whether the token-width chunk at addr in m holds the
+// token value, compared eight bytes at a time (8×uint64 compares for the
+// full-line 64-byte width). It is the content detector's hot path: every
+// L1-D fill consults it once per chunk via LineTokenMask.
+func (t *TokenRegister) MatchesMem(m *mem.Memory, addr uint64) bool {
+	var buf [int(Width64)]byte
+	b := buf[:t.width]
+	m.Read(addr, b)
+	for i, w := range t.words {
+		if binary.LittleEndian.Uint64(b[i*8:]) != w {
+			return false
+		}
+	}
+	return true
 }
 
 // Align returns addr rounded down to token-width alignment.

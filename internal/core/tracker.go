@@ -104,7 +104,7 @@ func (t *TokenTracker) LineTokenMask(lineAddr uint64) uint8 {
 	var mask uint8
 	w := uint64(t.reg.width)
 	for i := 0; i < t.reg.width.ChunksPerLine(); i++ {
-		if t.m.Equal(lineAddr+uint64(i)*w, t.reg.value) {
+		if t.reg.MatchesMem(t.m, lineAddr+uint64(i)*w) {
 			mask |= 1 << i
 		}
 	}
@@ -235,7 +235,7 @@ func (t *TokenTracker) InjectTokenDrop(addr uint64) {
 func (t *TokenTracker) ResyncChunk(addr uint64) bool {
 	a := t.reg.Align(addr)
 	_, was := t.armed[a]
-	is := t.m.Equal(a, t.reg.value)
+	is := t.reg.MatchesMem(t.m, a)
 	switch {
 	case is && !was:
 		t.armed[a] = struct{}{}
@@ -250,7 +250,7 @@ func (t *TokenTracker) ResyncChunk(addr uint64) bool {
 // by tests and the harness's self-check mode.
 func (t *TokenTracker) VerifyConsistency() error {
 	for a := range t.armed {
-		if !t.m.Equal(a, t.reg.value) {
+		if !t.reg.MatchesMem(t.m, a) {
 			return fmt.Errorf("core: chunk %#x armed but memory does not hold token", a)
 		}
 	}

@@ -200,13 +200,41 @@ func (p *Pipeline) Run(r trace.Reader) *Stats {
 	lastFetchLine := ^uint64(0)
 	var lastCommit uint64
 
-	// Recent stores for forwarding; bounded by SQ size.
-	sqLive := make([]sqEntry, 0, cfg.SQSize)
+	// Recent stores for forwarding; bounded by SQ size. The window slides
+	// through a fixed backing array and is compacted to the front when it
+	// reaches the end, so steady-state store traffic never touches the
+	// allocator (an append-and-reslice window reallocates every SQSize
+	// stores, which showed up as memmove + GC churn in replay profiles).
+	sqBack := make([]sqEntry, 4*cfg.SQSize)
+	sqStart, sqEnd := 0, 0
+	sqLive := sqBack[:0]
+
+	// Pull entries in batches when the reader supports it (the trace
+	// Replayer does): one interface call per buffer instead of per entry.
+	// The Replayer's ReadBatch contract keeps its token shadow exact under
+	// this read-ahead.
+	var ebuf [256]trace.Entry
+	var ebn, ebi int
+	br, batched := r.(trace.BatchReader)
 
 	for {
-		e, ok := r.Next()
-		if !ok {
-			break
+		var e *trace.Entry
+		if batched {
+			if ebi == ebn {
+				ebn = br.ReadBatch(ebuf[:])
+				ebi = 0
+				if ebn == 0 {
+					break
+				}
+			}
+			e = &ebuf[ebi]
+			ebi++
+		} else {
+			ev, ok := r.Next()
+			if !ok {
+				break
+			}
+			e = &ev
 		}
 		st.Instructions++
 		if e.Kind == trace.KindUser {
@@ -231,13 +259,22 @@ func (p *Pipeline) Run(r trace.Reader) *Stats {
 
 		// --- Dispatch (rename + structural allocation) ---
 		d := f + cfg.FrontendDepth
+		// f is non-decreasing across instructions, so every future scanSQ
+		// query uses at = issue >= (f' + FrontendDepth) + 1 >= d + 1. (d
+		// itself may be raised by structural constraints below, and those
+		// raises do not carry to the next instruction, so the safe prune
+		// bound is captured here, before them.)
+		sqPruneAt := d + 1
 		if c := rob.peek(); c > d {
 			st.ROBFullCycles += c - d
 			d = c
 		}
-		if iq.len() >= cfg.IQSize {
-			m := iq.pop()
-			if m > d {
+		iqFull := iq.len() >= cfg.IQSize
+		if iqFull {
+			// The IQ entry that frees is the one with the earliest issue
+			// cycle; it is replaced (not popped and re-pushed) with this
+			// instruction's issue cycle once that is known, below.
+			if m := iq.peekMin(); m > d {
 				st.IQFullCycles += m - d
 				d = m
 			}
@@ -266,6 +303,17 @@ func (p *Pipeline) Run(r trace.Reader) *Stats {
 				st.SQFullCycles += c - d
 				d = c
 			}
+		}
+		if isLoad || isStoreLike {
+			// Prune stores that can never match another scan: an entry whose
+			// write completed by sqPruneAt is invisible to this and every
+			// future scan (all query at issue >= sqPruneAt). This keeps the
+			// scanned window at the handful of genuinely in-flight stores
+			// instead of the full SQ history.
+			for sqStart < sqEnd && sqBack[sqStart].writeDone <= sqPruneAt {
+				sqStart++
+			}
+			sqLive = sqBack[sqStart:sqEnd]
 		}
 
 		// --- Issue ---
@@ -390,17 +438,28 @@ func (p *Pipeline) Run(r trace.Reader) *Stats {
 
 		// Record structure exits.
 		rob.next(c)
-		iq.push(issue)
+		if iqFull {
+			iq.replaceMin(issue)
+		} else {
+			iq.push(issue)
+		}
 		if isLoad {
 			lq.next(c)
 		}
 		if isStoreLike {
 			free := max64(c, writeDone)
 			sq.next(free)
-			sqLive = append(sqLive, sqEntry{addr: e.Addr, size: e.Size, op: e.Op, dataReady: complete, writeDone: free})
-			if len(sqLive) > cfg.SQSize {
-				sqLive = sqLive[len(sqLive)-cfg.SQSize:]
+			if sqEnd == len(sqBack) {
+				copy(sqBack, sqBack[sqStart:sqEnd])
+				sqEnd -= sqStart
+				sqStart = 0
 			}
+			sqBack[sqEnd] = sqEntry{addr: e.Addr, size: e.Size, op: e.Op, dataReady: complete, writeDone: free}
+			sqEnd++
+			if sqEnd-sqStart > cfg.SQSize {
+				sqStart++
+			}
+			sqLive = sqBack[sqStart:sqEnd]
 		}
 
 		if cfg.SerializeArmDisarm && isArmLike {

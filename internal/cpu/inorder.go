@@ -44,10 +44,30 @@ func (p *InOrder) Run(r trace.Reader) *Stats {
 	var now uint64
 	lastFetchLine := ^uint64(0)
 
+	// Same batched pull as the out-of-order model: one interface call per
+	// buffer when the reader is a trace Replayer.
+	var ebuf [256]trace.Entry
+	var ebn, ebi int
+	br, batched := r.(trace.BatchReader)
+
 	for {
-		e, ok := r.Next()
-		if !ok {
-			break
+		var e *trace.Entry
+		if batched {
+			if ebi == ebn {
+				ebn = br.ReadBatch(ebuf[:])
+				ebi = 0
+				if ebn == 0 {
+					break
+				}
+			}
+			e = &ebuf[ebi]
+			ebi++
+		} else {
+			ev, ok := r.Next()
+			if !ok {
+				break
+			}
+			e = &ev
 		}
 		st.Instructions++
 		if e.Kind == trace.KindUser {

@@ -8,18 +8,22 @@ package cpu
 // treated as free, which can only under-count bandwidth pressure slightly.
 type slotTable struct {
 	width uint16
+	mask  uint64 // window-1; the window is a power of two so % becomes &
 	cyc   []uint64
 	cnt   []uint16
 }
 
 func newSlotTable(width int) *slotTable {
-	const window = 8192
-	return &slotTable{width: uint16(width), cyc: make([]uint64, window), cnt: make([]uint16, window)}
+	const window = 8192 // must stay a power of two (mask indexing)
+	return &slotTable{
+		width: uint16(width), mask: window - 1,
+		cyc: make([]uint64, window), cnt: make([]uint16, window),
+	}
 }
 
 func (s *slotTable) reserve(at uint64) uint64 {
 	for {
-		idx := at % uint64(len(s.cyc))
+		idx := at & s.mask
 		switch {
 		case s.cyc[idx] != at:
 			if s.cyc[idx] > at {
@@ -43,8 +47,8 @@ func (s *slotTable) reserve(at uint64) uint64 {
 // freed. get returns the constraint for the next allocation; set records the
 // new entry's free cycle.
 type ring struct {
-	buf  []uint64
-	head uint64
+	buf []uint64
+	idx int // next slot to recycle; wraps without division (sizes like 192 aren't powers of two)
 }
 
 func newRing(n int) *ring { return &ring{buf: make([]uint64, n)} }
@@ -52,16 +56,18 @@ func newRing(n int) *ring { return &ring{buf: make([]uint64, n)} }
 // next returns the cycle the oldest entry frees (0 while not full) and
 // advances, recording freeAt for the new entry.
 func (r *ring) next(freeAt uint64) (constraint uint64) {
-	idx := r.head % uint64(len(r.buf))
-	constraint = r.buf[idx]
-	r.buf[idx] = freeAt
-	r.head++
+	constraint = r.buf[r.idx]
+	r.buf[r.idx] = freeAt
+	r.idx++
+	if r.idx == len(r.buf) {
+		r.idx = 0
+	}
 	return constraint
 }
 
 // peek returns the constraint without advancing.
 func (r *ring) peek() uint64 {
-	return r.buf[r.head%uint64(len(r.buf))]
+	return r.buf[r.idx]
 }
 
 // occupancy counts entries still allocated at cycle now (free cycle in the
@@ -118,6 +124,36 @@ func (h *minHeap) pop() uint64 {
 		i = sm
 	}
 	return v
+}
+
+// peekMin returns the minimum without removing it.
+func (h *minHeap) peekMin() uint64 { return h.a[0] }
+
+// replaceMin overwrites the minimum with v and restores heap order with a
+// single hole-percolating sift-down. Equivalent to pop-then-push(v), which
+// the dispatch stage does once per instruction in steady state, at roughly
+// half the cost (one traversal, one write per level instead of swaps). Only
+// the value multiset is observable (min extraction, occupancy), so the
+// different internal layout cannot change timing results.
+func (h *minHeap) replaceMin(v uint64) {
+	a := h.a
+	n := len(a)
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && a[r] < a[l] {
+			l = r
+		}
+		if a[l] >= v {
+			break
+		}
+		a[i] = a[l]
+		i = l
+	}
+	a[i] = v
 }
 
 func (h *minHeap) len() int { return len(h.a) }

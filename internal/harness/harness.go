@@ -13,15 +13,21 @@ import (
 	"strings"
 	"time"
 
+	"rest/internal/cache"
 	"rest/internal/core"
 	"rest/internal/cpu"
 	"rest/internal/obs"
 	"rest/internal/prog"
+	"rest/internal/trace"
 	"rest/internal/workload"
 	"rest/internal/world"
 )
 
-// BinaryConfig names one bar of Figure 7/8: a pass + mode combination.
+// BinaryConfig names one bar of Figure 7/8: a pass + mode combination, plus
+// optional timing-model overrides for sensitivity sweeps. The pass, mode and
+// libc fields define the cell's functional identity; CPU, Hier and InOrder
+// are timing-only knobs — cells that differ only in those replay one shared
+// captured trace when a TraceCache is active.
 type BinaryConfig struct {
 	Name string
 	Pass prog.PassConfig
@@ -31,6 +37,11 @@ type BinaryConfig struct {
 	// InOrder selects the in-order core (Figure 3 was measured on one,
 	// paper footnote 1).
 	InOrder bool
+	// CPU overrides the out-of-order core configuration (nil = Table II
+	// defaults).
+	CPU *cpu.Config
+	// Hier overrides the cache hierarchy (nil = Table II defaults).
+	Hier *cache.HierConfig
 }
 
 // Fig7Configs returns the eight per-benchmark bars of Figure 7 (plain is
@@ -97,13 +108,51 @@ func Run(wl workload.Workload, cfg BinaryConfig, scale int64) (*RunResult, error
 
 // RunLimited is Run under explicit watchdog budgets.
 func RunLimited(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLimits) (*RunResult, error) {
+	return RunCached(wl, cfg, scale, lim, nil)
+}
+
+// RunCached is RunLimited through an optional trace cache: with a non-nil tc
+// the cell captures, replays or bypasses per its planned role (see
+// TraceCache); with nil it streams the functional simulator through the
+// timing model the ordinary way. Either path returns identical results —
+// the replay differential tests pin the equivalence.
+func RunCached(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLimits, tc *TraceCache) (*RunResult, error) {
+	if tc == nil {
+		return runStreamed(wl, cfg, scale, lim, nil)
+	}
+	return tc.run(wl, cfg, scale, lim)
+}
+
+// captureState carries a leader cell's publishing obligation through
+// runStreamed: however the run ends — publish, error or panic — the entry
+// resolves exactly once, so waiters can never block forever.
+type captureState struct {
+	tc  *TraceCache
+	ent *traceEntry
+}
+
+// runStreamed executes one cell against the live functional simulator. A
+// non-nil cap additionally records the dynamic trace and publishes it (with
+// the cell's outcome and functional metrics) for sibling cells to replay.
+func runStreamed(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLimits, cap *captureState) (*RunResult, error) {
 	var deadline time.Time
 	if lim.Timeout > 0 {
 		deadline = time.Now().Add(lim.Timeout)
 	}
-	var reg *obs.Registry
+	var reg, funcObs *obs.Registry
 	if lim.Metrics {
 		reg = obs.NewRegistry()
+		if cap != nil {
+			// Split the planes so the functional half can be shared with
+			// replaying siblings; reg gets it merged back below, keeping
+			// this cell's registry identical to an unsplit one.
+			funcObs = obs.NewRegistry()
+		}
+	}
+	if cap != nil {
+		// Resolve the capture no matter how this function exits (including
+		// a panic unwinding to the sweep engine's containment).
+		defer cap.tc.fail(cap.ent)
 	}
 	w, err := world.Build(world.Spec{
 		Pass:            cfg.Pass,
@@ -111,17 +160,87 @@ func RunLimited(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLim
 		Width:           core.Width(cfg.Pass.TokenWidth),
 		InterceptLibc:   cfg.InterceptLibc,
 		InOrder:         cfg.InOrder,
+		CPU:             cfg.CPU,
+		Hier:            cfg.Hier,
 		MaxInstructions: lim.MaxInstructions,
 		Deadline:        deadline,
 		Obs:             reg,
+		FuncObs:         funcObs,
 	}, wl.Build(scale))
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name, cfg.Name, err)
 	}
-	stats, out := w.RunTimed()
+	var stats *cpu.Stats
+	var out world.Outcome
+	if cap != nil {
+		rec := trace.NewRecorder(captureTokenWidth(cfg.Pass), cap.tc.perTraceLimit)
+		stats, out = w.RunTimedCapture(rec)
+		if out.Err == nil && !out.Detected() {
+			// Only fully clean runs publish: the trace is then provably
+			// complete, which is what makes cross-timing replay exact.
+			cap.tc.publish(cap.ent, rec, out, funcObs)
+		}
+	} else {
+		stats, out = w.RunTimed()
+	}
+	if funcObs != nil {
+		if merr := reg.Merge(funcObs); merr != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name, cfg.Name, merr)
+		}
+	}
 	if out.Err != nil {
 		// %w, not %v: the sweep engine classifies watchdog kills by
 		// unwrapping to *sim.BudgetExceededError.
+		return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name, cfg.Name, out.Err)
+	}
+	if out.Detected() {
+		return nil, fmt.Errorf("harness: %s/%s: spurious detection: %s", wl.Name, cfg.Name, out)
+	}
+	return &RunResult{
+		Workload: wl.Name, Config: cfg.Name,
+		Cycles: stats.Cycles, Stats: stats, Outcome: out, World: w,
+		Obs: reg,
+	}, nil
+}
+
+// runReplay executes one cell by replaying a sibling's captured trace
+// through this cell's own timing model. The functional layers never run:
+// the outcome comes from the capture, the functional metrics are merged
+// from the capture's registry, and the token shadow inside the Replayer
+// stands in for the tracker as the fill-time detector's TokenSource.
+func runReplay(wl workload.Workload, cfg BinaryConfig, lim CellLimits, ent *traceEntry) (*RunResult, error) {
+	var reg *obs.Registry
+	if lim.Metrics {
+		reg = obs.NewRegistry()
+	}
+	rp := ent.rec.Replayer()
+	var tokens cache.TokenSource
+	if ent.rec.TokenWidth() != 0 {
+		tokens = rp
+	}
+	w, err := world.BuildReplay(world.Spec{
+		Pass:          cfg.Pass,
+		Mode:          cfg.Mode,
+		Width:         core.Width(cfg.Pass.TokenWidth),
+		InterceptLibc: cfg.InterceptLibc,
+		InOrder:       cfg.InOrder,
+		CPU:           cfg.CPU,
+		Hier:          cfg.Hier,
+		Obs:           reg,
+	}, tokens)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name, cfg.Name, err)
+	}
+	stats, out := w.ReplayTimed(rp, ent.outcome)
+	if reg != nil && ent.funcObs != nil {
+		if merr := reg.Merge(ent.funcObs); merr != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name, cfg.Name, merr)
+		}
+	}
+	// Parity with runStreamed's validation (a cached outcome is clean by
+	// construction, so these are unreachable; kept so the two paths can
+	// never diverge in what they accept).
+	if out.Err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name, cfg.Name, out.Err)
 	}
 	if out.Detected() {

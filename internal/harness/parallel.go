@@ -44,6 +44,14 @@ type ParallelOptions struct {
 	// grid order into Matrix.Obs after assembly (with the harness.* sweep
 	// counters added). The aggregate is byte-identical at any worker count.
 	Metrics bool
+	// TraceCache, when non-nil, deduplicates functional execution across the
+	// grid: the sweep plans its cells into the cache up front, each shared
+	// functional identity is captured once, and its sibling cells replay the
+	// capture through their own timing models. Results stay byte-identical
+	// to an uncached sweep (harness.trace_cache.* counters aside); the
+	// replay differential tests pin that. One cache may be shared by
+	// several sweeps.
+	TraceCache *TraceCache
 	// OnCell, when non-nil, receives one CellEvent per grid cell as it
 	// finishes (or is skipped). Events arrive in completion order and may be
 	// delivered concurrently from multiple workers; the callback must be
@@ -114,13 +122,13 @@ func (e *PanicError) Error() string {
 // runCell executes one cell with panic containment: a panic anywhere under
 // Run (workload builder, world assembly, simulation, timing model) comes
 // back as a *PanicError instead of unwinding the worker goroutine.
-func runCell(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLimits) (res *RunResult, err error) {
+func runCell(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLimits, tc *TraceCache) (res *RunResult, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = &PanicError{Value: p, Stack: debug.Stack()}
 		}
 	}()
-	return RunLimited(wl, cfg, scale, lim)
+	return RunCached(wl, cfg, scale, lim, tc)
 }
 
 // holeReason compresses a cell error into the one-line annotation renderers
@@ -208,6 +216,11 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 			cells = append(cells, cell{wl, cfg})
 		}
 	}
+	if opt.TraceCache != nil {
+		// Register the grid before any cell runs, so capture/replay/bypass
+		// roles are a function of the grid alone, not of scheduling.
+		opt.TraceCache.Plan(wls, cfgs, scale, opt.CellInstrBudget)
+	}
 
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -241,12 +254,21 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			skip := func(i int) {
+				outcomes[i].skipped = true
+				if opt.TraceCache != nil {
+					// Release the skipped cell's planned use so the cache's
+					// refcounts still drain to zero.
+					opt.TraceCache.forfeit(cellTraceKey(
+						cells[i].wl.Name, cells[i].cfg, scale, opt.CellInstrBudget))
+				}
+				now := time.Now()
+				emit(worker, i, now, now, outcomes[i])
+			}
 			for i := range jobs {
 				// Each worker writes only its own slot; no locking needed.
 				if cctx.Err() != nil {
-					outcomes[i].skipped = true
-					now := time.Now()
-					emit(worker, i, now, now, outcomes[i])
+					skip(i)
 					continue
 				}
 				// Per-cell watchdog: the explicit cell timeout, tightened by
@@ -259,9 +281,7 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 				if dl, ok := cctx.Deadline(); ok {
 					rem := time.Until(dl)
 					if rem <= 0 {
-						outcomes[i].skipped = true
-						now := time.Now()
-						emit(worker, i, now, now, outcomes[i])
+						skip(i)
 						continue
 					}
 					if lim.Timeout == 0 || rem < lim.Timeout {
@@ -269,7 +289,7 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 					}
 				}
 				start := time.Now()
-				r, err := runCell(cells[i].wl, cells[i].cfg, scale, lim)
+				r, err := runCell(cells[i].wl, cells[i].cfg, scale, lim, opt.TraceCache)
 				outcomes[i] = cellOutcome{res: r, err: err}
 				emit(worker, i, start, time.Now(), outcomes[i])
 				if err != nil && opt.FailFast {
@@ -320,6 +340,9 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 		// histogram bounds) but surfaced rather than swallowed.
 		if err := m.aggregateObs(); err != nil {
 			merr.Cells = append(merr.Cells, &CellError{Err: err})
+		}
+		if opt.TraceCache != nil {
+			opt.TraceCache.recordObs(m.Obs)
 		}
 	}
 	if len(merr.Cells) > 0 || merr.Skipped > 0 {

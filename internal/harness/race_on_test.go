@@ -1,0 +1,10 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The replay differential tests scale their workload coverage
+// down under race the same way they do under -short: the detector
+// multiplies simulation cost by an order of magnitude, and the
+// interleaving coverage it buys does not grow with the workload count.
+const raceEnabled = true

@@ -19,6 +19,14 @@ const PageSize = 1 << PageBits
 // Unwritten bytes read as zero, matching zero-fill-on-demand semantics.
 type Memory struct {
 	pages map[uint64]*[PageSize]byte
+
+	// Single-entry page lookup cache: accesses cluster heavily (stack walks,
+	// allocator metadata, linear sweeps), so remembering the last resolved
+	// page takes the map lookup off the common load/store path. lastPage is
+	// nil until the first resolution; pages are never freed, so the cached
+	// pointer can never go stale.
+	lastPN   uint64
+	lastPage *[PageSize]byte
 }
 
 // New returns an empty memory.
@@ -29,10 +37,16 @@ func New() *Memory {
 // page returns the page containing addr, allocating it if alloc is set.
 func (m *Memory) page(addr uint64, alloc bool) *[PageSize]byte {
 	pn := addr >> PageBits
+	if m.lastPage != nil && m.lastPN == pn {
+		return m.lastPage
+	}
 	p := m.pages[pn]
 	if p == nil && alloc {
 		p = new([PageSize]byte)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }

@@ -1,0 +1,84 @@
+package mem
+
+import "testing"
+
+// The last-page lookup cache is invisible to every caller; these tests aim
+// at the spots where a stale or over-eager cache would show: unallocated
+// pages, allocation after a cached miss, and tight cross-page ping-pong.
+
+func TestPageCacheDoesNotCacheAbsentPages(t *testing.T) {
+	m := New()
+	// Read an unallocated page: must not poison the cache.
+	if got := m.Byte(0x5000); got != 0 {
+		t.Fatalf("unallocated byte = %d", got)
+	}
+	// Allocate it; the write must land on the real page.
+	m.SetByte(0x5000, 0xAB)
+	if got := m.Byte(0x5000); got != 0xAB {
+		t.Errorf("byte after alloc = %#x, want 0xAB", got)
+	}
+	if m.PageCount() != 1 {
+		t.Errorf("PageCount = %d, want 1", m.PageCount())
+	}
+}
+
+func TestPageCacheCrossPagePingPong(t *testing.T) {
+	m := New()
+	a, b := uint64(0x1000), uint64(0x2000) // distinct pages
+	for i := 0; i < 100; i++ {
+		m.SetByte(a, byte(i))
+		m.SetByte(b, byte(i+1))
+		if m.Byte(a) != byte(i) || m.Byte(b) != byte(i+1) {
+			t.Fatalf("iteration %d: ping-pong read wrong (a=%d b=%d)", i, m.Byte(a), m.Byte(b))
+		}
+	}
+}
+
+func TestPageCacheStraddlingWrite(t *testing.T) {
+	m := New()
+	// A write straddling a page boundary touches two pages in one call; each
+	// half must resolve its own page even when the cache points at the other.
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	m.Write(PageSize-4, src)
+	var dst [8]byte
+	m.Read(PageSize-4, dst[:])
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("straddling roundtrip byte %d = %d, want %d", i, dst[i], src[i])
+		}
+	}
+	if m.PageCount() != 2 {
+		t.Errorf("PageCount = %d, want 2", m.PageCount())
+	}
+}
+
+// BenchmarkSamePageAccess is the case the cache exists for: the simulator's
+// load/store stream clusters on a few pages (stack frames, allocator
+// metadata), so consecutive accesses should skip the page map entirely.
+func BenchmarkSamePageAccess(b *testing.B) {
+	m := New()
+	m.SetByte(0x1000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += m.ReadUint(0x1000+uint64(i%64)*8, 8)
+	}
+	_ = sink
+}
+
+// BenchmarkAlternatingPageAccess is the cache's worst case — every access
+// evicts the cached page — and bounds the regression the single entry can
+// cost relative to the old always-map path.
+func BenchmarkAlternatingPageAccess(b *testing.B) {
+	m := New()
+	m.SetByte(0x1000, 1)
+	m.SetByte(0x2000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += m.ReadUint(0x1000+uint64(i&1)<<12, 8)
+	}
+	_ = sink
+}

@@ -32,6 +32,11 @@ type PassConfig struct {
 	RedzoneBytes uint64
 }
 
+// Normalized returns the config with every defaulted field made explicit,
+// so two configs that build identical programs compare equal. The harness
+// trace cache uses it as part of a cell's functional identity key.
+func (p PassConfig) Normalized() PassConfig { return p.withDefaults() }
+
 func (p PassConfig) withDefaults() PassConfig {
 	if p.TokenWidth == 0 {
 		p.TokenWidth = 64

@@ -66,6 +66,19 @@ type Reader interface {
 	Next() (Entry, bool)
 }
 
+// BatchReader is an optional Reader extension for consumers that can accept
+// entries many at a time, saving an interface call per entry on hot replay
+// loops. ReadBatch fills buf with the next consecutive entries and returns
+// the count written; 0 means the stream is exhausted. Mixing Next and
+// ReadBatch is allowed — both advance the same cursor. Implementations that
+// also expose position-dependent state (the Replayer's token shadow) must
+// keep that state consistent with the entries the consumer has been handed,
+// not merely with the read cursor.
+type BatchReader interface {
+	Reader
+	ReadBatch(buf []Entry) int
+}
+
 // SliceReader adapts a materialized trace to the Reader interface.
 type SliceReader struct {
 	entries []Entry

@@ -21,6 +21,7 @@ import (
 	"rest/internal/rt"
 	"rest/internal/shadow"
 	"rest/internal/sim"
+	"rest/internal/trace"
 )
 
 // Spec configures a world.
@@ -65,6 +66,23 @@ type Spec struct {
 	// registry at end of run. Nil (the default) keeps every hook on its
 	// zero-cost nil fast path.
 	Obs *obs.Registry
+	// FuncObs, when non-nil, splits the observability plane: the functional
+	// layers (sim, alloc) publish here while the timing layers (cpu, cache)
+	// keep publishing to Obs. The trace cache uses the split to capture a
+	// cell's functional metrics once and merge them into each replaying
+	// cell's registry — the metric names are disjoint, so Obs merged with
+	// FuncObs is identical to an unsplit registry. Nil (the default) sends
+	// everything to Obs.
+	FuncObs *obs.Registry
+}
+
+// funcObs resolves the functional-plane registry: FuncObs when split, Obs
+// otherwise.
+func (s Spec) funcObs() *obs.Registry {
+	if s.FuncObs != nil {
+		return s.FuncObs
+	}
+	return s.Obs
 }
 
 // Outcome summarizes a run's architectural result.
@@ -178,8 +196,9 @@ func Build(spec Spec, build func(b *prog.Builder)) (*World, error) {
 		runtime.InterceptLibc = *spec.InterceptLibc
 	}
 	// Probe constructors are nil-safe: a nil registry yields nil probe
-	// sets, and every hook site degrades to one nil check.
-	engine.SetProbes(alloc.NewProbes(spec.Obs))
+	// sets, and every hook site degrades to one nil check. The functional
+	// layers publish to funcObs (== Obs unless the caller split the planes).
+	engine.SetProbes(alloc.NewProbes(spec.funcObs()))
 
 	mach, err := sim.New(sim.Config{
 		Mem:             m,
@@ -187,7 +206,7 @@ func Build(spec Spec, build func(b *prog.Builder)) (*World, error) {
 		Runtime:         runtime,
 		MaxInstructions: spec.MaxInstructions,
 		Deadline:        spec.Deadline,
-		Probes:          sim.NewProbes(spec.Obs),
+		Probes:          sim.NewProbes(spec.funcObs()),
 	}, program.Instrs, program.Entry)
 	if err != nil {
 		return nil, err
@@ -240,13 +259,21 @@ func Build(spec Spec, build func(b *prog.Builder)) (*World, error) {
 // and RunFunctional call it, so callers only need it for worlds they drive
 // by hand.
 func (w *World) FlushObs() {
-	if w.Spec.Obs == nil || w.obsFlushed {
+	if (w.Spec.Obs == nil && w.Spec.FuncObs == nil) || w.obsFlushed {
 		return
 	}
 	w.obsFlushed = true
-	w.Machine.FlushProbes()
-	w.Alloc.FlushProbes()
-	cache.RecordHierarchy(w.Spec.Obs, w.Hier)
+	// Replay worlds have no functional half (Machine/Alloc are nil): their
+	// functional metrics are merged in from the captured run instead.
+	if w.Machine != nil {
+		w.Machine.FlushProbes()
+	}
+	if w.Alloc != nil {
+		w.Alloc.FlushProbes()
+	}
+	if w.Spec.Obs != nil {
+		cache.RecordHierarchy(w.Spec.Obs, w.Hier)
+	}
 }
 
 // outcome derives the Outcome from the machine's final state.
@@ -273,17 +300,96 @@ func (w *World) RunFunctional() Outcome {
 // resolved precision and detection lag, so it supersedes the architectural
 // exception's precision fields.
 func (w *World) RunTimed() (*cpu.Stats, Outcome) {
+	return w.runTimed(w.Machine)
+}
+
+// RunTimedCapture is RunTimed with the streamed trace teed into rec, so a
+// later ReplayTimed on a world built by BuildReplay can reproduce this run's
+// timing without the functional machine.
+func (w *World) RunTimedCapture(rec *trace.Recorder) (*cpu.Stats, Outcome) {
+	return w.runTimed(trace.Tee(w.Machine, rec))
+}
+
+func (w *World) runTimed(r trace.Reader) (*cpu.Stats, Outcome) {
 	var stats *cpu.Stats
 	if w.InOrder != nil {
-		stats = w.InOrder.Run(w.Machine)
+		stats = w.InOrder.Run(r)
 	} else {
-		stats = w.Pipeline.Run(w.Machine)
+		stats = w.Pipeline.Run(r)
 	}
 	w.FlushObs()
 	out := w.outcome()
 	if stats.Exception != nil && out.Exception != nil {
 		out.Exception.Precise = stats.Exception.Precise
 		out.Exception.DetectLagCycles = stats.Exception.DetectLagCycles
+	}
+	return stats, out
+}
+
+// BuildReplay assembles a timing-only world: the cache hierarchy, branch
+// predictor and core of spec, with no program, functional machine, runtime
+// or allocator behind them. tokens stands in for the token tracker as the
+// L1-D fill-time detector's TokenSource (a trace.Replayer over a captured
+// REST trace; nil for non-REST replays). Only the timing fields of spec are
+// consulted: Pass/Seed/MaxInstructions/Deadline shape the functional run
+// that produced the trace, not its replay.
+func BuildReplay(spec Spec, tokens cache.TokenSource) (*World, error) {
+	hcfg := cache.DefaultHierConfig()
+	if spec.Hier != nil {
+		hcfg = *spec.Hier
+	}
+	hier, err := cache.NewHierarchy(hcfg, tokens)
+	if err != nil {
+		return nil, err
+	}
+	ccfg := cpu.DefaultConfig()
+	if spec.CPU != nil {
+		ccfg = *spec.CPU
+	}
+	ccfg.Mode = spec.Mode
+	w := &World{
+		Spec: spec,
+		Hier: hier,
+		Pred: bpred.New(bpred.Config{}),
+	}
+	if spec.InOrder {
+		w.InOrder = cpu.NewInOrder(ccfg, hier, w.Pred)
+		w.InOrder.SetProbes(cpu.NewProbes(spec.Obs))
+	} else {
+		w.Pipeline = cpu.New(ccfg, hier, w.Pred)
+		w.Pipeline.SetProbes(cpu.NewProbes(spec.Obs))
+	}
+	return w, nil
+}
+
+// ReplayTimed drives a BuildReplay world's timing model from a recorded
+// trace and returns the timing stats plus the captured run's architectural
+// outcome with this replay's mode-resolved precision fields. The replayed
+// stats are bit-identical to the streamed run's when the timing
+// configuration matches (and, for complete clean traces, under any timing
+// configuration — the replay differential tests pin both).
+func (w *World) ReplayTimed(r trace.Reader, captured Outcome) (*cpu.Stats, Outcome) {
+	var stats *cpu.Stats
+	if w.InOrder != nil {
+		stats = w.InOrder.Run(r)
+	} else {
+		stats = w.Pipeline.Run(r)
+	}
+	w.FlushObs()
+	// The replay is over; drop the hierarchy's reference to the token source
+	// (the Replayer over the captured trace) so a retained replay result does
+	// not pin the multi-megabyte trace for the rest of a sweep.
+	w.Hier.ReleaseTokenSource()
+	out := captured
+	if out.Exception != nil {
+		// Deep-copy before overriding precision: the captured outcome is
+		// shared across replays and must stay immutable.
+		exc := *out.Exception
+		if stats.Exception != nil {
+			exc.Precise = stats.Exception.Precise
+			exc.DetectLagCycles = stats.Exception.DetectLagCycles
+		}
+		out.Exception = &exc
 	}
 	return stats, out
 }

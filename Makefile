@@ -9,15 +9,21 @@
 #   make bench       regenerate every figure/table as benchmarks
 #   make bench-smoke every benchmark in every package, one iteration each —
 #                    proves the bench suite still compiles and runs
-#   make bench-json  measure the trace-cache capture/replay A/B and record it
-#                    as BENCH_4.json (the perf trajectory artifact)
+#   make bench-json  measure the sweep-cache A/Bs (in-memory capture/replay,
+#                    persistent cold vs warm) and record them as
+#                    $(BENCH_JSON) (the perf trajectory artifact; one file
+#                    per PR, never clobbered: override BENCH_JSON to regen
+#                    an older point)
+#   make clean-cache remove the default local persistent cache directory
 #   make verify      what CI runs: vet + test + race
 
-GO       ?= go
-FUZZTIME ?= 10s
-SEED     ?= 42
+GO         ?= go
+FUZZTIME   ?= 10s
+SEED       ?= 42
+BENCH_JSON ?= BENCH_5.json
+CACHE_DIR  ?= .restcache
 
-.PHONY: build vet test race fuzz-short faults bench bench-smoke bench-json verify
+.PHONY: build vet test race fuzz-short faults bench bench-smoke bench-json clean-cache verify
 
 build:
 	$(GO) build ./...
@@ -40,6 +46,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeProgram -fuzztime=$(FUZZTIME) ./internal/isa
 	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecode  -fuzztime=$(FUZZTIME) ./internal/asm
 	$(GO) test -run='^$$' -fuzz=FuzzTokenDetector -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzTraceDecode   -fuzztime=$(FUZZTIME) ./internal/persist
 
 faults:
 	$(GO) run ./cmd/restbench -faults -seed $(SEED) -csv
@@ -52,9 +59,16 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# The Figure 8 sensitivity sweep, cache on vs cache off (best of two rounds
-# each), recorded as a machine-readable point of the perf trajectory.
+# The Figure 8 sensitivity sweep A/Bs — in-memory cache on vs off (best of
+# two rounds each) and persistent cache cold vs warm — recorded as a
+# machine-readable point of the perf trajectory. Writes $(BENCH_JSON), a
+# per-PR file, so older committed points are never clobbered.
 bench-json:
-	$(GO) test -run TestBenchJSON -bench-json=BENCH_4.json .
+	$(GO) test -run TestBenchJSON -timeout 30m -bench-json=$(BENCH_JSON) .
+
+# Remove the conventional local persistent cache directory (what you pass to
+# restbench -cache-dir when you want a project-local store).
+clean-cache:
+	rm -rf $(CACHE_DIR)
 
 verify: vet test race

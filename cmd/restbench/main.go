@@ -41,6 +41,20 @@
 //	                 (on by default; reports are byte-identical either way —
 //	                 the replay differential tests pin that). Cache hit/miss
 //	                 counts print to stderr after the sweeps.
+//	-cache-dir DIR   persistent artifact cache: captured traces and clean
+//	                 cell results are stored under DIR and reused by later
+//	                 invocations, making repeated sweeps incremental.
+//	                 Reports are byte-identical cold, warm or with the cache
+//	                 off; a corrupt or version-skewed file silently degrades
+//	                 to recompute-and-rewrite. Store activity prints to
+//	                 stderr after the sweeps.
+//	-cache-max-bytes N  byte cap on the cache directory; least-recently-used
+//	                 entries are evicted past it (default 2 GiB)
+//	-cache-rw        read-write cache mode (the default when -cache-dir is
+//	                 set)
+//	-cache-ro        read-only mode: reuse what is stored, write nothing
+//	                 (the directory must already exist)
+//	-cache-off       ignore -cache-dir for this invocation
 //
 // Observability controls (all off by default; none of them perturbs stdout,
 // so reports stay byte-identical with or without them):
@@ -73,9 +87,58 @@ import (
 	"rest/internal/fault"
 	"rest/internal/harness"
 	"rest/internal/obs"
+	"rest/internal/persist"
 	"rest/internal/prog"
 	"rest/internal/workload"
 )
+
+// cacheFlagState is the persistent-cache flag spelling under validation,
+// separated from the flag package so tests can exercise every combination.
+type cacheFlagState struct {
+	Dir         string
+	MaxBytes    int64
+	MaxBytesSet bool // -cache-max-bytes given explicitly
+	RW, RO, Off bool
+	TraceCache  bool // -trace-cache (the in-memory tier the disk rides on)
+}
+
+// validateCacheFlags rejects contradictory persistent-cache spellings with
+// one actionable line each, and resolves the effective mode ("rw", "ro" or
+// "off"; "rw" is the default when -cache-dir is set).
+func validateCacheFlags(s cacheFlagState) (mode string, err error) {
+	n := 0
+	for _, b := range []bool{s.RW, s.RO, s.Off} {
+		if b {
+			n++
+		}
+	}
+	if n > 1 {
+		return "", errors.New("restbench: -cache-rw, -cache-ro and -cache-off are mutually exclusive; pass at most one")
+	}
+	mode = "rw"
+	switch {
+	case s.RO:
+		mode = "ro"
+	case s.Off:
+		mode = "off"
+	}
+	if s.Dir == "" && (n > 0 || s.MaxBytesSet) {
+		return "", errors.New("restbench: -cache-rw/-cache-ro/-cache-off/-cache-max-bytes configure the persistent cache; pass -cache-dir DIR to enable it")
+	}
+	if s.MaxBytesSet && s.MaxBytes <= 0 {
+		return "", fmt.Errorf("restbench: -cache-max-bytes must be positive, got %d", s.MaxBytes)
+	}
+	if s.Dir != "" && mode != "off" && !s.TraceCache {
+		return "", errors.New("restbench: the persistent cache rides on the trace cache; drop -trace-cache=false or pass -cache-off")
+	}
+	if mode == "ro" {
+		fi, statErr := os.Stat(s.Dir)
+		if statErr != nil || !fi.IsDir() {
+			return "", fmt.Errorf("restbench: -cache-ro: cache directory %q does not exist", s.Dir)
+		}
+	}
+	return mode, nil
+}
 
 func main() {
 	fig3 := flag.Bool("fig3", false, "regenerate Figure 3")
@@ -101,6 +164,11 @@ func main() {
 	cellBudget := flag.Uint64("cell-budget", 0, "per-cell simulated-instruction budget (0 = sim default)")
 	keepGoing := flag.Bool("keep-going", false, "report failed cells as holes and exit 0")
 	traceCache := flag.Bool("trace-cache", true, "capture/replay dynamic traces across timing-only config variants")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (empty = no persistent cache)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", persist.DefaultMaxBytes, "byte cap on the persistent cache (LRU eviction past it)")
+	cacheRW := flag.Bool("cache-rw", false, "persistent cache in read-write mode (default when -cache-dir is set)")
+	cacheRO := flag.Bool("cache-ro", false, "persistent cache in read-only mode (directory must exist)")
+	cacheOff := flag.Bool("cache-off", false, "ignore -cache-dir for this invocation")
 	seed := flag.Int64("seed", 42, "seed for the -faults campaign")
 	only := flag.String("only", "", "substring filter for -faults scenarios")
 	metricsOut := flag.String("metrics", "", "write sweep metrics to this file (CSV, or JSON if it ends in .json)")
@@ -113,6 +181,23 @@ func main() {
 	if *version {
 		fmt.Println(obs.ReadBuild())
 		return
+	}
+	// Validate the cache flag combinations up front, before any sweep: a
+	// contradictory spelling fails in one line here, not minutes into a run.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	cacheMode, cerr := validateCacheFlags(cacheFlagState{
+		Dir:         *cacheDir,
+		MaxBytes:    *cacheMaxBytes,
+		MaxBytesSet: explicit["cache-max-bytes"],
+		RW:          *cacheRW,
+		RO:          *cacheRO,
+		Off:         *cacheOff,
+		TraceCache:  *traceCache,
+	})
+	if cerr != nil {
+		fmt.Fprintln(os.Stderr, cerr)
+		os.Exit(2)
 	}
 	if !(*fig3 || *fig7 || *fig8 || *fig8sens || *table1 || *table2 || *table3 || *stats || *faults || *all) {
 		flag.Usage()
@@ -148,6 +233,20 @@ func main() {
 	if *traceCache {
 		tcache = harness.NewTraceCache()
 		opt.TraceCache = tcache
+	}
+	// The persistent tier extends those captures — and memoized clean cell
+	// results — across invocations.
+	var pcache *persist.Cache
+	if *cacheDir != "" && cacheMode != "off" {
+		var err error
+		pcache, err = persist.Open(*cacheDir, persist.Options{
+			MaxBytes: *cacheMaxBytes,
+			ReadOnly: cacheMode == "ro",
+		})
+		if err != nil {
+			fail(err)
+		}
+		tcache.AttachDisk(pcache)
 	}
 
 	// The observability plane. All of it writes to files or stderr, never
@@ -373,6 +472,16 @@ func main() {
 	if tcache != nil {
 		hits, misses, bypass := tcache.Counters()
 		fmt.Fprintf(os.Stderr, "trace cache: %d replayed, %d captured, %d bypassed\n", hits, misses, bypass)
+	}
+	if pcache != nil {
+		c := pcache.Counters()
+		fmt.Fprintf(os.Stderr,
+			"disk cache: trace store %d hits / %d misses, result store %d hits / %d misses, %d stored, %d evicted, %d corrupt, %d bytes resident\n",
+			c.TraceHits, c.TraceMisses, c.ResultHits, c.ResultMisses,
+			c.Stores, c.Evictions, c.Corruptions, c.Bytes)
+		if err := pcache.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "disk cache: %v\n", err)
+		}
 	}
 	if degraded {
 		fmt.Fprintln(os.Stderr, "some sweep cells failed; reports contain annotated holes (-keep-going)")

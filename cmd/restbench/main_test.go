@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateCacheFlags pins every up-front rejection of a nonsensical
+// persistent-cache flag combination (each must fail with a one-line error
+// before any sweep work starts) and the mode each valid combination
+// resolves to.
+func TestValidateCacheFlags(t *testing.T) {
+	dir := t.TempDir()
+	for _, tt := range []struct {
+		name    string
+		s       cacheFlagState
+		mode    string
+		wantErr string
+	}{
+		{name: "no cache flags", s: cacheFlagState{TraceCache: true}, mode: "rw"},
+		{name: "dir alone defaults to rw", s: cacheFlagState{Dir: dir, TraceCache: true}, mode: "rw"},
+		{name: "explicit rw", s: cacheFlagState{Dir: dir, RW: true, TraceCache: true}, mode: "rw"},
+		{name: "explicit ro", s: cacheFlagState{Dir: dir, RO: true, TraceCache: true}, mode: "ro"},
+		{name: "explicit off", s: cacheFlagState{Dir: dir, Off: true, TraceCache: true}, mode: "off"},
+		{name: "off without trace cache is fine", s: cacheFlagState{Dir: dir, Off: true}, mode: "off"},
+		{
+			name:    "rw and ro together",
+			s:       cacheFlagState{Dir: dir, RW: true, RO: true, TraceCache: true},
+			wantErr: "mutually exclusive",
+		},
+		{
+			name:    "ro and off together",
+			s:       cacheFlagState{Dir: dir, RO: true, Off: true, TraceCache: true},
+			wantErr: "mutually exclusive",
+		},
+		{
+			name:    "mode flag without a dir",
+			s:       cacheFlagState{RW: true, TraceCache: true},
+			wantErr: "pass -cache-dir DIR",
+		},
+		{
+			name:    "max-bytes without a dir",
+			s:       cacheFlagState{MaxBytes: 1 << 20, MaxBytesSet: true, TraceCache: true},
+			wantErr: "pass -cache-dir DIR",
+		},
+		{
+			name:    "non-positive max-bytes",
+			s:       cacheFlagState{Dir: dir, MaxBytes: -5, MaxBytesSet: true, TraceCache: true},
+			wantErr: "must be positive",
+		},
+		{
+			name:    "cache without the trace cache",
+			s:       cacheFlagState{Dir: dir, TraceCache: false},
+			wantErr: "rides on the trace cache",
+		},
+		{
+			name:    "read-only over a missing dir",
+			s:       cacheFlagState{Dir: dir + "/missing", RO: true, TraceCache: true},
+			wantErr: "does not exist",
+		},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			mode, err := validateCacheFlags(tt.s)
+			if tt.wantErr != "" {
+				if err == nil {
+					t.Fatalf("want error containing %q, got mode %q", tt.wantErr, mode)
+				}
+				if !strings.Contains(err.Error(), tt.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, tt.wantErr)
+				}
+				if strings.ContainsRune(err.Error(), '\n') {
+					t.Fatalf("error is not one line: %q", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if mode != tt.mode {
+				t.Fatalf("mode: want %q got %q", tt.mode, mode)
+			}
+		})
+	}
+}

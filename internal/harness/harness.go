@@ -17,6 +17,7 @@ import (
 	"rest/internal/core"
 	"rest/internal/cpu"
 	"rest/internal/obs"
+	"rest/internal/persist"
 	"rest/internal/prog"
 	"rest/internal/trace"
 	"rest/internal/workload"
@@ -99,6 +100,11 @@ type CellLimits struct {
 	// layer of its world; the result carries it in RunResult.Obs. Off by
 	// default: a nil registry keeps every probe on its nil fast path.
 	Metrics bool
+	// NeedWorld declares that the caller reads RunResult.World after the
+	// cell completes (the micro-stats tables do, for hierarchy counters).
+	// Such a cell can never be served from the persistent result store —
+	// a file carries stats, not a live world — so it replays or streams.
+	NeedWorld bool
 }
 
 // Run executes one workload under one configuration at the given scale.
@@ -125,10 +131,15 @@ func RunCached(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLimi
 
 // captureState carries a leader cell's publishing obligation through
 // runStreamed: however the run ends — publish, error or panic — the entry
-// resolves exactly once, so waiters can never block forever.
+// resolves exactly once, so waiters can never block forever. A nil ent is a
+// disk-only capture (an identity unshared within this process): nothing is
+// published, the recorder is recycled locally, and only the persistent
+// store — when disk is set — receives the trace under fid.
 type captureState struct {
-	tc  *TraceCache
-	ent *traceEntry
+	tc   *TraceCache
+	ent  *traceEntry
+	disk *persist.Cache
+	fid  persist.ID
 }
 
 // runStreamed executes one cell against the live functional simulator. A
@@ -149,7 +160,7 @@ func runStreamed(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLi
 			funcObs = obs.NewRegistry()
 		}
 	}
-	if cap != nil {
+	if cap != nil && cap.ent != nil {
 		// Resolve the capture no matter how this function exits (including
 		// a panic unwinding to the sweep engine's containment).
 		defer cap.tc.fail(cap.ent)
@@ -175,10 +186,21 @@ func runStreamed(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLi
 	if cap != nil {
 		rec := trace.NewRecorder(captureTokenWidth(cfg.Pass), cap.tc.perTraceLimit)
 		stats, out = w.RunTimedCapture(rec)
-		if out.Err == nil && !out.Detected() {
+		clean := out.Err == nil && !out.Detected()
+		if clean && cap.disk != nil && !rec.Overflowed() {
+			// Persist before publishing: until publish the recorder is
+			// exclusively ours, so the write can't race a waiter recycling
+			// the blocks. A failed store is advisory (the run succeeded).
+			_ = cap.disk.StoreTrace(cap.fid, rec, out.Checksum)
+		}
+		switch {
+		case clean && cap.ent != nil:
 			// Only fully clean runs publish: the trace is then provably
 			// complete, which is what makes cross-timing replay exact.
 			cap.tc.publish(cap.ent, rec, out, funcObs)
+		case cap.ent == nil:
+			// Disk-only capture: no siblings wait on it; recycle now.
+			rec.Release()
 		}
 	} else {
 		stats, out = w.RunTimed()

@@ -44,6 +44,10 @@ type ParallelOptions struct {
 	// grid order into Matrix.Obs after assembly (with the harness.* sweep
 	// counters added). The aggregate is byte-identical at any worker count.
 	Metrics bool
+	// NeedWorld declares that the caller reads RunResult.World from the
+	// assembled matrix (the micro-stats tables do). It keeps those cells off
+	// the persistent result store, which carries stats but no live world.
+	NeedWorld bool
 	// TraceCache, when non-nil, deduplicates functional execution across the
 	// grid: the sweep plans its cells into the cache up front, each shared
 	// functional identity is captured once, and its sibling cells replay the
@@ -277,6 +281,7 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 					MaxInstructions: opt.CellInstrBudget,
 					Timeout:         opt.CellTimeout,
 					Metrics:         opt.Metrics,
+					NeedWorld:       opt.NeedWorld,
 				}
 				if dl, ok := cctx.Deadline(); ok {
 					rem := time.Until(dl)

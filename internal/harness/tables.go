@@ -302,6 +302,9 @@ func RunMicroStatsParallel(ctx context.Context, wl workload.Workload, scale int6
 		{Name: "secure-full", Pass: prog.RESTFull(64), Mode: core.Secure},
 		{Name: "debug-full", Pass: prog.RESTFull(64), Mode: core.Debug},
 	}
+	// The hierarchy counters below read the cells' live worlds, which the
+	// persistent result store cannot supply.
+	opt.NeedWorld = true
 	m, err := RunMatrixParallel(ctx, []workload.Workload{wl}, cfgs, scale, opt)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,567 @@
+// Package persist is the on-disk artifact cache behind the harness's trace
+// cache: a content-addressed store that makes repeated sweeps incremental
+// across processes. It holds two tiers —
+//
+//   - the trace store (traces/<id>.trc): captured dynamic traces in a
+//     versioned binary format (see traceio.go), keyed by a cell's functional
+//     identity digest, so a later run replays a prior run's capture instead
+//     of re-executing the functional simulator;
+//   - the result store (results/<id>.res): memoized cpu.Stats and outcome
+//     checksums keyed by the full identity (functional digest × timing
+//     config digest), so a repeated cell skips even the replay.
+//
+// Robustness contract: nothing in this package is ever allowed to turn a
+// sweep into a hard failure. Every load returns a typed error — ErrMiss for
+// an absent entry, *CorruptError for a damaged file (deleted on sight in
+// read-write mode), *VersionError for a format from another era — and the
+// harness answers all of them the same way: recompute, and rewrite the
+// entry. The manifest is crash-safe (write temp + fsync + rename; a corrupt
+// or missing manifest is rebuilt by scanning the store), stores are atomic
+// (temp + rename), the byte cap is enforced by least-recently-used eviction,
+// and cross-process capture duplication is suppressed by best-effort lock
+// files. Only the stdlib is used.
+package persist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FormatVersion is the on-disk format generation, shared by the trace and
+// result codecs and recorded in every file header. Bump it whenever the
+// encoded byte layout changes — or whenever the simulator changes in a way
+// that alters captured traces or timing results — and every existing cache
+// entry is cleanly rejected (recomputed and rewritten), never misread.
+const FormatVersion = 1
+
+// ID is a content address: the SHA-256 digest of a canonical identity
+// string. Files are named by its hex form.
+type ID [sha256.Size]byte
+
+// SumID digests a canonical identity string into an ID.
+func SumID(s string) ID { return sha256.Sum256([]byte(s)) }
+
+// String returns the hex form used in file names.
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// ErrMiss reports an entry absent from the store (the ordinary cold-cache
+// case, as opposed to a corrupt or version-skewed one).
+var ErrMiss = errors.New("persist: cache miss")
+
+// ErrReadOnly reports a store attempt on a read-only cache.
+var ErrReadOnly = errors.New("persist: cache is read-only")
+
+// CorruptError is a cache file that failed validation: truncated, a CRC
+// mismatch, an impossible length, a digest that does not match its name.
+// In read-write mode the offending file is deleted before the error is
+// returned, so the recompute that follows rewrites a clean entry.
+type CorruptError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("persist: corrupt cache file %s: %s", e.Path, e.Reason)
+}
+
+// VersionError is a structurally sound cache file written by a different
+// format generation. It is rejected without being read further; callers
+// recompute exactly as on a miss.
+type VersionError struct {
+	Path string
+	Got  uint32
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("persist: cache file %s has format version %d (this build reads %d)",
+		e.Path, e.Got, FormatVersion)
+}
+
+// DefaultMaxBytes is the byte cap restbench applies to a persistent cache
+// unless -cache-max-bytes overrides it: 2 GiB comfortably holds the full
+// experiment grid at the default scales while still bounding disk use.
+const DefaultMaxBytes = 2 << 30
+
+// Options configures Open.
+type Options struct {
+	// MaxBytes caps the store's payload bytes; storing past it evicts
+	// least-recently-used entries first. 0 = unlimited.
+	MaxBytes int64
+	// ReadOnly opens the cache without ever writing: no stores, no
+	// evictions, no manifest rewrites, no lock files, and corrupt files are
+	// reported but left in place. The directory must already exist.
+	ReadOnly bool
+	// NoCompress stores trace blocks raw instead of flate-compressed
+	// (reads always follow the file's own header flag).
+	NoCompress bool
+	// LockWait bounds how long WaitUnlocked blocks on another process's
+	// capture lock before giving up (default 60s).
+	LockWait time.Duration
+	// StaleLockAge is the age past which an abandoned lock file (a crashed
+	// leader) is stolen (default 10m).
+	StaleLockAge time.Duration
+}
+
+// Counters is a point-in-time snapshot of the cache's activity, exported to
+// the harness.diskcache.* metric namespace and restbench's stderr summary.
+type Counters struct {
+	TraceHits, TraceMisses   uint64
+	ResultHits, ResultMisses uint64
+	Stores                   uint64
+	Evictions                uint64
+	Corruptions              uint64
+	Rejected                 uint64 // single entries larger than the whole cap
+	LockWaits                uint64
+	Bytes                    uint64 // resident payload bytes
+	Entries                  uint64 // resident entry count
+}
+
+const (
+	kindTrace  = "trace"
+	kindResult = "result"
+
+	manifestName = "manifest.json"
+)
+
+// entry is one resident cache file's manifest record.
+type entry struct {
+	ID      string `json:"id"`
+	Kind    string `json:"kind"`
+	Bytes   int64  `json:"bytes"`
+	LastUse int64  `json:"last_use"` // unix nanoseconds; LRU eviction order
+}
+
+func (e *entry) key() string { return e.Kind + "/" + e.ID }
+
+// manifest is the on-disk index. It is advisory: the files are the truth,
+// and Open reconciles the two (files missing from the manifest are adopted,
+// manifest rows whose file vanished are dropped), so a lost or corrupt
+// manifest costs only LRU recency, never correctness.
+type manifest struct {
+	Version int      `json:"version"`
+	Entries []*entry `json:"entries"`
+}
+
+// Cache is one process's handle on a cache directory. Safe for concurrent
+// use; several processes may share one directory (stores are atomic renames,
+// manifest rewrites merge with the on-disk state under a lock file).
+type Cache struct {
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	total   int64
+	dirty   bool // in-memory recency not yet flushed
+	c       Counters
+}
+
+// Open attaches to (and in read-write mode creates) a cache directory. A
+// missing or corrupt manifest is rebuilt from the files present; stale
+// temporary files from crashed writers are swept in read-write mode.
+func Open(dir string, opt Options) (*Cache, error) {
+	if opt.LockWait <= 0 {
+		opt.LockWait = 60 * time.Second
+	}
+	if opt.StaleLockAge <= 0 {
+		opt.StaleLockAge = 10 * time.Minute
+	}
+	if opt.ReadOnly {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("persist: read-only cache dir %s does not exist", dir)
+		}
+	} else {
+		for _, sub := range []string{"", "traces", "results", "locks"} {
+			if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+				return nil, fmt.Errorf("persist: %w", err)
+			}
+		}
+	}
+	c := &Cache{dir: dir, opt: opt, entries: make(map[string]*entry)}
+	if !opt.ReadOnly {
+		c.sweepTemps()
+	}
+	c.loadManifest()
+	c.reconcile()
+	return c, nil
+}
+
+// ReadOnly reports whether the cache rejects writes.
+func (c *Cache) ReadOnly() bool { return c.opt.ReadOnly }
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Counters returns a snapshot of the cache's activity.
+func (c *Cache) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.c
+	out.Bytes = uint64(c.total)
+	out.Entries = uint64(len(c.entries))
+	return out
+}
+
+// Close flushes the manifest (recency updates included). The cache remains
+// usable after Close; it exists so a process's LRU observations survive it.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.opt.ReadOnly || !c.dirty {
+		return nil
+	}
+	return c.flushManifestLocked()
+}
+
+// sweepTemps removes leftovers of writers that crashed mid-store: temp files
+// are always named <final>.tmp.<pid>, and a rename that never happened means
+// the entry was never published.
+func (c *Cache) sweepTemps() {
+	for _, sub := range []string{".", "traces", "results"} {
+		names, err := os.ReadDir(filepath.Join(c.dir, sub))
+		if err != nil {
+			continue
+		}
+		for _, de := range names {
+			if strings.Contains(de.Name(), ".tmp.") || de.Name() == manifestName+".tmp" {
+				os.Remove(filepath.Join(c.dir, sub, de.Name()))
+			}
+		}
+	}
+}
+
+// loadManifest reads manifest.json if it is present and sane; any failure
+// just leaves the index empty for reconcile to rebuild.
+func (c *Cache) loadManifest() {
+	raw, err := os.ReadFile(filepath.Join(c.dir, manifestName))
+	if err != nil {
+		return
+	}
+	var m manifest
+	if json.Unmarshal(raw, &m) != nil || m.Version != FormatVersion {
+		return
+	}
+	for _, e := range m.Entries {
+		if e != nil && e.ID != "" && (e.Kind == kindTrace || e.Kind == kindResult) {
+			c.entries[e.key()] = e
+		}
+	}
+}
+
+// reconcile makes the files on disk the source of truth: rows whose file is
+// gone are dropped, files the manifest never heard of are adopted with their
+// stat size and mtime recency.
+func (c *Cache) reconcile() {
+	seen := make(map[string]bool)
+	for _, tier := range []struct{ sub, kind, ext string }{
+		{"traces", kindTrace, traceExt},
+		{"results", kindResult, resultExt},
+	} {
+		names, err := os.ReadDir(filepath.Join(c.dir, tier.sub))
+		if err != nil {
+			continue
+		}
+		for _, de := range names {
+			id, ok := strings.CutSuffix(de.Name(), tier.ext)
+			if !ok || strings.Contains(de.Name(), ".tmp.") {
+				continue
+			}
+			info, err := de.Info()
+			if err != nil {
+				continue
+			}
+			key := tier.kind + "/" + id
+			seen[key] = true
+			if e, ok := c.entries[key]; ok {
+				e.Bytes = info.Size()
+				continue
+			}
+			c.entries[key] = &entry{
+				ID: id, Kind: tier.kind,
+				Bytes: info.Size(), LastUse: info.ModTime().UnixNano(),
+			}
+		}
+	}
+	c.total = 0
+	for key, e := range c.entries {
+		if !seen[key] {
+			delete(c.entries, key)
+			continue
+		}
+		c.total += e.Bytes
+	}
+}
+
+// path returns the final file path of an entry.
+func (c *Cache) path(kind string, id ID) string {
+	switch kind {
+	case kindTrace:
+		return filepath.Join(c.dir, "traces", id.String()+traceExt)
+	default:
+		return filepath.Join(c.dir, "results", id.String()+resultExt)
+	}
+}
+
+// touch bumps an entry's recency in memory; the update reaches disk with
+// the next flush (a crash in between costs recency only).
+func (c *Cache) touch(kind string, id ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[kind+"/"+id.String()]; ok {
+		e.LastUse = time.Now().UnixNano()
+		c.dirty = true
+	}
+}
+
+// discard handles a failed load: the corruption is counted and, in
+// read-write mode, the damaged file is deleted so the recompute that
+// follows publishes a clean replacement.
+func (c *Cache) discard(kind string, id ID) {
+	c.mu.Lock()
+	c.c.Corruptions++
+	if c.opt.ReadOnly {
+		c.mu.Unlock()
+		return
+	}
+	key := kind + "/" + id.String()
+	if e, ok := c.entries[key]; ok {
+		c.total -= e.Bytes
+		delete(c.entries, key)
+		c.dirty = true
+	}
+	c.mu.Unlock()
+	os.Remove(c.path(kind, id))
+}
+
+// admit publishes a freshly renamed file into the index, evicting
+// least-recently-used entries until the byte cap holds again, and flushes
+// the manifest. Caller must not hold mu.
+func (c *Cache) admit(kind string, id ID, size int64) error {
+	c.mu.Lock()
+	key := kind + "/" + id.String()
+	if old, ok := c.entries[key]; ok {
+		c.total -= old.Bytes
+	}
+	e := &entry{ID: id.String(), Kind: kind, Bytes: size, LastUse: time.Now().UnixNano()}
+	c.entries[key] = e
+	c.total += size
+	c.c.Stores++
+	var victims []*entry
+	if c.opt.MaxBytes > 0 {
+		for _, v := range c.entries {
+			if v != e {
+				victims = append(victims, v)
+			}
+		}
+		// Oldest use first; ties broken by key so eviction order is stable.
+		sort.Slice(victims, func(i, j int) bool {
+			if victims[i].LastUse != victims[j].LastUse {
+				return victims[i].LastUse < victims[j].LastUse
+			}
+			return victims[i].key() < victims[j].key()
+		})
+		for c.total > c.opt.MaxBytes && len(victims) > 0 {
+			v := victims[0]
+			victims = victims[1:]
+			c.total -= v.Bytes
+			delete(c.entries, v.key())
+			c.c.Evictions++
+			os.Remove(c.path(v.Kind, mustID(v.ID)))
+		}
+		if c.total > c.opt.MaxBytes {
+			// The new entry alone exceeds the whole cap: storing it was
+			// pointless, undo it.
+			c.total -= e.Bytes
+			delete(c.entries, key)
+			c.c.Stores--
+			c.c.Rejected++
+			c.mu.Unlock()
+			os.Remove(c.path(kind, id))
+			return nil
+		}
+	}
+	err := c.flushManifestLocked()
+	c.mu.Unlock()
+	return err
+}
+
+// mustID parses a hex id that came out of our own index.
+func mustID(hexID string) ID {
+	var id ID
+	b, err := hex.DecodeString(hexID)
+	if err == nil && len(b) == len(id) {
+		copy(id[:], b)
+	}
+	return id
+}
+
+// flushManifestLocked writes the index crash-safely (temp + fsync + rename +
+// directory fsync), merging with whatever another process published since we
+// last read it: union by key, newest recency wins, rows for vanished files
+// drop. The merge runs under the manifest lock file so two flushing
+// processes serialize instead of clobbering each other.
+func (c *Cache) flushManifestLocked() error {
+	unlock := c.lockManifest()
+	defer unlock()
+
+	merged := make(map[string]*entry, len(c.entries))
+	for k, e := range c.entries {
+		cp := *e
+		merged[k] = &cp
+	}
+	if raw, err := os.ReadFile(filepath.Join(c.dir, manifestName)); err == nil {
+		var disk manifest
+		if json.Unmarshal(raw, &disk) == nil && disk.Version == FormatVersion {
+			for _, e := range disk.Entries {
+				if e == nil {
+					continue
+				}
+				if have, ok := merged[e.key()]; ok {
+					if e.LastUse > have.LastUse {
+						have.LastUse = e.LastUse
+					}
+					continue
+				}
+				if _, err := os.Stat(c.path(e.Kind, mustID(e.ID))); err == nil {
+					merged[e.key()] = e
+				}
+			}
+		}
+	}
+	m := manifest{Version: FormatVersion}
+	for _, e := range merged {
+		m.Entries = append(m.Entries, e)
+	}
+	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].key() < m.Entries[j].key() })
+	raw, err := json.MarshalIndent(&m, "", " ")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	final := filepath.Join(c.dir, manifestName)
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, append(raw, '\n')); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	syncDir(c.dir)
+	c.dirty = false
+	return nil
+}
+
+// lockManifest serializes manifest rewrites across processes. Contention is
+// rare and short (one JSON rewrite), so waiting is a tight bounded poll;
+// locks older than StaleLockAge are stolen.
+func (c *Cache) lockManifest() (unlock func()) {
+	path := filepath.Join(c.dir, manifestName+".lock")
+	deadline := time.Now().Add(c.opt.LockWait)
+	for {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "%d\n", os.Getpid())
+			f.Close()
+			return func() { os.Remove(path) }
+		}
+		if fi, serr := os.Stat(path); serr == nil && time.Since(fi.ModTime()) > c.opt.StaleLockAge {
+			os.Remove(path)
+			continue
+		}
+		if time.Now().After(deadline) {
+			// Proceed without the lock: the rename below is still atomic, we
+			// only risk losing the merge with a concurrent flush (self-heals
+			// at the next reconcile).
+			return func() {}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TryLock attempts the single-flight capture lock for an identity; ok
+// reports whether this process is now the leader (call release when the
+// capture is stored or abandoned). A read-only cache never creates lock
+// files and reports every caller a leader, since there is nothing to store.
+// Locks left by crashed leaders are stolen once StaleLockAge old.
+func (c *Cache) TryLock(id ID) (release func(), ok bool) {
+	if c.opt.ReadOnly {
+		return func() {}, true
+	}
+	path := filepath.Join(c.dir, "locks", id.String()+".lock")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err == nil {
+		fmt.Fprintf(f, "%d\n", os.Getpid())
+		f.Close()
+		return func() { os.Remove(path) }, true
+	}
+	if fi, serr := os.Stat(path); serr == nil && time.Since(fi.ModTime()) > c.opt.StaleLockAge {
+		os.Remove(path)
+		return c.TryLock(id)
+	}
+	return nil, false
+}
+
+// WaitUnlocked blocks until another process's capture lock for id is
+// released, stolen, or LockWait elapses. The caller retries its load either
+// way; a timeout merely means a duplicate capture, never a wrong result.
+func (c *Cache) WaitUnlocked(id ID) {
+	c.mu.Lock()
+	c.c.LockWaits++
+	c.mu.Unlock()
+	path := filepath.Join(c.dir, "locks", id.String()+".lock")
+	deadline := time.Now().Add(c.opt.LockWait)
+	for time.Now().Before(deadline) {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return
+		}
+		if time.Since(fi.ModTime()) > c.opt.StaleLockAge {
+			os.Remove(path)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// writeFileSync writes data to path and fsyncs it before closing, so the
+// rename that follows publishes fully durable bytes.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Best-effort: not every platform supports it, and losing it only risks the
+// entry reverting to absent, which the cache treats as a miss.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,386 @@
+// The trace store's binary format (version 1).
+//
+// A trace file is a header followed by a sequence of entry blocks:
+//
+//	header (80 bytes):
+//	  [0:8)    magic "RESTTRC\n"
+//	  [8:12)   format version, uint32 LE
+//	  [12:16)  flags, uint32 LE (bit 0: blocks are flate-compressed)
+//	  [16:24)  token width, uint64 LE (0 = no REST token shadow)
+//	  [24:32)  entry count, uint64 LE
+//	  [32:40)  outcome checksum, uint64 LE (the captured run's Checksum)
+//	  [40:72)  functional identity digest (the file's own content address)
+//	  [72:76)  reserved, zero
+//	  [76:80)  CRC-32 (IEEE) of bytes [0:76)
+//	block (12-byte header + payload), repeated until entry count is reached:
+//	  [0:4)    entries in this block, uint32 LE (1..16384)
+//	  [4:8)    payload length, uint32 LE
+//	  [8:12)   CRC-32 (IEEE) of the payload bytes as stored
+//	  [12:..)  payload: entries packed 31 bytes each
+//	           (pc,addr,target u64 LE; op,kind,dst,src1,src2,size,flags u8;
+//	           flags bit0 = branch taken, bit1 = faults),
+//	           flate-compressed when the header flag says so
+//
+// All multi-byte integers are little-endian. The payload CRC is computed
+// over the stored (possibly compressed) bytes and checked before inflation,
+// so a bit flip anywhere in a block is caught without trusting the flate
+// stream; the header CRC covers every field that governs parsing. Decoding
+// never panics on arbitrary input — every malformed shape maps to a typed
+// error (FuzzTraceDecode pins that) — and appends into the same pooled
+// block storage live captures use, so replay from disk stays free of
+// per-entry allocation.
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"rest/internal/isa"
+	"rest/internal/trace"
+)
+
+const (
+	traceExt   = ".trc"
+	traceMagic = "RESTTRC\n"
+
+	traceHeaderLen   = 80
+	blockHeaderLen   = 12
+	diskBlockEntries = 16384 // entries per block: 16384 × 31 B ≈ 496 KiB raw
+	packedEntryLen   = 31
+
+	flagCompressed = 1 << 0
+
+	packedFlagTaken  = 1 << 0
+	packedFlagFaults = 1 << 1
+)
+
+// maxPayloadLen bounds a block's stored payload. Flate output can exceed its
+// input on incompressible data only marginally; double the raw size is far
+// past any legitimate block and small enough to keep a hostile length field
+// from ballooning reads.
+const maxPayloadLen = 2 * diskBlockEntries * packedEntryLen
+
+// blockBufPool recycles the per-block scratch buffers (raw and stored forms)
+// so streaming a trace in or out allocates per block at most, never per
+// entry, and usually not at all after warm-up.
+var blockBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, maxPayloadLen)
+		return &b
+	},
+}
+
+// flateWriterPool recycles compressors across blocks and files.
+var flateWriterPool = sync.Pool{
+	New: func() any {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	},
+}
+
+// flateReaderPool recycles decompressors; flate.NewReader's concrete type
+// implements flate.Resetter.
+var flateReaderPool = sync.Pool{
+	New: func() any { return flate.NewReader(bytes.NewReader(nil)) },
+}
+
+// StoreTrace writes a captured recording into the trace store under its
+// functional identity digest, atomically (temp + fsync + rename), and admits
+// it to the manifest, evicting older entries if the byte cap demands.
+// checksum is the captured run's outcome checksum, replayed verbatim.
+func (c *Cache) StoreTrace(id ID, rec *trace.Recorder, checksum uint64) error {
+	if c.opt.ReadOnly {
+		return ErrReadOnly
+	}
+	if rec.Overflowed() {
+		return errors.New("persist: refusing to store an overflowed (partial) trace")
+	}
+	final := c.path(kindTrace, id)
+	tmp := fmt.Sprintf("%s.tmp.%d", final, os.Getpid())
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := encodeTrace(bw, rec, id, checksum, !c.opt.NoCompress); err == nil {
+		err = bw.Flush()
+	} else {
+		bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	fi, err := os.Stat(tmp)
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	syncDir(filepath.Dir(final))
+	return c.admit(kindTrace, id, fi.Size())
+}
+
+// LoadTrace reads the trace stored under id into a fresh Recorder, returning
+// it with the captured outcome checksum. A missing file is ErrMiss; a
+// damaged one is *CorruptError (and is deleted in read-write mode); a file
+// from another format generation is *VersionError (deleted likewise — it can
+// never be read again). The returned Recorder owns pooled blocks; release it
+// via trace.Recorder.Release at last use exactly like a live capture.
+func (c *Cache) LoadTrace(id ID) (*trace.Recorder, uint64, error) {
+	path := c.path(kindTrace, id)
+	f, err := os.Open(path)
+	if err != nil {
+		c.mu.Lock()
+		c.c.TraceMisses++
+		c.mu.Unlock()
+		return nil, 0, ErrMiss
+	}
+	rec, checksum, derr := decodeTrace(bufio.NewReaderSize(f, 1<<20), &id)
+	f.Close()
+	if derr != nil {
+		var verr *VersionError
+		if errors.As(derr, &verr) {
+			verr.Path = path
+		}
+		var cerr *CorruptError
+		if errors.As(derr, &cerr) {
+			cerr.Path = path
+		}
+		c.discard(kindTrace, id)
+		c.mu.Lock()
+		c.c.TraceMisses++
+		c.mu.Unlock()
+		return nil, 0, derr
+	}
+	c.touch(kindTrace, id)
+	c.mu.Lock()
+	c.c.TraceHits++
+	c.mu.Unlock()
+	return rec, checksum, nil
+}
+
+// encodeTrace writes the version-1 trace format.
+func encodeTrace(w io.Writer, rec *trace.Recorder, id ID, checksum uint64, compress bool) error {
+	var hdr [traceHeaderLen]byte
+	copy(hdr[0:8], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], FormatVersion)
+	var flags uint32
+	if compress {
+		flags |= flagCompressed
+	}
+	binary.LittleEndian.PutUint32(hdr[12:16], flags)
+	binary.LittleEndian.PutUint64(hdr[16:24], rec.TokenWidth())
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(rec.Len()))
+	binary.LittleEndian.PutUint64(hdr[32:40], checksum)
+	copy(hdr[40:72], id[:])
+	binary.LittleEndian.PutUint32(hdr[76:80], crc32.ChecksumIEEE(hdr[:76]))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+
+	rawp := blockBufPool.Get().(*[]byte)
+	defer blockBufPool.Put(rawp)
+	raw := *rawp
+	var fw *flate.Writer
+	if compress {
+		fw = flateWriterPool.Get().(*flate.Writer)
+		defer flateWriterPool.Put(fw)
+	}
+	var compressed bytes.Buffer
+	for base := 0; base < rec.Len(); base += diskBlockEntries {
+		n := rec.Len() - base
+		if n > diskBlockEntries {
+			n = diskBlockEntries
+		}
+		for i := 0; i < n; i++ {
+			packEntry(raw[i*packedEntryLen:(i+1)*packedEntryLen], rec.At(base+i))
+		}
+		payload := raw[:n*packedEntryLen]
+		if compress {
+			compressed.Reset()
+			fw.Reset(&compressed)
+			if _, err := fw.Write(payload); err != nil {
+				return err
+			}
+			if err := fw.Close(); err != nil {
+				return err
+			}
+			payload = compressed.Bytes()
+		}
+		var bh [blockHeaderLen]byte
+		binary.LittleEndian.PutUint32(bh[0:4], uint32(n))
+		binary.LittleEndian.PutUint32(bh[4:8], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(bh[8:12], crc32.ChecksumIEEE(payload))
+		if _, err := w.Write(bh[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// corrupt builds a *CorruptError with the path left for the caller to fill.
+func corrupt(format string, args ...any) error {
+	return &CorruptError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// decodeTrace reads the version-1 trace format into a fresh Recorder. wantID
+// non-nil additionally binds the file to its content address (a renamed or
+// cross-copied file is corruption, not a silently wrong replay). On any
+// error the partially built Recorder is released and nil returned. It reads
+// arbitrary untrusted bytes without panicking; FuzzTraceDecode enforces
+// that.
+func decodeTrace(r io.Reader, wantID *ID) (rec *trace.Recorder, checksum uint64, err error) {
+	var hdr [traceHeaderLen]byte
+	if _, rerr := io.ReadFull(r, hdr[:]); rerr != nil {
+		return nil, 0, corrupt("short header: %v", rerr)
+	}
+	if string(hdr[0:8]) != traceMagic {
+		return nil, 0, corrupt("bad magic %q", hdr[0:8])
+	}
+	if got := binary.LittleEndian.Uint32(hdr[76:80]); got != crc32.ChecksumIEEE(hdr[:76]) {
+		return nil, 0, corrupt("header CRC mismatch")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != FormatVersion {
+		return nil, 0, &VersionError{Got: v}
+	}
+	flags := binary.LittleEndian.Uint32(hdr[12:16])
+	if flags&^uint32(flagCompressed) != 0 {
+		return nil, 0, corrupt("unknown flags %#x", flags)
+	}
+	tokenWidth := binary.LittleEndian.Uint64(hdr[16:24])
+	count := binary.LittleEndian.Uint64(hdr[24:32])
+	checksum = binary.LittleEndian.Uint64(hdr[32:40])
+	if wantID != nil && !bytes.Equal(hdr[40:72], wantID[:]) {
+		return nil, 0, corrupt("identity digest does not match the file's address")
+	}
+
+	rawp := blockBufPool.Get().(*[]byte)
+	defer blockBufPool.Put(rawp)
+	storedp := blockBufPool.Get().(*[]byte)
+	defer blockBufPool.Put(storedp)
+
+	// Build into a local, not the named return: the error returns below
+	// write nil into rec, and the cleanup must still release the blocks the
+	// partial decode pulled from the pool.
+	out := trace.NewRecorder(tokenWidth, 0)
+	defer func() {
+		if err != nil {
+			out.Release()
+		}
+	}()
+	var got uint64
+	for got < count {
+		var bh [blockHeaderLen]byte
+		if _, rerr := io.ReadFull(r, bh[:]); rerr != nil {
+			return nil, 0, corrupt("short block header at entry %d: %v", got, rerr)
+		}
+		n := binary.LittleEndian.Uint32(bh[0:4])
+		plen := binary.LittleEndian.Uint32(bh[4:8])
+		wantCRC := binary.LittleEndian.Uint32(bh[8:12])
+		if n == 0 || n > diskBlockEntries || uint64(n) > count-got {
+			return nil, 0, corrupt("block entry count %d out of range", n)
+		}
+		if plen == 0 || plen > maxPayloadLen {
+			return nil, 0, corrupt("block payload length %d out of range", plen)
+		}
+		stored := (*storedp)[:plen]
+		if _, rerr := io.ReadFull(r, stored); rerr != nil {
+			return nil, 0, corrupt("short block payload at entry %d: %v", got, rerr)
+		}
+		if crc32.ChecksumIEEE(stored) != wantCRC {
+			return nil, 0, corrupt("block CRC mismatch at entry %d", got)
+		}
+		payload := stored
+		rawLen := int(n) * packedEntryLen
+		if flags&flagCompressed != 0 {
+			fr := flateReaderPool.Get().(io.ReadCloser)
+			fr.(flate.Resetter).Reset(bytes.NewReader(stored), nil)
+			buf := (*rawp)[:rawLen]
+			_, ierr := io.ReadFull(fr, buf)
+			var extra [1]byte
+			if ierr == nil {
+				if _, eerr := fr.Read(extra[:]); eerr != io.EOF {
+					ierr = errors.New("trailing bytes in compressed block")
+				}
+			}
+			flateReaderPool.Put(fr)
+			if ierr != nil {
+				return nil, 0, corrupt("block inflate at entry %d: %v", got, ierr)
+			}
+			payload = buf
+		} else if int(plen) != rawLen {
+			return nil, 0, corrupt("raw block length %d != %d entries", plen, n)
+		}
+		for i := 0; i < int(n); i++ {
+			out.Append(unpackEntry(payload[i*packedEntryLen : (i+1)*packedEntryLen]))
+		}
+		got += uint64(n)
+	}
+	var extra [1]byte
+	if _, rerr := r.Read(extra[:]); rerr != io.EOF {
+		return nil, 0, corrupt("trailing bytes after final block")
+	}
+	return out, checksum, nil
+}
+
+// packEntry stores one trace entry in its 31-byte packed form (Seq is
+// implied by position, exactly as in the in-memory Recorder).
+func packEntry(b []byte, e trace.Entry) {
+	binary.LittleEndian.PutUint64(b[0:8], e.PC)
+	binary.LittleEndian.PutUint64(b[8:16], e.Addr)
+	binary.LittleEndian.PutUint64(b[16:24], e.Target)
+	b[24] = uint8(e.Op)
+	b[25] = uint8(e.Kind)
+	b[26] = e.Dst
+	b[27] = e.Src1
+	b[28] = e.Src2
+	b[29] = e.Size
+	var fl uint8
+	if e.Taken {
+		fl |= packedFlagTaken
+	}
+	if e.Faults {
+		fl |= packedFlagFaults
+	}
+	b[30] = fl
+}
+
+// unpackEntry is packEntry's inverse. Seq is assigned by the Recorder's
+// Append position, matching the capture-time convention.
+func unpackEntry(b []byte) trace.Entry {
+	return trace.Entry{
+		PC:     binary.LittleEndian.Uint64(b[0:8]),
+		Addr:   binary.LittleEndian.Uint64(b[8:16]),
+		Target: binary.LittleEndian.Uint64(b[16:24]),
+		Op:     isa.Op(b[24]),
+		Kind:   trace.Kind(b[25]),
+		Dst:    b[26],
+		Src1:   b[27],
+		Src2:   b[28],
+		Size:   b[29],
+		Taken:  b[30]&packedFlagTaken != 0,
+		Faults: b[30]&packedFlagFaults != 0,
+	}
+}

@@ -20,7 +20,7 @@
 GO         ?= go
 FUZZTIME   ?= 10s
 SEED       ?= 42
-BENCH_JSON ?= BENCH_5.json
+BENCH_JSON ?= BENCH_6.json
 CACHE_DIR  ?= .restcache
 
 .PHONY: build vet test race fuzz-short faults bench bench-smoke bench-json clean-cache verify
@@ -47,6 +47,8 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecode  -fuzztime=$(FUZZTIME) ./internal/asm
 	$(GO) test -run='^$$' -fuzz=FuzzTokenDetector -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzTraceDecode   -fuzztime=$(FUZZTIME) ./internal/persist
+	$(GO) test -run='^$$' -fuzz=FuzzBlockDecode     -fuzztime=$(FUZZTIME) ./internal/sim
+	$(GO) test -run='^$$' -fuzz=FuzzBlockInvalidate -fuzztime=$(FUZZTIME) ./internal/sim
 
 faults:
 	$(GO) run ./cmd/restbench -faults -seed $(SEED) -csv
@@ -60,8 +62,9 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # The Figure 8 sensitivity sweep A/Bs — in-memory cache on vs off (best of
-# two rounds each) and persistent cache cold vs warm — recorded as a
-# machine-readable point of the perf trajectory. Writes $(BENCH_JSON), a
+# two rounds each) and persistent cache cold vs warm — plus the interpreter
+# A/B (decoded-block engine vs reference, with its >= 3x floor), recorded as
+# a machine-readable point of the perf trajectory. Writes $(BENCH_JSON), a
 # per-PR file, so older committed points are never clobbered.
 bench-json:
 	$(GO) test -run TestBenchJSON -timeout 30m -bench-json=$(BENCH_JSON) .

@@ -26,6 +26,7 @@ import (
 	"rest/internal/isa"
 	"rest/internal/persist"
 	"rest/internal/prog"
+	"rest/internal/sim"
 	"rest/internal/trace"
 	"rest/internal/workload"
 	"rest/internal/world"
@@ -226,16 +227,48 @@ func BenchmarkFig8DiskColdWarm(b *testing.B) {
 // artifacts.
 var benchJSONPath = flag.String("bench-json", "", "write the sweep A/B measurements to this JSON file")
 
+// simColdRate measures cold functional throughput (fresh world per round,
+// best of rounds to shed scheduler noise) for one engine, in user
+// instructions per second.
+func simColdRate(tb testing.TB, e sim.Engine) float64 {
+	tb.Helper()
+	wl, _ := workload.ByName("lbm")
+	best := 0.0
+	for round := 0; round < 3; round++ {
+		w, err := world.Build(world.Spec{Pass: prog.Plain(), Engine: e}, wl.Build(benchScale))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		start := time.Now()
+		out := w.RunFunctional()
+		if out.Err != nil {
+			tb.Fatal(out.Err)
+		}
+		if rate := float64(w.Machine.UserInstrs) / time.Since(start).Seconds(); rate > best {
+			best = rate
+		}
+	}
+	return best
+}
+
 // TestBenchJSON measures the Figure 8 sensitivity sweep four ways — in-memory
 // trace cache on/off (best of two rounds each, to shed scheduler noise), then
-// persistent cache cold and warm — and writes the results to the -bench-json
-// path. The warm run must come in at least 60% under the cold one: that is
-// the persistent tier's contract (repeated sweeps are incremental and
-// near-free), enforced here so the committed artifact can never record a
-// regression silently. Skipped unless the flag is set.
+// persistent cache cold and warm — plus the interpreter A/B, and writes the
+// results to the -bench-json path. Two floors are enforced so the committed
+// artifact can never record a regression silently: the warm persistent-cache
+// sweep must come in at least 60% under the cold one, and the decoded-block
+// engine must deliver at least 3x the reference interpreter's cold
+// throughput. Skipped unless the flag is set.
 func TestBenchJSON(t *testing.T) {
 	if *benchJSONPath == "" {
 		t.Skip("set -bench-json=FILE to record the sweep measurements")
+	}
+	refRate := simColdRate(t, sim.EngineRef)
+	blkRate := simColdRate(t, sim.EngineBlocks)
+	speedup := blkRate / refRate
+	if speedup < 3 {
+		t.Errorf("decoded-block engine only %.2fx the reference interpreter (ref=%.0f blocks=%.0f instrs/s), want >= 3x",
+			speedup, refRate, blkRate)
 	}
 	best := func(cached bool) (time.Duration, uint64, uint64) {
 		w1, h, m := runFig8Sensitivity(t, cached)
@@ -279,6 +312,9 @@ func TestBenchJSON(t *testing.T) {
 		DiskStores       uint64  `json:"disk_cold_stores"`
 		DiskResultHits   uint64  `json:"disk_warm_result_hits"`
 		DiskTraceHits    uint64  `json:"disk_warm_trace_hits"`
+		SimRefRate       float64 `json:"sim_ref_cold_instrs_per_sec"`
+		SimBlocksRate    float64 `json:"sim_blocks_cold_instrs_per_sec"`
+		SimSpeedup       float64 `json:"sim_blocks_speedup"`
 	}{
 		Benchmark:        "Fig8SensitivityCaptureReplay",
 		Scale:            benchScale,
@@ -294,6 +330,9 @@ func TestBenchJSON(t *testing.T) {
 		DiskStores:       coldC.Stores,
 		DiskResultHits:   warmC.ResultHits,
 		DiskTraceHits:    warmC.TraceHits,
+		SimRefRate:       refRate,
+		SimBlocksRate:    blkRate,
+		SimSpeedup:       speedup,
 	}
 	raw, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -302,8 +341,8 @@ func TestBenchJSON(t *testing.T) {
 	if err := os.WriteFile(*benchJSONPath, append(raw, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("mem cache on %s / off %s (%.1f%%); disk cold %s / warm %s (%.1f%%) -> %s",
-		on, off, reduction, cold, warm, warmReduction, *benchJSONPath)
+	t.Logf("mem cache on %s / off %s (%.1f%%); disk cold %s / warm %s (%.1f%%); sim blocks %.2fx ref -> %s",
+		on, off, reduction, cold, warm, warmReduction, speedup, *benchJSONPath)
 }
 
 // BenchmarkObsOverhead pairs the Figure 3 sweep with the observability plane
@@ -450,7 +489,8 @@ func BenchmarkAblationRedzone(b *testing.B) {
 
 // --- Component microbenchmarks (simulator throughput) ---
 
-// BenchmarkFunctionalSim measures architectural-simulation speed.
+// BenchmarkFunctionalSim measures architectural-simulation speed on the
+// session default engine (the decoded-block interpreter).
 func BenchmarkFunctionalSim(b *testing.B) {
 	wl, _ := workload.ByName("lbm")
 	b.ReportAllocs()
@@ -467,6 +507,51 @@ func BenchmarkFunctionalSim(b *testing.B) {
 		instrs = w.Machine.UserInstrs
 	}
 	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// benchSimCold measures cold functional-simulation throughput under one
+// engine: every iteration builds a fresh world, so the block engine pays
+// its full decode cost inside the timed region (there is no warm cache to
+// hide behind — this is the honest end-to-end comparison).
+func benchSimCold(b *testing.B, e sim.Engine) {
+	wl, _ := workload.ByName("lbm")
+	b.ReportAllocs()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		w, err := world.Build(world.Spec{Pass: prog.Plain(), Engine: e}, wl.Build(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := w.RunFunctional()
+		if out.Err != nil {
+			b.Fatal(out.Err)
+		}
+		instrs = w.Machine.UserInstrs
+	}
+	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkSimColdInstrsPerSecRef is the single-step reference interpreter's
+// cold throughput; its Blocks twin below is the tentpole's A/B (the
+// committed BENCH artifact enforces the >= 3x floor).
+func BenchmarkSimColdInstrsPerSecRef(b *testing.B) { benchSimCold(b, sim.EngineRef) }
+
+// BenchmarkSimColdInstrsPerSecBlocks is the decoded-block engine's cold
+// throughput: basic-block cache, pre-resolved handlers, untraced dispatch.
+func BenchmarkSimColdInstrsPerSecBlocks(b *testing.B) { benchSimCold(b, sim.EngineBlocks) }
+
+// BenchmarkWorldConstruct measures world construction alone — program
+// build, image encode, allocator/runtime/tracker wiring and the mem slab
+// arena — the per-cell setup cost every sweep pays before its first
+// simulated instruction.
+func BenchmarkWorldConstruct(b *testing.B) {
+	wl, _ := workload.ByName("lbm")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := world.Build(world.Spec{Pass: prog.RESTFull(64), Mode: core.Secure}, wl.Build(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkTimingSim measures full pipeline+cache simulation speed.

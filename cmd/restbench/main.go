@@ -36,6 +36,13 @@
 //
 // Performance controls:
 //
+//	-engine E        functional simulator engine: "blocks" (decoded
+//	                 basic-block cache with threaded dispatch, the
+//	                 default), "ref" (the single-step reference
+//	                 interpreter), or "auto" (currently blocks). Reports
+//	                 are byte-identical across engines — the engine
+//	                 differential tests pin that — so the flag only moves
+//	                 wall-clock time
 //	-trace-cache     capture each unique dynamic trace once and replay it
 //	                 for sweep cells that differ only in timing knobs
 //	                 (on by default; reports are byte-identical either way —
@@ -89,6 +96,7 @@ import (
 	"rest/internal/obs"
 	"rest/internal/persist"
 	"rest/internal/prog"
+	"rest/internal/sim"
 	"rest/internal/workload"
 )
 
@@ -163,6 +171,7 @@ func main() {
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock watchdog (0 = none)")
 	cellBudget := flag.Uint64("cell-budget", 0, "per-cell simulated-instruction budget (0 = sim default)")
 	keepGoing := flag.Bool("keep-going", false, "report failed cells as holes and exit 0")
+	engineName := flag.String("engine", "auto", "functional simulator engine: blocks (default), ref, auto")
 	traceCache := flag.Bool("trace-cache", true, "capture/replay dynamic traces across timing-only config variants")
 	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (empty = no persistent cache)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", persist.DefaultMaxBytes, "byte cap on the persistent cache (LRU eviction past it)")
@@ -199,6 +208,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, cerr)
 		os.Exit(2)
 	}
+	engine, eerr := sim.ParseEngine(*engineName)
+	if eerr != nil {
+		fmt.Fprintln(os.Stderr, "restbench: "+eerr.Error())
+		os.Exit(2)
+	}
 	if !(*fig3 || *fig7 || *fig8 || *fig8sens || *table1 || *table2 || *table3 || *stats || *faults || *all) {
 		flag.Usage()
 		os.Exit(2)
@@ -225,6 +239,7 @@ func main() {
 		FailFast:        *failFast,
 		CellTimeout:     *cellTimeout,
 		CellInstrBudget: *cellBudget,
+		Engine:          engine,
 	}
 	// One cache for the whole invocation: grids that share functional
 	// identities across sweeps (e.g. -fig8 and -fig8sens both time the
@@ -426,7 +441,7 @@ func main() {
 	}
 	if *all || *faults {
 		start := time.Now()
-		c, err := fault.RunCampaign(fault.Options{Seed: *seed, Only: *only})
+		c, err := fault.RunCampaign(fault.Options{Seed: *seed, Only: *only, Engine: engine})
 		if err != nil {
 			fail(err)
 		}

@@ -1,0 +1,30 @@
+package fault
+
+import (
+	"testing"
+
+	"rest/internal/sim"
+)
+
+// TestCampaignEngineDifferential pins that the §V verdict table is a
+// property of the architecture, not of the interpreter: the same seed must
+// produce a byte-identical campaign report whether the program-based
+// scenarios run on the reference interpreter or the decoded-block engine.
+func TestCampaignEngineDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1337} {
+		ref, err := RunCampaign(Options{Seed: seed, Engine: sim.EngineRef})
+		if err != nil {
+			t.Fatalf("seed %d ref: %v", seed, err)
+		}
+		blk, err := RunCampaign(Options{Seed: seed, Engine: sim.EngineBlocks})
+		if err != nil {
+			t.Fatalf("seed %d blocks: %v", seed, err)
+		}
+		if r, b := ref.Render(), blk.Render(); r != b {
+			t.Errorf("seed %d: campaign reports diverge across engines:\nref:\n%s\nblocks:\n%s", seed, r, b)
+		}
+		if r, b := ref.CSV(), blk.CSV(); r != b {
+			t.Errorf("seed %d: campaign CSVs diverge across engines", seed)
+		}
+	}
+}

@@ -16,8 +16,18 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"rest/internal/obs"
+	"rest/internal/sim"
+)
+
+// campaignEngine is the simulator engine the running campaign's
+// program-based scenarios build their worlds with. Guarded by engineMu,
+// which RunCampaign holds for the duration of a campaign.
+var (
+	engineMu       sync.Mutex
+	campaignEngine sim.Engine
 )
 
 // Verdict classifies what the system did about an injected fault.
@@ -87,6 +97,11 @@ type Options struct {
 	// Only, when non-empty, restricts the campaign to scenarios whose name
 	// contains the substring.
 	Only string
+	// Engine selects the functional simulator engine for the program-based
+	// scenarios (the architectural rigs probe the tracker directly and are
+	// engine-independent). Verdicts are byte-identical across engines —
+	// the engine differential tests pin it.
+	Engine sim.Engine
 }
 
 // Campaign is one executed fault-injection sweep.
@@ -100,6 +115,17 @@ type Campaign struct {
 // the scenario's position), so adding a scenario never perturbs the
 // randomness of those before it.
 func RunCampaign(opt Options) (*Campaign, error) {
+	// The engine choice reaches runProgram through a package variable; the
+	// mutex serializes concurrent campaigns so the setting can never bleed
+	// between them (campaigns are deterministic either way — both engines
+	// yield identical verdicts — but the race detector rightly objects to
+	// unsynchronized writes).
+	engineMu.Lock()
+	campaignEngine = opt.Engine
+	defer func() {
+		campaignEngine = sim.EngineAuto
+		engineMu.Unlock()
+	}()
 	c := &Campaign{Seed: opt.Seed}
 	for i, sc := range Scenarios() {
 		if opt.Only != "" && !strings.Contains(sc.Name, opt.Only) {

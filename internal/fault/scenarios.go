@@ -342,7 +342,7 @@ func tokenEvictRoundtrip() Scenario {
 // runProgram builds a full world (allocator, runtime, REST hardware) for
 // one pass and runs the program functionally.
 func runProgram(pass prog.PassConfig, seed int64, build func(b *prog.Builder)) (world.Outcome, error) {
-	w, err := world.Build(world.Spec{Pass: pass, Mode: core.Secure, Seed: seed}, build)
+	w, err := world.Build(world.Spec{Pass: pass, Mode: core.Secure, Seed: seed, Engine: campaignEngine}, build)
 	if err != nil {
 		return world.Outcome{}, err
 	}

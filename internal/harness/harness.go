@@ -19,6 +19,7 @@ import (
 	"rest/internal/obs"
 	"rest/internal/persist"
 	"rest/internal/prog"
+	"rest/internal/sim"
 	"rest/internal/trace"
 	"rest/internal/workload"
 	"rest/internal/world"
@@ -105,6 +106,12 @@ type CellLimits struct {
 	// Such a cell can never be served from the persistent result store —
 	// a file carries stats, not a live world — so it replays or streams.
 	NeedWorld bool
+	// Engine selects the functional simulator's execution engine for the
+	// cell (sim.EngineAuto = the decoded-block default, sim.EngineRef = the
+	// single-step reference). Deliberately NOT part of any cache identity:
+	// the engines produce byte-identical results, so a capture made under
+	// one engine serves cells running under the other.
+	Engine sim.Engine
 }
 
 // Run executes one workload under one configuration at the given scale.
@@ -175,6 +182,7 @@ func runStreamed(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLi
 		Hier:            cfg.Hier,
 		MaxInstructions: lim.MaxInstructions,
 		Deadline:        deadline,
+		Engine:          lim.Engine,
 		Obs:             reg,
 		FuncObs:         funcObs,
 	}, wl.Build(scale))

@@ -48,6 +48,11 @@ type ParallelOptions struct {
 	// assembled matrix (the micro-stats tables do). It keeps those cells off
 	// the persistent result store, which carries stats but no live world.
 	NeedWorld bool
+	// Engine selects every cell's functional-simulator engine (see
+	// CellLimits.Engine). The default sim.EngineAuto resolves to the
+	// decoded-block engine; the engine differential tests sweep both and
+	// assert byte-identical matrices.
+	Engine sim.Engine
 	// TraceCache, when non-nil, deduplicates functional execution across the
 	// grid: the sweep plans its cells into the cache up front, each shared
 	// functional identity is captured once, and its sibling cells replay the
@@ -282,6 +287,7 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 					Timeout:         opt.CellTimeout,
 					Metrics:         opt.Metrics,
 					NeedWorld:       opt.NeedWorld,
+					Engine:          opt.Engine,
 				}
 				if dl, ok := cctx.Deadline(); ok {
 					rem := time.Until(dl)

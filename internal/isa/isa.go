@@ -176,6 +176,19 @@ func (o Op) IsCondBranch() bool {
 	return false
 }
 
+// EndsBlock reports whether the opcode terminates a decoded basic block in
+// the simulator's block engine: control transfers (the successor is
+// dynamic), HALT, runtime calls (the service can mutate arbitrary machine
+// state), and the REST effect points ARM/DISARM (token writes can land
+// anywhere, including over decoded code).
+func (o Op) EndsBlock() bool {
+	switch o {
+	case OpHalt, OpRTCall, OpArm, OpDisarm:
+		return true
+	}
+	return o.IsBranch()
+}
+
 // IsMem reports whether the opcode accesses data memory (including the REST
 // instructions, which are wide stores microarchitecturally).
 func (o Op) IsMem() bool {

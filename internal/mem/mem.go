@@ -7,6 +7,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // PageBits selects a 4KiB page granule for the backing store.
@@ -27,7 +28,23 @@ type Memory struct {
 	// pointer can never go stale.
 	lastPN   uint64
 	lastPage *[PageSize]byte
+
+	// Slab arena: pages are carved from multi-page slabs so materializing a
+	// world costs one host allocation per slabPages pages instead of one
+	// per page. The slab's backing array stays alive through the page map's
+	// pointers into it; slab/slabOff only track the current carve point.
+	slab    [][PageSize]byte
+	slabOff int
+
+	// Single-slot write watch (see Watch). watchFn nil keeps the write
+	// paths on a one-compare fast path.
+	watchLo uint64
+	watchHi uint64
+	watchFn func(lo, hi uint64)
 }
+
+// slabPages is how many pages one arena slab carves into (128KiB per slab).
+const slabPages = 32
 
 // New returns an empty memory.
 func New() *Memory {
@@ -42,7 +59,12 @@ func (m *Memory) page(addr uint64, alloc bool) *[PageSize]byte {
 	}
 	p := m.pages[pn]
 	if p == nil && alloc {
-		p = new([PageSize]byte)
+		if m.slabOff == len(m.slab) {
+			m.slab = make([][PageSize]byte, slabPages)
+			m.slabOff = 0
+		}
+		p = &m.slab[m.slabOff]
+		m.slabOff++
 		m.pages[pn] = p
 	}
 	if p != nil {
@@ -62,6 +84,9 @@ func (m *Memory) Byte(addr uint64) byte {
 // SetByte stores b at addr.
 func (m *Memory) SetByte(addr uint64, b byte) {
 	m.page(addr, true)[addr&(PageSize-1)] = b
+	if m.watchFn != nil && addr >= m.watchLo && addr < m.watchHi {
+		m.watchFn(addr, addr+1)
+	}
 }
 
 // Read copies len(dst) bytes starting at addr into dst.
@@ -86,6 +111,7 @@ func (m *Memory) Read(addr uint64, dst []byte) {
 
 // Write copies src into memory starting at addr.
 func (m *Memory) Write(addr uint64, src []byte) {
+	start, total := addr, uint64(len(src))
 	for len(src) > 0 {
 		off := addr & (PageSize - 1)
 		n := PageSize - off
@@ -95,6 +121,9 @@ func (m *Memory) Write(addr uint64, src []byte) {
 		copy(m.page(addr, true)[off:off+n], src[:n])
 		src = src[n:]
 		addr += n
+	}
+	if m.watchFn != nil && total > 0 && start < m.watchHi && start+total > m.watchLo {
+		m.watchFn(start, start+total)
 	}
 }
 
@@ -140,6 +169,9 @@ func (m *Memory) WriteUint(addr uint64, size uint8, v uint64) {
 
 // Zero clears n bytes starting at addr.
 func (m *Memory) Zero(addr, n uint64) {
+	if m.watchFn != nil && n > 0 && addr < m.watchHi && addr+n > m.watchLo {
+		m.watchFn(addr, addr+n)
+	}
 	for n > 0 {
 		off := addr & (PageSize - 1)
 		c := PageSize - off
@@ -175,6 +207,57 @@ func (m *Memory) Equal(addr uint64, pat []byte) bool {
 		addr += uint64(n)
 	}
 	return true
+}
+
+// Watch registers fn to observe every write overlapping [lo, hi): stores of
+// any width, bulk writes and Zero all report the written byte range (the
+// full range of the operation, which may extend past the watched window).
+// One slot only — a second Watch replaces the first; a nil fn removes it.
+// The simulator's decoded-block engine uses this as its invalidation
+// chokepoint over the code image: user stores, runtime-service stores and
+// tracker token writes all funnel through these paths, so no write can
+// reach watched memory unobserved. The unwatched fast path is a single nil
+// check per write operation.
+func (m *Memory) Watch(lo, hi uint64, fn func(lo, hi uint64)) {
+	m.watchLo, m.watchHi, m.watchFn = lo, hi, fn
+}
+
+// Digest returns an FNV-1a hash of the memory's logical content: every
+// materialized page's number and bytes, in ascending page order, with
+// all-zero pages skipped so the digest depends only on observable content
+// (an unwritten page and a written-then-zeroed page hash identically).
+// Equal digests across two runs mean byte-identical memory images; the
+// engine differential tests compare them.
+func (m *Memory) Digest() uint64 {
+	pns := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, pn := range pns {
+		p := m.pages[pn]
+		zero := true
+		for _, b := range p {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			continue
+		}
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= (pn >> shift) & 0xFF
+			h *= prime
+		}
+		for _, b := range p {
+			h ^= uint64(b)
+			h *= prime
+		}
+	}
+	return h
 }
 
 // PageCount reports how many backing pages have been materialized. Useful for

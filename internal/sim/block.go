@@ -1,0 +1,764 @@
+package sim
+
+import (
+	"fmt"
+
+	"rest/internal/core"
+	"rest/internal/isa"
+	"rest/internal/trace"
+)
+
+// The decoded-basic-block engine (EngineBlocks).
+//
+// The reference interpreter pays a fetch (PC arithmetic + bounds check), a
+// full operand extraction (DstReg/SrcRegs) and a 40-way opcode switch for
+// every dynamic instruction. This engine pays those costs once per static
+// instruction: straight-line runs are decoded into dense []bEntry slices
+// whose entries carry a pre-resolved handler code, pre-extracted operands
+// and a pre-built trace.Entry template, then executed in a tight dispatch
+// loop. Blocks terminate at every opcode whose successor is dynamic or
+// whose effects can reach the code image (isa.Op.EndsBlock: branches, HALT,
+// RTCALL, ARM, DISARM) and at maxBlockLen.
+//
+// Equivalence contract: every observable — trace entries (including Seq
+// numbering), registers, memory, counters, watchdog errors and fault
+// verdicts — is byte-identical to the reference engine. Two properties make
+// that hold by construction:
+//
+//  1. Blocks decode from m.prog, the same immutable instruction slice the
+//     reference engine fetches from. A write into the code image therefore
+//     cannot make the two engines execute different instructions: both keep
+//     executing the original program (DESIGN.md documents this simulator
+//     convention). Invalidation below is cache hygiene — it guarantees a
+//     decoded entry is never retained for a region whose backing image
+//     changed — not a correctness crutch.
+//  2. The watchdog budget is checked before every entry, exactly where the
+//     reference engine checks it between steps, so a budget abort fires at
+//     the identical instruction count with the pending queue in the
+//     identical state.
+//
+// Invalidation: a Machine with this engine installs a mem.Watch over the
+// code image [base, base+len(prog)*16). Any write overlapping it — a user
+// store, a runtime-service store, or a token write from tracker Arm/Disarm
+// — drops every cached block overlapping the written bytes and bumps the
+// cache generation. The dispatch loop re-checks the generation between
+// entries and bails back to a fresh lookup, so a mid-block invalidation can
+// never keep executing a dropped block.
+
+// maxBlockLen caps decoded block length. It bounds both the pending-queue
+// growth per dispatch and the backward scan an invalidation must make to
+// find blocks overlapping a written range.
+const maxBlockLen = 64
+
+// exec is a pre-resolved handler code: the decode-time residue of the
+// reference interpreter's opcode switch. Decode strength-reduces where the
+// static operands allow it (ALU writes to R0 become xNop; a machine without
+// a tracker resolves loads/stores to unchecked variants and ARM/DISARM to
+// their fault handlers; a machine without a runtime resolves RTCALL the
+// same way).
+type exec uint8
+
+const (
+	xNop exec = iota
+	xHalt
+	xMovI
+	xMov
+	xAdd
+	xSub
+	xMul
+	xDiv
+	xRem
+	xAnd
+	xOr
+	xXor
+	xShl
+	xShr
+	xAddI
+	xMulI
+	xAndI
+	xOrI
+	xXorI
+	xShlI
+	xShrI
+	xLoad      // token-checked (tracker present)
+	xLoadFast  // unchecked (no tracker)
+	xStore     // token-checked
+	xStoreFast // unchecked
+	xBeq
+	xBne
+	xBlt
+	xBge
+	xBltu
+	xBgeu
+	xJmp
+	xCall
+	xCallR
+	xRet
+	xArm
+	xDisarm
+	xArmNoTracker
+	xDisarmNoTracker
+	xRTCall
+	xRTCallNoRuntime
+	xBadOp
+)
+
+// bEntry is one decoded instruction: handler code, extracted operands, and
+// the trace-entry template with every statically-known field (PC, Op, Kind,
+// Dst, Src1, Src2, and Size for ARM/DISARM) pre-filled. Handlers copy the
+// template and patch only the dynamic fields (Addr/Size/Taken/Target/
+// Faults) before emitting.
+type bEntry struct {
+	tmpl trace.Entry
+	exec exec
+	rd   uint8
+	rs   uint8
+	rt   uint8
+	size uint8
+	imm  uint64
+}
+
+// block is one decoded straight-line run.
+type block struct {
+	entries []bEntry
+}
+
+// blockCache maps a starting instruction index to its decoded block. A
+// block decoded at index k covers prog[k : k+len(entries)); suffix blocks
+// (a jump landing mid-run) decode their own entries, so slots are
+// independent.
+type blockCache struct {
+	blocks []*block
+	// gen counts invalidations; the dispatch loop snapshots it and bails
+	// to a fresh lookup when it moves mid-block.
+	gen uint64
+
+	// Counters, published as sim.blockcache.* by FlushProbes (only when
+	// this engine ran, so reference-engine metric snapshots are unchanged).
+	hits          uint64
+	misses        uint64
+	invalidations uint64
+	decodedBytes  uint64
+}
+
+// invalidate drops every cached block overlapping the written byte range
+// [lo, hi) and bumps the generation. base is the code image base address.
+// Only called for writes overlapping the code image (the mem.Watch bounds
+// guarantee it), so the index math cannot underflow past the clamps.
+func (bc *blockCache) invalidate(base, lo, hi uint64) {
+	if hi <= base {
+		return
+	}
+	loIdx := 0
+	if lo > base {
+		loIdx = int((lo - base) / isa.InstrBytes)
+	}
+	hiIdx := int((hi - 1 - base) / isa.InstrBytes)
+	if hiIdx >= len(bc.blocks) {
+		hiIdx = len(bc.blocks) - 1
+	}
+	start := loIdx - maxBlockLen + 1
+	if start < 0 {
+		start = 0
+	}
+	for s := start; s <= hiIdx; s++ {
+		if b := bc.blocks[s]; b != nil && s+len(b.entries) > loIdx {
+			bc.blocks[s] = nil
+			bc.invalidations++
+		}
+	}
+	bc.gen++
+}
+
+// execFor resolves an instruction to its handler code at decode time.
+func (m *Machine) execFor(in isa.Instr) exec {
+	// Pure ALU writes to the hardwired zero register are architectural
+	// no-ops: operand reads have no side effects and the write is
+	// discarded. (Loads are excluded — they must still perform the token
+	// check and report Addr in the trace.)
+	aluToZero := in.Rd == isa.RZero
+	switch in.Op {
+	case isa.OpNop:
+		return xNop
+	case isa.OpHalt:
+		return xHalt
+	case isa.OpMovI:
+		if aluToZero {
+			return xNop
+		}
+		return xMovI
+	case isa.OpMov:
+		if aluToZero {
+			return xNop
+		}
+		return xMov
+	case isa.OpAdd:
+		if aluToZero {
+			return xNop
+		}
+		return xAdd
+	case isa.OpSub:
+		if aluToZero {
+			return xNop
+		}
+		return xSub
+	case isa.OpMul:
+		if aluToZero {
+			return xNop
+		}
+		return xMul
+	case isa.OpDiv:
+		if aluToZero {
+			return xNop
+		}
+		return xDiv
+	case isa.OpRem:
+		if aluToZero {
+			return xNop
+		}
+		return xRem
+	case isa.OpAnd:
+		if aluToZero {
+			return xNop
+		}
+		return xAnd
+	case isa.OpOr:
+		if aluToZero {
+			return xNop
+		}
+		return xOr
+	case isa.OpXor:
+		if aluToZero {
+			return xNop
+		}
+		return xXor
+	case isa.OpShl:
+		if aluToZero {
+			return xNop
+		}
+		return xShl
+	case isa.OpShr:
+		if aluToZero {
+			return xNop
+		}
+		return xShr
+	case isa.OpAddI:
+		if aluToZero {
+			return xNop
+		}
+		return xAddI
+	case isa.OpMulI:
+		if aluToZero {
+			return xNop
+		}
+		return xMulI
+	case isa.OpAndI:
+		if aluToZero {
+			return xNop
+		}
+		return xAndI
+	case isa.OpOrI:
+		if aluToZero {
+			return xNop
+		}
+		return xOrI
+	case isa.OpXorI:
+		if aluToZero {
+			return xNop
+		}
+		return xXorI
+	case isa.OpShlI:
+		if aluToZero {
+			return xNop
+		}
+		return xShlI
+	case isa.OpShrI:
+		if aluToZero {
+			return xNop
+		}
+		return xShrI
+	case isa.OpLoad:
+		if m.cfg.Tracker == nil {
+			return xLoadFast
+		}
+		return xLoad
+	case isa.OpStore:
+		if m.cfg.Tracker == nil {
+			return xStoreFast
+		}
+		return xStore
+	case isa.OpBeq:
+		return xBeq
+	case isa.OpBne:
+		return xBne
+	case isa.OpBlt:
+		return xBlt
+	case isa.OpBge:
+		return xBge
+	case isa.OpBltu:
+		return xBltu
+	case isa.OpBgeu:
+		return xBgeu
+	case isa.OpJmp:
+		return xJmp
+	case isa.OpCall:
+		return xCall
+	case isa.OpCallR:
+		return xCallR
+	case isa.OpRet:
+		return xRet
+	case isa.OpArm:
+		if m.cfg.Tracker == nil {
+			return xArmNoTracker
+		}
+		return xArm
+	case isa.OpDisarm:
+		if m.cfg.Tracker == nil {
+			return xDisarmNoTracker
+		}
+		return xDisarm
+	case isa.OpRTCall:
+		if m.cfg.Runtime == nil {
+			return xRTCallNoRuntime
+		}
+		return xRTCall
+	default:
+		return xBadOp
+	}
+}
+
+// decodeEntry decodes prog[j] into a bEntry (shared by the engine and the
+// fuzz/consistency tests, which re-decode to prove cached blocks stale-free).
+func (m *Machine) decodeEntry(j int) bEntry {
+	in := m.prog[j]
+	en := bEntry{
+		exec: m.execFor(in),
+		rd:   in.Rd,
+		rs:   in.Rs,
+		rt:   in.Rt,
+		size: in.Size,
+		imm:  uint64(in.Imm),
+	}
+	pc := m.base + uint64(j)*isa.InstrBytes
+	en.tmpl = trace.Entry{PC: pc, Op: in.Op, Kind: trace.KindUser, Dst: in.DstReg()}
+	en.tmpl.Src1, en.tmpl.Src2 = in.SrcRegs()
+	if (in.Op == isa.OpArm || in.Op == isa.OpDisarm) && m.cfg.Tracker != nil {
+		en.tmpl.Size = uint8(m.cfg.Tracker.Register().Width())
+	}
+	return en
+}
+
+// decodeBlock decodes the straight-line run starting at instruction index
+// idx and installs it in the cache.
+func (m *Machine) decodeBlock(idx int) *block {
+	b := &block{entries: make([]bEntry, 0, 8)}
+	for j := idx; j < len(m.prog) && len(b.entries) < maxBlockLen; j++ {
+		b.entries = append(b.entries, m.decodeEntry(j))
+		if m.prog[j].Op.EndsBlock() {
+			break
+		}
+	}
+	m.bc.blocks[idx] = b
+	m.bc.misses++
+	m.bc.decodedBytes += uint64(len(b.entries)) * isa.InstrBytes
+	return b
+}
+
+// pcIndex maps the current PC to an instruction index, halting with the
+// reference engine's exact fetch error when the PC left the program.
+func (m *Machine) pcIndex() (int, bool) {
+	idx := (m.PC - m.base) / isa.InstrBytes
+	if m.PC < m.base || idx >= uint64(len(m.prog)) || (m.PC-m.base)%isa.InstrBytes != 0 {
+		m.halted = true
+		m.runErr = fmt.Errorf("sim: PC %#x outside program", m.PC)
+		return 0, false
+	}
+	return int(idx), true
+}
+
+// stepBlocks is the decoded-block engine's unit of progress: look up (or
+// decode) the block at PC and dispatch its entries until the block ends,
+// something halts/faults, the budget is about to be exceeded, or the cache
+// generation moves (mid-block invalidation). The caller has already
+// performed the pre-step watchdog checks for the first entry; the loop
+// repeats them before every subsequent entry so stops land on the exact
+// instruction boundaries the reference engine stops on. Every early return
+// leaves m.PC at the next unexecuted instruction (or at the faulting one,
+// matching the reference engine's no-advance-on-fault rule).
+func (m *Machine) stepBlocks() {
+	idx, ok := m.pcIndex()
+	if !ok {
+		return
+	}
+	b := m.bc.blocks[idx]
+	if b == nil {
+		b = m.decodeBlock(idx)
+	} else {
+		m.bc.hits++
+	}
+	gen := m.bc.gen
+	n := len(b.entries)
+	for i := 0; i < n; i++ {
+		if !m.execEntry(&b.entries[i]) {
+			return
+		}
+		if i+1 < n {
+			// Pre-step checks for the next entry, mirroring Next()'s
+			// order. The deadline itself is polled by the caller (after
+			// the pending queue drains, as in the reference engine); here
+			// we only stop at its stride points. execEntry guarantees
+			// progress, so stopping can never livelock.
+			if m.UserInstrs >= m.cfg.MaxInstructions {
+				m.PC = b.entries[i+1].tmpl.PC
+				return
+			}
+			if m.hasDeadline && m.UserInstrs%deadlineCheckStride == 0 {
+				m.PC = b.entries[i+1].tmpl.PC
+				return
+			}
+			if m.bc.gen != gen {
+				m.PC = b.entries[i+1].tmpl.PC
+				return
+			}
+		}
+	}
+	// Fell off the end of a block whose last entry is not a terminator
+	// (end of program or a maxBlockLen split): continue at the next
+	// sequential instruction.
+	m.PC = b.entries[n-1].tmpl.PC + isa.InstrBytes
+}
+
+// execEntry dispatches one decoded entry. It returns true when execution
+// fell through to the next sequential entry; false ends the block (control
+// transfer, halt, fault, or error). Fall-through handlers do not update
+// m.PC — the dispatch loop materializes it only at stop points — but every
+// false return leaves m.PC exactly where the reference engine would.
+func (m *Machine) execEntry(en *bEntry) bool {
+	m.UserInstrs++
+	switch en.exec {
+	case xNop:
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xHalt:
+		m.halted = true
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+		m.PC = en.tmpl.PC + isa.InstrBytes
+		return false
+	case xMovI:
+		m.Regs[en.rd] = en.imm
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xMov:
+		m.Regs[en.rd] = m.Regs[en.rs]
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xAdd:
+		m.Regs[en.rd] = m.Regs[en.rs] + m.Regs[en.rt]
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xSub:
+		m.Regs[en.rd] = m.Regs[en.rs] - m.Regs[en.rt]
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xMul:
+		m.Regs[en.rd] = m.Regs[en.rs] * m.Regs[en.rt]
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xDiv:
+		if d := m.Regs[en.rt]; d == 0 {
+			m.Regs[en.rd] = ^uint64(0)
+		} else {
+			m.Regs[en.rd] = m.Regs[en.rs] / d
+		}
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xRem:
+		if d := m.Regs[en.rt]; d == 0 {
+			m.Regs[en.rd] = m.Regs[en.rs]
+		} else {
+			m.Regs[en.rd] = m.Regs[en.rs] % d
+		}
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xAnd:
+		m.Regs[en.rd] = m.Regs[en.rs] & m.Regs[en.rt]
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xOr:
+		m.Regs[en.rd] = m.Regs[en.rs] | m.Regs[en.rt]
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xXor:
+		m.Regs[en.rd] = m.Regs[en.rs] ^ m.Regs[en.rt]
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xShl:
+		m.Regs[en.rd] = m.Regs[en.rs] << (m.Regs[en.rt] & 63)
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xShr:
+		m.Regs[en.rd] = m.Regs[en.rs] >> (m.Regs[en.rt] & 63)
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xAddI:
+		m.Regs[en.rd] = m.Regs[en.rs] + en.imm
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xMulI:
+		m.Regs[en.rd] = m.Regs[en.rs] * en.imm
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xAndI:
+		m.Regs[en.rd] = m.Regs[en.rs] & en.imm
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xOrI:
+		m.Regs[en.rd] = m.Regs[en.rs] | en.imm
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xXorI:
+		m.Regs[en.rd] = m.Regs[en.rs] ^ en.imm
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xShlI:
+		m.Regs[en.rd] = m.Regs[en.rs] << (en.imm & 63)
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+	case xShrI:
+		m.Regs[en.rd] = m.Regs[en.rs] >> (en.imm & 63)
+		if m.traceOn {
+			m.emit(en.tmpl)
+		}
+
+	case xLoad:
+		addr := m.Regs[en.rs] + en.imm
+		if exc := m.cfg.Tracker.CheckAccess(addr, en.size, false, en.tmpl.PC); exc != nil {
+			m.PC = en.tmpl.PC
+			m.raise(exc)
+			if m.traceOn {
+				e := en.tmpl
+				e.Addr, e.Size, e.Faults = addr, en.size, true
+				m.emit(e)
+			}
+			return false
+		}
+		v := m.Mem.ReadUint(addr, en.size)
+		if en.rd != isa.RZero {
+			m.Regs[en.rd] = v
+		}
+		if m.traceOn {
+			e := en.tmpl
+			e.Addr, e.Size = addr, en.size
+			m.emit(e)
+		}
+	case xLoadFast:
+		addr := m.Regs[en.rs] + en.imm
+		v := m.Mem.ReadUint(addr, en.size)
+		if en.rd != isa.RZero {
+			m.Regs[en.rd] = v
+		}
+		if m.traceOn {
+			e := en.tmpl
+			e.Addr, e.Size = addr, en.size
+			m.emit(e)
+		}
+	case xStore:
+		addr := m.Regs[en.rs] + en.imm
+		if exc := m.cfg.Tracker.CheckAccess(addr, en.size, true, en.tmpl.PC); exc != nil {
+			m.PC = en.tmpl.PC
+			m.raise(exc)
+			if m.traceOn {
+				e := en.tmpl
+				e.Addr, e.Size, e.Faults = addr, en.size, true
+				m.emit(e)
+			}
+			return false
+		}
+		m.Mem.WriteUint(addr, en.size, m.Regs[en.rt])
+		if m.traceOn {
+			e := en.tmpl
+			e.Addr, e.Size = addr, en.size
+			m.emit(e)
+		}
+	case xStoreFast:
+		addr := m.Regs[en.rs] + en.imm
+		m.Mem.WriteUint(addr, en.size, m.Regs[en.rt])
+		if m.traceOn {
+			e := en.tmpl
+			e.Addr, e.Size = addr, en.size
+			m.emit(e)
+		}
+
+	case xBeq:
+		m.branchTo(en, m.Regs[en.rs] == m.Regs[en.rt])
+		return false
+	case xBne:
+		m.branchTo(en, m.Regs[en.rs] != m.Regs[en.rt])
+		return false
+	case xBlt:
+		m.branchTo(en, int64(m.Regs[en.rs]) < int64(m.Regs[en.rt]))
+		return false
+	case xBge:
+		m.branchTo(en, int64(m.Regs[en.rs]) >= int64(m.Regs[en.rt]))
+		return false
+	case xBltu:
+		m.branchTo(en, m.Regs[en.rs] < m.Regs[en.rt])
+		return false
+	case xBgeu:
+		m.branchTo(en, m.Regs[en.rs] >= m.Regs[en.rt])
+		return false
+	case xJmp:
+		if m.traceOn {
+			e := en.tmpl
+			e.Taken, e.Target = true, en.imm
+			m.emit(e)
+		}
+		m.PC = en.imm
+		return false
+	case xCall:
+		m.Regs[isa.RRA] = en.tmpl.PC + isa.InstrBytes
+		if m.traceOn {
+			e := en.tmpl
+			e.Taken, e.Target = true, en.imm
+			m.emit(e)
+		}
+		m.PC = en.imm
+		return false
+	case xCallR:
+		tgt := m.Regs[en.rs]
+		m.Regs[isa.RRA] = en.tmpl.PC + isa.InstrBytes
+		if m.traceOn {
+			e := en.tmpl
+			e.Taken, e.Target = true, tgt
+			m.emit(e)
+		}
+		m.PC = tgt
+		return false
+	case xRet:
+		tgt := m.Regs[isa.RRA]
+		if m.traceOn {
+			e := en.tmpl
+			e.Taken, e.Target = true, tgt
+			m.emit(e)
+		}
+		m.PC = tgt
+		return false
+
+	case xArm:
+		addr := m.Regs[en.rs] + en.imm
+		if exc := m.cfg.Tracker.Arm(addr, en.tmpl.PC); exc != nil {
+			m.PC = en.tmpl.PC
+			m.raise(exc)
+			if m.traceOn {
+				e := en.tmpl
+				e.Addr, e.Faults = addr, true
+				m.emit(e)
+			}
+			return false
+		}
+		if m.traceOn {
+			e := en.tmpl
+			e.Addr = addr
+			m.emit(e)
+		}
+		m.PC = en.tmpl.PC + isa.InstrBytes
+		return false
+	case xDisarm:
+		addr := m.Regs[en.rs] + en.imm
+		if exc := m.cfg.Tracker.Disarm(addr, en.tmpl.PC); exc != nil {
+			m.PC = en.tmpl.PC
+			m.raise(exc)
+			if m.traceOn {
+				e := en.tmpl
+				e.Addr, e.Faults = addr, true
+				m.emit(e)
+			}
+			return false
+		}
+		if m.traceOn {
+			e := en.tmpl
+			e.Addr = addr
+			m.emit(e)
+		}
+		m.PC = en.tmpl.PC + isa.InstrBytes
+		return false
+	case xArmNoTracker:
+		m.PC = en.tmpl.PC
+		m.runErr = fmt.Errorf("sim: ARM executed on non-REST machine at pc=%#x", en.tmpl.PC)
+		m.halted = true
+		return false
+	case xDisarmNoTracker:
+		m.PC = en.tmpl.PC
+		m.runErr = fmt.Errorf("sim: DISARM executed on non-REST machine at pc=%#x", en.tmpl.PC)
+		m.halted = true
+		return false
+
+	case xRTCall:
+		if m.traceOn {
+			m.emit(en.tmpl) // the call instruction itself
+		}
+		m.PC = en.tmpl.PC + isa.InstrBytes
+		if err := m.cfg.Runtime.Call(int64(en.imm), m); err != nil {
+			if v, ok := err.(*Violation); ok {
+				m.violation = v
+				if p := m.cfg.Probes; p != nil {
+					p.SWViolations.Inc()
+				}
+			} else if exc, ok := err.(*core.Exception); ok {
+				m.raise(exc)
+			} else {
+				m.runErr = err
+			}
+			m.halted = true
+		}
+		return false
+	case xRTCallNoRuntime:
+		m.PC = en.tmpl.PC
+		m.runErr = fmt.Errorf("sim: RTCall %d with no runtime at pc=%#x", int64(en.imm), en.tmpl.PC)
+		m.halted = true
+		return false
+
+	default:
+		m.PC = en.tmpl.PC
+		m.runErr = fmt.Errorf("sim: unimplemented opcode %v at pc=%#x", en.tmpl.Op, en.tmpl.PC)
+		m.halted = true
+		return false
+	}
+	return true
+}
+
+// branchTo resolves a conditional branch: emit with the outcome, then set
+// the PC (the reference engine always records Target, taken or not).
+func (m *Machine) branchTo(en *bEntry, taken bool) {
+	if m.traceOn {
+		e := en.tmpl
+		e.Taken, e.Target = taken, en.imm
+		m.emit(e)
+	}
+	if taken {
+		m.PC = en.imm
+	} else {
+		m.PC = en.tmpl.PC + isa.InstrBytes
+	}
+}

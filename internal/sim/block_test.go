@@ -1,0 +1,562 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"rest/internal/core"
+	"rest/internal/isa"
+	"rest/internal/layout"
+	"rest/internal/mem"
+	"rest/internal/obs"
+	"rest/internal/trace"
+)
+
+// The sim-level differential wall for the decoded-block engine: every test
+// here runs the same program under EngineRef and EngineBlocks over
+// identically seeded (but independent) state and asserts that every
+// observable — the full trace including Seq numbering, registers, PC,
+// counters, memory digest, and the error/exception/violation verdict — is
+// byte-identical. The harness-level engine differentials extend the same
+// assertion to full workload sweeps; this file covers the simulator's
+// corner semantics (faults, watchdogs, self-modifying writes, block
+// boundaries) at a granularity where a divergence pinpoints the handler.
+
+// mkCfg builds one Config per call so the two engines never share memory,
+// trackers or probes.
+type mkCfg func() Config
+
+func plainCfg() Config { return Config{} }
+
+func restCfg(seed int64) mkCfg {
+	return func() Config {
+		reg, err := core.NewTokenRegister(core.Width64, core.Secure, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			panic(err)
+		}
+		m := mem.New()
+		return Config{Mem: m, Tracker: core.NewTokenTracker(reg, m)}
+	}
+}
+
+func withEngine(cfg Config, e Engine) Config {
+	cfg.Engine = e
+	return cfg
+}
+
+func newPair(t testing.TB, mk mkCfg, prog []isa.Instr) (ref, blk *Machine) {
+	t.Helper()
+	ref, err := New(withEngine(mk(), EngineRef), prog, 0)
+	if err != nil {
+		t.Fatalf("New(ref): %v", err)
+	}
+	blk, err = New(withEngine(mk(), EngineBlocks), prog, 0)
+	if err != nil {
+		t.Fatalf("New(blocks): %v", err)
+	}
+	return ref, blk
+}
+
+// errString canonicalizes an error for comparison (nil-safe).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// assertSameState compares every architectural observable of the two
+// machines after their runs ended.
+func assertSameState(t testing.TB, ref, blk *Machine) {
+	t.Helper()
+	if ref.Regs != blk.Regs {
+		t.Errorf("registers diverge:\n ref=%v\n blk=%v", ref.Regs, blk.Regs)
+	}
+	if ref.PC != blk.PC {
+		t.Errorf("PC diverges: ref=%#x blk=%#x", ref.PC, blk.PC)
+	}
+	if ref.UserInstrs != blk.UserInstrs {
+		t.Errorf("UserInstrs diverges: ref=%d blk=%d", ref.UserInstrs, blk.UserInstrs)
+	}
+	if ref.RTOps != blk.RTOps {
+		t.Errorf("RTOps diverges: ref=%d blk=%d", ref.RTOps, blk.RTOps)
+	}
+	if ref.Halted() != blk.Halted() {
+		t.Errorf("halted diverges: ref=%v blk=%v", ref.Halted(), blk.Halted())
+	}
+	if got, want := errString(blk.Err()), errString(ref.Err()); got != want {
+		t.Errorf("Err diverges: ref=%q blk=%q", want, got)
+	}
+	if !reflect.DeepEqual(ref.Exception(), blk.Exception()) {
+		t.Errorf("exception diverges: ref=%v blk=%v", ref.Exception(), blk.Exception())
+	}
+	if !reflect.DeepEqual(ref.SWViolation(), blk.SWViolation()) {
+		t.Errorf("violation diverges: ref=%v blk=%v", ref.SWViolation(), blk.SWViolation())
+	}
+	if rd, bd := ref.Mem.Digest(), blk.Mem.Digest(); rd != bd {
+		t.Errorf("memory digest diverges: ref=%#x blk=%#x", rd, bd)
+	}
+}
+
+// assertCacheCoherent proves no cached block could ever replay stale
+// decodings: every retained entry must equal a fresh decode of the same
+// instruction slot.
+func assertCacheCoherent(t testing.TB, m *Machine) {
+	t.Helper()
+	if m.bc == nil {
+		return
+	}
+	for idx, b := range m.bc.blocks {
+		if b == nil {
+			continue
+		}
+		for i := range b.entries {
+			want := m.decodeEntry(idx + i)
+			if !reflect.DeepEqual(b.entries[i], want) {
+				t.Fatalf("stale cached entry at prog[%d] (block %d):\n cached=%+v\n  fresh=%+v",
+					idx+i, idx, b.entries[i], want)
+			}
+		}
+	}
+}
+
+// diffTraced drives both machines as trace readers and asserts identical
+// streams and final state. Returns the blocks machine for extra checks.
+func diffTraced(t testing.TB, mk mkCfg, prog []isa.Instr) *Machine {
+	t.Helper()
+	ref, blk := newPair(t, mk, prog)
+	re := trace.Collect(ref)
+	be := trace.Collect(blk)
+	if len(re) != len(be) {
+		t.Fatalf("trace length diverges: ref=%d blk=%d", len(re), len(be))
+	}
+	for i := range re {
+		if re[i] != be[i] {
+			t.Fatalf("trace entry %d diverges:\n ref=%+v\n blk=%+v", i, re[i], be[i])
+		}
+	}
+	assertSameState(t, ref, blk)
+	assertCacheCoherent(t, blk)
+	return blk
+}
+
+// diffUntraced runs both machines through Run() — the block engine's
+// untraced fast path — and asserts identical final state.
+func diffUntraced(t testing.TB, mk mkCfg, prog []isa.Instr) *Machine {
+	t.Helper()
+	ref, blk := newPair(t, mk, prog)
+	ref.Run()
+	blk.Run()
+	assertSameState(t, ref, blk)
+	assertCacheCoherent(t, blk)
+	return blk
+}
+
+func diffBoth(t *testing.T, mk mkCfg, prog []isa.Instr) *Machine {
+	t.Helper()
+	diffUntraced(t, mk, prog)
+	return diffTraced(t, mk, prog)
+}
+
+func TestBlocksALUAndBranches(t *testing.T) {
+	// A loop exercising every ALU shape, div/rem-by-zero semantics, shift
+	// masking, writes to R0 (decode strength-reduces them to nops — the
+	// trace must still carry the original op) and all branch directions.
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: 0},        // i = 0
+		{Op: isa.OpMovI, Rd: 2, Imm: 0},        // acc = 0
+		{Op: isa.OpAddI, Rd: 2, Rs: 2, Imm: 3}, // loop body
+		{Op: isa.OpMul, Rd: 3, Rs: 2, Rt: 2},
+		{Op: isa.OpDiv, Rd: 4, Rs: 3, Rt: 1}, // div by zero on first pass
+		{Op: isa.OpRem, Rd: 5, Rs: 3, Rt: 1},
+		{Op: isa.OpShl, Rd: 6, Rs: 2, Rt: 3},    // shift count masked
+		{Op: isa.OpShrI, Rd: 7, Rs: 6, Imm: 65}, // immediate shift masked
+		{Op: isa.OpAdd, Rd: 0, Rs: 2, Rt: 3},    // write to R0: architectural nop
+		{Op: isa.OpXor, Rd: 8, Rs: 6, Rt: 7},
+		{Op: isa.OpAnd, Rd: 9, Rs: 8, Rt: 2},
+		{Op: isa.OpOr, Rd: 10, Rs: 9, Rt: 5},
+		{Op: isa.OpSub, Rd: 11, Rs: 10, Rt: 4},
+		{Op: isa.OpAddI, Rd: 1, Rs: 1, Imm: 1},
+		{Op: isa.OpMovI, Rd: 12, Imm: 10},
+		{Op: isa.OpBlt, Rs: 1, Rt: 12, Imm: int64(layout.CodeBase + 2*isa.InstrBytes)},
+		{Op: isa.OpMov, Rd: RRes, Rs: 11},
+		{Op: isa.OpHalt},
+	}
+	blk := diffBoth(t, plainCfg, prog)
+	if blk.bc.hits == 0 {
+		t.Errorf("block cache saw no hits over a 10-iteration loop")
+	}
+}
+
+func TestBlocksCallRet(t *testing.T) {
+	base := uint64(layout.CodeBase)
+	prog := []isa.Instr{
+		{Op: isa.OpCall, Imm: int64(base + 4*isa.InstrBytes)}, // call f
+		{Op: isa.OpMov, Rd: RRes, Rs: 1},
+		{Op: isa.OpJmp, Imm: int64(base + 3*isa.InstrBytes)},
+		{Op: isa.OpHalt},
+		// f: r1 = 7 via callr-reachable code, then ret
+		{Op: isa.OpMovI, Rd: 1, Imm: 7},
+		{Op: isa.OpRet},
+	}
+	diffBoth(t, plainCfg, prog)
+}
+
+func TestBlocksMemoryAndStack(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: int64(layout.GlobalBase)},
+		{Op: isa.OpMovI, Rd: 2, Imm: 0x1122334455667788},
+		{Op: isa.OpStore, Rs: 1, Rt: 2, Size: 8},
+		{Op: isa.OpLoad, Rd: 3, Rs: 1, Size: 4},
+		{Op: isa.OpStore, Rs: isa.RSP, Rt: 3, Imm: -8, Size: 8},
+		{Op: isa.OpLoad, Rd: 4, Rs: isa.RSP, Imm: -8, Size: 2},
+		{Op: isa.OpLoad, Rd: 0, Rs: 1, Size: 1}, // load to R0: check+trace still happen
+		{Op: isa.OpMov, Rd: RRes, Rs: 4},
+		{Op: isa.OpHalt},
+	}
+	diffBoth(t, plainCfg, prog)
+	diffBoth(t, restCfg(11), prog)
+}
+
+func TestBlocksRESTFaults(t *testing.T) {
+	arm := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: int64(layout.GlobalBase)},
+		{Op: isa.OpArm, Rs: 1},
+		{Op: isa.OpLoad, Rd: 2, Rs: 1, Imm: 16, Size: 8}, // token hit -> fault
+		{Op: isa.OpHalt},
+	}
+	blk := diffBoth(t, restCfg(3), arm)
+	if blk.Exception() == nil {
+		t.Fatalf("expected a REST exception")
+	}
+
+	disarmUnarmed := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: int64(layout.GlobalBase)},
+		{Op: isa.OpDisarm, Rs: 1}, // nothing armed -> fault
+		{Op: isa.OpHalt},
+	}
+	diffBoth(t, restCfg(4), disarmUnarmed)
+
+	storeFault := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: int64(layout.GlobalBase)},
+		{Op: isa.OpArm, Rs: 1},
+		{Op: isa.OpStore, Rs: 1, Rt: 1, Imm: 8, Size: 8},
+		{Op: isa.OpHalt},
+	}
+	diffBoth(t, restCfg(5), storeFault)
+}
+
+func TestBlocksArmWithoutTracker(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: int64(layout.GlobalBase)},
+		{Op: isa.OpArm, Rs: 1},
+		{Op: isa.OpHalt},
+	}
+	blk := diffBoth(t, plainCfg, prog)
+	if blk.Err() == nil {
+		t.Fatalf("expected a run error for ARM on a non-REST machine")
+	}
+	prog[1].Op = isa.OpDisarm
+	diffBoth(t, plainCfg, prog)
+}
+
+func TestBlocksPCOutsideProgram(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.OpJmp, Imm: 0x10}, // wild jump off the image
+		{Op: isa.OpHalt},
+	}
+	blk := diffBoth(t, plainCfg, prog)
+	if blk.Err() == nil {
+		t.Fatalf("expected PC-outside-program error")
+	}
+	// Misaligned PC and falling off the end of the program.
+	diffBoth(t, plainCfg, []isa.Instr{
+		{Op: isa.OpJmp, Imm: int64(layout.CodeBase + 8)},
+		{Op: isa.OpHalt},
+	})
+	diffBoth(t, plainCfg, []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: 1},
+		{Op: isa.OpAddI, Rd: 1, Rs: 1, Imm: 1}, // last instr, no halt
+	})
+}
+
+func TestBlocksRuntimeCalls(t *testing.T) {
+	mk := func(fn func(id int64, m *Machine) error) mkCfg {
+		return func() Config {
+			return Config{Runtime: &stubRuntime{fn: fn}}
+		}
+	}
+	// Runtime service that emits micro-ops of every RT kind.
+	busy := func(id int64, m *Machine) error {
+		m.RTALU(id, 3)
+		if exc := m.RTStore(id, layout.GlobalBase, 8, 0xDEAD); exc != nil {
+			return exc
+		}
+		if _, exc := m.RTLoad(id, layout.GlobalBase, 8); exc != nil {
+			return exc
+		}
+		m.SetRet(uint64(id) * 10)
+		return nil
+	}
+	prog := []isa.Instr{
+		{Op: isa.OpRTCall, Imm: 5},
+		{Op: isa.OpMov, Rd: RRes, Rs: RArg0},
+		{Op: isa.OpRTCall, Imm: 2},
+		{Op: isa.OpHalt},
+	}
+	diffBoth(t, mk(busy), prog)
+
+	// Violation, exception and plain-error returns from the runtime.
+	viol := func(id int64, m *Machine) error {
+		return &Violation{Tool: "asan", What: "stub", Addr: 4, PC: m.PC}
+	}
+	diffBoth(t, mk(viol), prog)
+	plainErr := func(id int64, m *Machine) error { return errors.New("stub runtime failure") }
+	diffBoth(t, mk(plainErr), prog)
+
+	// No runtime at all: RTCall is a run error on both engines.
+	diffBoth(t, plainCfg, prog)
+}
+
+func TestBlocksSelfModifyingStore(t *testing.T) {
+	// The program overwrites its own image mid-run. Both engines keep
+	// executing the original instruction slice (execution reads the
+	// decoded program, not the memory image — a simulator convention the
+	// engines must share), and the block engine must additionally drop the
+	// decoded blocks covering the written bytes.
+	target := int64(layout.CodeBase + 6*isa.InstrBytes)
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: target},
+		{Op: isa.OpMovI, Rd: 2, Imm: -1},
+		{Op: isa.OpStore, Rs: 1, Rt: 2, Size: 8}, // clobber prog[6]'s encoding
+		{Op: isa.OpMovI, Rd: 3, Imm: 5},
+		{Op: isa.OpAddI, Rd: 3, Rs: 3, Imm: 1},
+		{Op: isa.OpMov, Rd: RRes, Rs: 3},
+		{Op: isa.OpHalt}, // the clobbered slot: still executes as HALT
+	}
+	blk := diffBoth(t, plainCfg, prog)
+	if blk.bc.invalidations == 0 {
+		t.Errorf("store into the code image did not invalidate any block")
+	}
+	if blk.Checksum() != 6 {
+		t.Errorf("checksum = %d, want 6", blk.Checksum())
+	}
+}
+
+func TestBlocksArmIntoCodeImage(t *testing.T) {
+	// ARM writes a token into the code image over a block that has already
+	// been decoded and executed: the tracker's memory write must funnel
+	// through the watch and drop the covering block, and the verdicts must
+	// stay identical. The armed chunk (64-byte aligned => instruction index
+	// 4) sits inside the block starting at index 3, which the initial jump
+	// executes (and therefore decodes) before the ARM lands on it.
+	base := int64(layout.CodeBase)
+	prog := []isa.Instr{
+		{Op: isa.OpJmp, Imm: base + 3*isa.InstrBytes}, // 0: decode [3..5] first
+		{Op: isa.OpNop}, // 1
+		{Op: isa.OpJmp, Imm: base + 6*isa.InstrBytes},         // 2
+		{Op: isa.OpMovI, Rd: 3, Imm: 1},                       // 3: block covering idx 4
+		{Op: isa.OpNop},                                       // 4: the armed chunk
+		{Op: isa.OpJmp, Imm: base + 1*isa.InstrBytes},         // 5
+		{Op: isa.OpMovI, Rd: 1, Imm: base + 4*isa.InstrBytes}, // 6
+		{Op: isa.OpArm, Rs: 1},                                // 7: clobbers idx 4..7
+		{Op: isa.OpMovI, Rd: 2, Imm: 9},                       // 8
+		{Op: isa.OpMov, Rd: RRes, Rs: 2},                      // 9
+		{Op: isa.OpHalt},                                      // 10
+	}
+	blk := diffBoth(t, restCfg(7), prog)
+	if blk.Exception() != nil || blk.Err() != nil {
+		t.Fatalf("unexpected stop: exc=%v err=%v", blk.Exception(), blk.Err())
+	}
+	if blk.bc.invalidations == 0 {
+		t.Errorf("token write over a decoded block did not invalidate it")
+	}
+}
+
+func TestBlocksInstructionBudgetMidBlock(t *testing.T) {
+	// A straight-line run longer than the budget: the watchdog must fire
+	// at the identical instruction count, with the identical partial
+	// trace, on both engines — the budget boundary lands mid-block.
+	prog := make([]isa.Instr, 0, 12)
+	for i := 0; i < 10; i++ {
+		prog = append(prog, isa.Instr{Op: isa.OpAddI, Rd: 1, Rs: 1, Imm: 1})
+	}
+	prog = append(prog, isa.Instr{Op: isa.OpHalt})
+	for _, budget := range []uint64{1, 3, 7, 10, 11} {
+		mk := func() Config { return Config{MaxInstructions: budget} }
+		blk := diffBoth(t, mk, prog)
+		var be *BudgetExceededError
+		if budget <= 10 {
+			if !errors.As(blk.Err(), &be) || be.Instrs != budget {
+				t.Errorf("budget %d: err = %v, want BudgetExceededError at %d instrs",
+					budget, blk.Err(), budget)
+			}
+		} else if blk.Err() != nil {
+			t.Errorf("budget %d: unexpected error %v", budget, blk.Err())
+		}
+	}
+}
+
+func TestBlocksDeadlineAbort(t *testing.T) {
+	// An already-expired deadline aborts both engines at the first stride
+	// point (instruction 0) with the identical error.
+	mk := func() Config { return Config{Deadline: time.Now().Add(-time.Hour)} }
+	prog := []isa.Instr{
+		{Op: isa.OpAddI, Rd: 1, Rs: 1, Imm: 1},
+		{Op: isa.OpHalt},
+	}
+	blk := diffBoth(t, mk, prog)
+	var be *BudgetExceededError
+	if !errors.As(blk.Err(), &be) || be.Resource != "wall-clock" {
+		t.Fatalf("err = %v, want wall-clock BudgetExceededError", blk.Err())
+	}
+}
+
+func TestBlocksMixedNextThenRun(t *testing.T) {
+	// Drain a few entries through the traced path, then finish with Run():
+	// the block engine must pick up exactly where the traced run left off.
+	prog := []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: 2},
+		{Op: isa.OpMovI, Rd: 2, Imm: 3},
+		{Op: isa.OpMul, Rd: 3, Rs: 1, Rt: 2},
+		{Op: isa.OpMov, Rd: RRes, Rs: 3},
+		{Op: isa.OpHalt},
+	}
+	ref, blk := newPair(t, plainCfg, prog)
+	for i := 0; i < 2; i++ {
+		re, rok := ref.Next()
+		be, bok := blk.Next()
+		if rok != bok || re != be {
+			t.Fatalf("entry %d diverges: ref=%+v(%v) blk=%+v(%v)", i, re, rok, be, bok)
+		}
+	}
+	ref.Run()
+	blk.Run()
+	assertSameState(t, ref, blk)
+	if blk.Checksum() != 6 {
+		t.Errorf("checksum = %d, want 6", blk.Checksum())
+	}
+}
+
+func TestBlockCacheCountersFlushToRegistry(t *testing.T) {
+	// sim.blockcache.* counters appear in the registry only when the block
+	// engine ran; the reference engine's snapshot carries no such rows.
+	run := func(e Engine) map[string]uint64 {
+		reg := obs.NewRegistry()
+		cfg := Config{Probes: NewProbes(reg), Engine: e}
+		prog := []isa.Instr{
+			{Op: isa.OpMovI, Rd: 1, Imm: 1},
+			{Op: isa.OpHalt},
+		}
+		m, err := New(cfg, prog, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run()
+		out := make(map[string]uint64)
+		for _, mt := range reg.Snapshot() {
+			if mt.Type == "counter" {
+				out[mt.Name] = mt.Value
+			}
+		}
+		return out
+	}
+	refSnap := run(EngineRef)
+	blkSnap := run(EngineBlocks)
+	if _, ok := refSnap["sim.blockcache.misses"]; ok {
+		t.Errorf("reference engine registered blockcache counters: %v", refSnap)
+	}
+	if n, ok := blkSnap["sim.blockcache.misses"]; !ok || n == 0 {
+		t.Errorf("block engine did not publish blockcache misses: %v", blkSnap)
+	}
+	// Everything except the blockcache rows must match between engines.
+	for k, v := range refSnap {
+		if blkSnap[k] != v {
+			t.Errorf("counter %s diverges: ref=%d blk=%d", k, v, blkSnap[k])
+		}
+	}
+}
+
+// TestBlocksWatchdogLeavesCacheConsistent is the regression test for the
+// mid-run-error class (ISSUE 6 satellite: PR 5's decoder nil-deref
+// pattern): an error that stops execution mid-block — watchdog, fault, or
+// runtime failure — must leave the block cache coherent and the machine
+// politely halted (further Next() calls return false, never panic), so the
+// harness can degrade the cell to a hole.
+func TestBlocksWatchdogLeavesCacheConsistent(t *testing.T) {
+	progs := map[string][]isa.Instr{
+		"budget": func() []isa.Instr {
+			var p []isa.Instr
+			for i := 0; i < 20; i++ {
+				p = append(p, isa.Instr{Op: isa.OpAddI, Rd: 1, Rs: 1, Imm: 1})
+			}
+			return append(p, isa.Instr{Op: isa.OpHalt})
+		}(),
+		"fault": {
+			{Op: isa.OpMovI, Rd: 1, Imm: int64(layout.GlobalBase)},
+			{Op: isa.OpArm, Rs: 1},
+			{Op: isa.OpLoad, Rd: 2, Rs: 1, Imm: 8, Size: 8},
+			{Op: isa.OpHalt},
+		},
+		"wild-pc": {
+			{Op: isa.OpJmp, Imm: 0},
+		},
+	}
+	for name, prog := range progs {
+		t.Run(name, func(t *testing.T) {
+			var cfg Config
+			if name == "fault" {
+				cfg = restCfg(9)()
+			} else if name == "budget" {
+				cfg = Config{MaxInstructions: 5}
+			}
+			cfg.Engine = EngineBlocks
+			m, err := New(cfg, prog, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Run()
+			if !m.Halted() {
+				t.Fatalf("machine did not halt")
+			}
+			assertCacheCoherent(t, m)
+			// The machine stays quiescent: no panic, no more entries.
+			for i := 0; i < 3; i++ {
+				if _, ok := m.Next(); ok {
+					t.Fatalf("halted machine produced an entry")
+				}
+			}
+		})
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Engine
+		ok   bool
+	}{
+		{"", EngineAuto, true},
+		{"auto", EngineAuto, true},
+		{"ref", EngineRef, true},
+		{"blocks", EngineBlocks, true},
+		{"fast", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseEngine(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	if EngineAuto.resolve() != EngineBlocks {
+		t.Errorf("EngineAuto must resolve to EngineBlocks")
+	}
+	for _, e := range []Engine{EngineAuto, EngineRef, EngineBlocks} {
+		if e.String() == "" {
+			t.Errorf("engine %d has empty name", e)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import "fmt"
+
+// Engine selects the execution machinery behind a Machine. Both engines
+// implement identical architectural semantics — every trace entry, register
+// value, memory byte, counter and fault verdict is byte-identical between
+// them — so the choice is purely a speed/simplicity trade-off. The
+// differential test wall (sim block tests, harness engine differentials,
+// the block fuzzers) pins the equivalence; any change to either engine must
+// keep it green.
+type Engine uint8
+
+const (
+	// EngineAuto resolves to the default engine, currently EngineBlocks.
+	// The zero value, so existing callers transparently pick up the fast
+	// engine while -engine=ref stays one flag away.
+	EngineAuto Engine = iota
+	// EngineRef is the single-step reference interpreter: one
+	// fetch/decode/switch per instruction. It is the semantic ground truth
+	// and is kept unoptimized on purpose so it stays auditable.
+	EngineRef
+	// EngineBlocks is the decoded-basic-block engine: straight-line runs
+	// are pre-decoded once into dense handler/operand entries and then
+	// dispatched in a tight loop, with precise invalidation on writes into
+	// the code image (see block.go).
+	EngineBlocks
+)
+
+// String names the engine the way the -engine flag spells it.
+func (e Engine) String() string {
+	switch e {
+	case EngineRef:
+		return "ref"
+	case EngineBlocks:
+		return "blocks"
+	default:
+		return "auto"
+	}
+}
+
+// ParseEngine parses a -engine flag value. The empty string and "auto"
+// select EngineAuto.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "auto":
+		return EngineAuto, nil
+	case "ref":
+		return EngineRef, nil
+	case "blocks":
+		return EngineBlocks, nil
+	}
+	return 0, fmt.Errorf("sim: unknown engine %q (valid: ref, blocks, auto)", s)
+}
+
+// resolve maps EngineAuto to the concrete default engine.
+func (e Engine) resolve() Engine {
+	if e == EngineAuto {
+		return EngineBlocks
+	}
+	return e
+}

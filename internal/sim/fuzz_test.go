@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"testing"
+
+	"rest/internal/isa"
+	"rest/internal/layout"
+)
+
+// The fuzz half of the decoded-block engine's test wall. Both targets are
+// differential: whatever program the fuzzer synthesizes, the block engine
+// must (a) never panic and (b) produce the byte-identical trace, registers,
+// memory digest and verdict as the reference interpreter. FuzzBlockDecode
+// stresses the decoder and dispatch loop over arbitrary instruction mixes;
+// FuzzBlockInvalidate stresses precise invalidation by synthesizing
+// programs that store into their own code image mid-run.
+//
+// Run continuously with:
+//
+//	go test -fuzz=FuzzBlockDecode -fuzztime=30s ./internal/sim
+//	go test -fuzz=FuzzBlockInvalidate -fuzztime=30s ./internal/sim
+//
+// (make fuzz-short runs both briefly; seed corpora live in testdata/fuzz.)
+
+// fuzzProgram reinterprets raw fuzz bytes as a program: byte 0 is a flag
+// word, the rest is chopped into InstrBytes chunks and decoded, skipping
+// chunks the ISA rejects. The decoded instructions are re-validated through
+// sim.New exactly like assembler output.
+func fuzzProgram(data []byte) (flags byte, prog []isa.Instr) {
+	if len(data) == 0 {
+		return 0, nil
+	}
+	flags, data = data[0], data[1:]
+	for len(data) >= isa.InstrBytes && len(prog) < 256 {
+		in, err := isa.Decode(data[:isa.InstrBytes])
+		data = data[isa.InstrBytes:]
+		if err != nil {
+			continue
+		}
+		prog = append(prog, in)
+	}
+	return flags, prog
+}
+
+// runDiff builds a ref/blocks machine pair over mk, runs both to completion
+// through the traced reader, and asserts byte-identical observables. The
+// instruction budget keeps fuzzer-found infinite loops bounded; the budget
+// itself is part of the differential (both engines must trip it at the
+// same instruction).
+func runDiff(t *testing.T, mk mkCfg, prog []isa.Instr) {
+	t.Helper()
+	budgeted := func() Config {
+		cfg := mk()
+		cfg.MaxInstructions = 2048
+		return cfg
+	}
+	ref, err := New(withEngine(budgeted(), EngineRef), prog, 0)
+	if err != nil {
+		// Invalid program: both constructors must agree.
+		if _, berr := New(withEngine(budgeted(), EngineBlocks), prog, 0); berr == nil {
+			t.Fatalf("New: ref rejected (%v) but blocks accepted", err)
+		}
+		return
+	}
+	blk, err := New(withEngine(budgeted(), EngineBlocks), prog, 0)
+	if err != nil {
+		t.Fatalf("New(blocks): %v", err)
+	}
+	for i := 0; ; i++ {
+		re, rok := ref.Next()
+		be, bok := blk.Next()
+		if rok != bok {
+			t.Fatalf("stream length diverges at entry %d: ref ok=%v blk ok=%v", i, rok, bok)
+		}
+		if !rok {
+			break
+		}
+		if re != be {
+			t.Fatalf("trace entry %d diverges:\n ref=%+v\n blk=%+v", i, re, be)
+		}
+	}
+	assertSameState(t, ref, blk)
+	assertCacheCoherent(t, blk)
+}
+
+func FuzzBlockDecode(f *testing.F) {
+	// Seed with a representative mix: straight-line ALU, a loop, memory
+	// traffic, ARM/DISARM, an RTCall, and deliberately malformed chunks.
+	seed := func(flags byte, prog []isa.Instr) {
+		buf := []byte{flags}
+		for _, in := range prog {
+			var enc [isa.InstrBytes]byte
+			if err := isa.Encode(in, enc[:]); err != nil {
+				f.Fatal(err)
+			}
+			buf = append(buf, enc[:]...)
+		}
+		f.Add(buf)
+	}
+	seed(0, []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: 41},
+		{Op: isa.OpAddI, Rd: 1, Rs: 1, Imm: 1},
+		{Op: isa.OpMov, Rd: RRes, Rs: 1},
+		{Op: isa.OpHalt},
+	})
+	seed(1, []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: int64(layout.GlobalBase)},
+		{Op: isa.OpArm, Rs: 1},
+		{Op: isa.OpLoad, Rd: 2, Rs: 1, Imm: 32, Size: 8},
+		{Op: isa.OpDisarm, Rs: 1},
+		{Op: isa.OpHalt},
+	})
+	seed(0, []isa.Instr{
+		{Op: isa.OpMovI, Rd: 1, Imm: 10},
+		{Op: isa.OpAddI, Rd: 1, Rs: 1, Imm: -1},
+		{Op: isa.OpBne, Rs: 1, Imm: int64(layout.CodeBase + isa.InstrBytes)},
+		{Op: isa.OpRTCall, Imm: 3},
+		{Op: isa.OpHalt},
+	})
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF}) // malformed tail
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flags, prog := fuzzProgram(data)
+		if len(prog) == 0 {
+			return
+		}
+		var mk mkCfg = plainCfg
+		if flags&1 != 0 {
+			mk = restCfg(int64(flags))
+		}
+		runDiff(t, mk, prog)
+	})
+}
+
+func FuzzBlockInvalidate(f *testing.F) {
+	// Input bytes are consumed in (site, value) pairs, each synthesizing a
+	// store into the program's own code image. The stores themselves live
+	// in that image, so executing them decodes blocks that later writes
+	// (including token writes when the low flag bit arms a code chunk)
+	// must drop again.
+	f.Add([]byte{0, 3, 0xAA, 9, 0x55})
+	f.Add([]byte{1, 0, 0xFF})
+	f.Add([]byte{2, 7, 0x01, 7, 0x02, 7, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		flags, data := data[0], data[1:]
+		var prog []isa.Instr
+		nStores := len(data) / 2
+		if nStores > 24 {
+			nStores = 24
+		}
+		// Final image length: 3 instrs per store plus an epilogue of 6.
+		progLen := uint64(nStores*3 + 6)
+		imgBytes := progLen * isa.InstrBytes
+		for i := 0; i < nStores; i++ {
+			site := uint64(data[2*i]) % imgBytes
+			val := int64(data[2*i+1])
+			size := uint8(1) << (uint(val) % 4)
+			prog = append(prog,
+				isa.Instr{Op: isa.OpMovI, Rd: 1, Imm: int64(layout.CodeBase + site)},
+				isa.Instr{Op: isa.OpMovI, Rd: 2, Imm: val},
+				isa.Instr{Op: isa.OpStore, Rs: 1, Rt: 2, Size: size},
+			)
+		}
+		base := int64(layout.CodeBase)
+		// Epilogue: optionally arm a token-aligned chunk of the image, then
+		// take one backward branch so already-decoded (and by now possibly
+		// invalidated) blocks re-execute from fresh decodes.
+		prog = append(prog,
+			isa.Instr{Op: isa.OpMovI, Rd: 3, Imm: base},
+			isa.Instr{Op: isa.OpArm, Rs: 3},
+			isa.Instr{Op: isa.OpAddI, Rd: 4, Rs: 4, Imm: 1},
+			isa.Instr{Op: isa.OpMovI, Rd: 5, Imm: 2},
+			isa.Instr{Op: isa.OpBlt, Rs: 4, Rt: 5, Imm: base + int64(len(prog))*isa.InstrBytes},
+			isa.Instr{Op: isa.OpHalt},
+		)
+		var mk mkCfg = plainCfg
+		if flags&1 != 0 {
+			mk = restCfg(int64(flags) + 100)
+		}
+		runDiff(t, mk, prog)
+	})
+}

@@ -92,6 +92,11 @@ type Config struct {
 	// Probes hooks the machine into the observability plane (nil = off;
 	// every hook site is a single nil check).
 	Probes *Probes
+	// Engine selects the execution engine (see engine.go). The zero value
+	// EngineAuto resolves to the decoded-block engine; EngineRef forces the
+	// single-step reference interpreter. Both produce byte-identical
+	// observables — the differential test wall pins it.
+	Engine Engine
 }
 
 // deadlineCheckStride is how many user instructions run between wall-clock
@@ -148,6 +153,15 @@ type Machine struct {
 	runErr        error
 	probesFlushed bool
 
+	// bc is the decoded-block cache; nil on the reference engine.
+	bc *blockCache
+	// traceOn gates trace-entry generation. Run() on the block engine
+	// clears it so functional-only runs skip entry construction entirely;
+	// counters, registers, memory and fault state are maintained either way.
+	traceOn bool
+	// hasDeadline caches !cfg.Deadline.IsZero() off the per-step path.
+	hasDeadline bool
+
 	rtPC      uint64
 	rtPCCount uint64
 
@@ -187,12 +201,25 @@ func New(cfg Config, prog []isa.Instr, entry int) (*Machine, error) {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	mach := &Machine{
-		Mem:  m,
-		cfg:  cfg,
-		prog: prog,
-		base: layout.CodeBase,
+		Mem:         m,
+		cfg:         cfg,
+		prog:        prog,
+		base:        layout.CodeBase,
+		traceOn:     true,
+		hasDeadline: !cfg.Deadline.IsZero(),
 	}
 	mach.Mem.Write(mach.base, img)
+	if cfg.Engine.resolve() == EngineBlocks {
+		mach.bc = &blockCache{blocks: make([]*block, len(prog))}
+		// Precise invalidation: any write overlapping the code image —
+		// user store, runtime-service store, or a token write from
+		// tracker Arm/Disarm — drops the decoded blocks it covers.
+		// Installed after the image write above so loading the program
+		// does not count as an invalidation.
+		bc, base := mach.bc, mach.base
+		end := base + uint64(len(prog))*isa.InstrBytes
+		mach.Mem.Watch(base, end, func(lo, hi uint64) { bc.invalidate(base, lo, hi) })
+	}
 	mach.PC = mach.base + uint64(entry)*isa.InstrBytes
 	mach.Regs[isa.RSP] = layout.StackTop
 	mach.Regs[isa.RFP] = layout.StackTop
@@ -236,47 +263,79 @@ func (m *Machine) Next() (trace.Entry, bool) {
 			m.FlushProbes()
 			return trace.Entry{}, false
 		}
-		if m.UserInstrs >= m.cfg.MaxInstructions {
-			m.halted = true
-			m.runErr = &BudgetExceededError{
-				Resource: "instructions",
-				Limit:    fmt.Sprintf("cap %d", m.cfg.MaxInstructions),
-				Instrs:   m.UserInstrs,
-			}
-			if p := m.cfg.Probes; p != nil {
-				p.WatchdogTrips.Inc()
-			}
+		if m.watchdogStop() {
 			m.FlushProbes()
 			return trace.Entry{}, false
 		}
-		if !m.cfg.Deadline.IsZero() && m.UserInstrs%deadlineCheckStride == 0 &&
-			time.Now().After(m.cfg.Deadline) {
-			m.halted = true
-			m.runErr = &BudgetExceededError{
-				Resource: "wall-clock",
-				Limit:    "deadline passed",
-				Instrs:   m.UserInstrs,
-			}
-			if p := m.cfg.Probes; p != nil {
-				p.WatchdogTrips.Inc()
-			}
-			m.FlushProbes()
-			return trace.Entry{}, false
+		if m.bc != nil {
+			m.stepBlocks()
+		} else {
+			m.step()
 		}
-		m.step()
 	}
+}
+
+// watchdogStop performs the pre-step watchdog checks: the instruction
+// budget, then (at stride points) the wall-clock deadline. When a budget is
+// exhausted it halts the machine with the corresponding BudgetExceededError
+// and returns true. Shared by Next() and the untraced fast loop so both
+// engines abort at identical instruction counts.
+func (m *Machine) watchdogStop() bool {
+	if m.UserInstrs >= m.cfg.MaxInstructions {
+		m.halted = true
+		m.runErr = &BudgetExceededError{
+			Resource: "instructions",
+			Limit:    fmt.Sprintf("cap %d", m.cfg.MaxInstructions),
+			Instrs:   m.UserInstrs,
+		}
+		if p := m.cfg.Probes; p != nil {
+			p.WatchdogTrips.Inc()
+		}
+		return true
+	}
+	if m.hasDeadline && m.UserInstrs%deadlineCheckStride == 0 &&
+		time.Now().After(m.cfg.Deadline) {
+		m.halted = true
+		m.runErr = &BudgetExceededError{
+			Resource: "wall-clock",
+			Limit:    "deadline passed",
+			Instrs:   m.UserInstrs,
+		}
+		if p := m.cfg.Probes; p != nil {
+			p.WatchdogTrips.Inc()
+		}
+		return true
+	}
+	return false
 }
 
 // Run drains the machine without keeping the trace (functional-only runs).
+// On the block engine this takes an untraced fast path: trace entries are
+// never constructed, which is the bulk of the per-instruction cost; the
+// architectural state, counters and fault verdicts are identical to a
+// traced run (the engine differential tests pin it).
 func (m *Machine) Run() {
-	for {
-		if _, ok := m.Next(); !ok {
-			return
+	if m.bc == nil || m.pendPos < len(m.pending) {
+		// Reference engine, or a partially drained traced run: finish
+		// through the traced path so entry numbering stays consistent.
+		for {
+			if _, ok := m.Next(); !ok {
+				return
+			}
 		}
 	}
+	m.traceOn = false
+	for !m.halted && !m.watchdogStop() {
+		m.stepBlocks()
+	}
+	m.traceOn = true
+	m.FlushProbes()
 }
 
 func (m *Machine) emit(e trace.Entry) {
+	if !m.traceOn {
+		return
+	}
 	e.Seq = m.seq
 	m.seq++
 	m.pending = append(m.pending, e)

@@ -16,6 +16,14 @@ type Probes struct {
 	RESTExceptions *obs.Counter
 	SWViolations   *obs.Counter
 	WatchdogTrips  *obs.Counter
+
+	// reg is kept for lazy registration: the sim.blockcache.* counters are
+	// created at flush time and only when the decoded-block engine actually
+	// ran, so reference-engine metric snapshots carry no extra rows and the
+	// two engines' registries differ in nothing else (the differential
+	// tests strip the sim.blockcache. prefix before comparing, mirroring
+	// the harness.trace_cache. precedent).
+	reg *obs.Registry
 }
 
 // NewProbes registers the sim metric set in r (nil r -> nil probes, the
@@ -30,6 +38,7 @@ func NewProbes(r *obs.Registry) *Probes {
 		RESTExceptions:   r.Counter("sim.rest_exceptions"),
 		SWViolations:     r.Counter("sim.sw_violations"),
 		WatchdogTrips:    r.Counter("sim.watchdog_trips"),
+		reg:              r,
 	}
 }
 
@@ -45,4 +54,10 @@ func (m *Machine) FlushProbes() {
 	m.probesFlushed = true
 	p.UserInstructions.Add(m.UserInstrs)
 	p.RuntimeOps.Add(m.RTOps)
+	if bc := m.bc; bc != nil && p.reg != nil {
+		p.reg.Counter("sim.blockcache.hits").Add(bc.hits)
+		p.reg.Counter("sim.blockcache.misses").Add(bc.misses)
+		p.reg.Counter("sim.blockcache.invalidations").Add(bc.invalidations)
+		p.reg.Counter("sim.blockcache.decoded_bytes").Add(bc.decodedBytes)
+	}
 }

@@ -41,6 +41,12 @@ type Spec struct {
 	// Deadline is the wall-clock watchdog for the run (zero = none); a run
 	// still executing past it aborts with a *sim.BudgetExceededError.
 	Deadline time.Time
+	// Engine selects the functional simulator's execution engine
+	// (sim.EngineAuto, the zero value, resolves to the decoded-block
+	// engine; sim.EngineRef forces the single-step reference interpreter).
+	// Purely a speed knob: both engines produce byte-identical traces,
+	// outcomes and counters, pinned by the engine differential tests.
+	Engine sim.Engine
 	// InterceptLibc overrides the runtime's libc interception when non-nil
 	// (Figure 3 component toggle).
 	InterceptLibc *bool
@@ -207,6 +213,7 @@ func Build(spec Spec, build func(b *prog.Builder)) (*World, error) {
 		MaxInstructions: spec.MaxInstructions,
 		Deadline:        spec.Deadline,
 		Probes:          sim.NewProbes(spec.funcObs()),
+		Engine:          spec.Engine,
 	}, program.Instrs, program.Entry)
 	if err != nil {
 		return nil, err

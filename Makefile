@@ -14,16 +14,21 @@
 #                    $(BENCH_JSON) (the perf trajectory artifact; one file
 #                    per PR, never clobbered: override BENCH_JSON to regen
 #                    an older point)
+#   make chaos-short the storage-chaos differential wall: the sensitivity
+#                    sweep under seeded fault injection at 0/10/50/100%
+#                    per-op rates, cold -j1 and warm -j4, byte-identical to
+#                    cache-off (plus the torn-write and vanished-dir
+#                    recovery checks)
 #   make clean-cache remove the default local persistent cache directory
 #   make verify      what CI runs: vet + test + race
 
 GO         ?= go
 FUZZTIME   ?= 10s
 SEED       ?= 42
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_7.json
 CACHE_DIR  ?= .restcache
 
-.PHONY: build vet test race fuzz-short faults bench bench-smoke bench-json clean-cache verify
+.PHONY: build vet test race fuzz-short faults bench bench-smoke bench-json chaos-short clean-cache verify
 
 build:
 	$(GO) build ./...
@@ -68,6 +73,12 @@ bench-smoke:
 # per-PR file, so older committed points are never clobbered.
 bench-json:
 	$(GO) test -run TestBenchJSON -timeout 30m -bench-json=$(BENCH_JSON) .
+
+# The storage fault plane's CI gate: deterministic chaos injection (fixed
+# seeds) over the sweep grid must leave every report byte-identical to
+# cache-off, recover from torn writes, and survive a vanished cache dir.
+chaos-short:
+	$(GO) test -run 'TestDiskCacheChaos|TestDiskCacheTornWrite|TestDiskCacheVanishedDir' -v ./internal/harness
 
 # Remove the conventional local persistent cache directory (what you pass to
 # restbench -cache-dir when you want a project-local store).

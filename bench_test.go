@@ -185,9 +185,9 @@ func BenchmarkFig8CaptureReplay(b *testing.B) {
 // persistent cache directory (a fresh TraceCache each call, so every hit is
 // the disk tiers' doing, not in-process memory) and returns the wall clock
 // with the store's counters.
-func runFig8SensitivityDisk(tb testing.TB, dir string) (time.Duration, persist.Counters) {
+func runFig8SensitivityDisk(tb testing.TB, dir string, popt persist.Options) (time.Duration, persist.Counters) {
 	tb.Helper()
-	pc, err := persist.Open(dir, persist.Options{})
+	pc, err := persist.Open(dir, popt)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -211,8 +211,8 @@ func BenchmarkFig8DiskColdWarm(b *testing.B) {
 	var cold, warm time.Duration
 	for i := 0; i < b.N; i++ {
 		dir := b.TempDir()
-		dc, _ := runFig8SensitivityDisk(b, dir)
-		dw, _ := runFig8SensitivityDisk(b, dir)
+		dc, _ := runFig8SensitivityDisk(b, dir, persist.Options{})
+		dw, _ := runFig8SensitivityDisk(b, dir, persist.Options{})
 		cold += dc
 		warm += dw
 	}
@@ -254,11 +254,13 @@ func simColdRate(tb testing.TB, e sim.Engine) float64 {
 // TestBenchJSON measures the Figure 8 sensitivity sweep four ways — in-memory
 // trace cache on/off (best of two rounds each, to shed scheduler noise), then
 // persistent cache cold and warm — plus the interpreter A/B, and writes the
-// results to the -bench-json path. Two floors are enforced so the committed
+// results to the -bench-json path. Three floors are enforced so the committed
 // artifact can never record a regression silently: the warm persistent-cache
-// sweep must come in at least 60% under the cold one, and the decoded-block
+// sweep must come in at least 60% under the cold one, the decoded-block
 // engine must deliver at least 3x the reference interpreter's cold
-// throughput. Skipped unless the flag is set.
+// throughput, and the hardening middleware (retry + breaker) must cost under
+// 5% on the warm path versus the bare backend. Skipped unless the flag is
+// set.
 func TestBenchJSON(t *testing.T) {
 	if *benchJSONPath == "" {
 		t.Skip("set -bench-json=FILE to record the sweep measurements")
@@ -286,8 +288,8 @@ func TestBenchJSON(t *testing.T) {
 	}
 
 	dir := t.TempDir()
-	cold, coldC := runFig8SensitivityDisk(t, dir)
-	warm, warmC := runFig8SensitivityDisk(t, dir)
+	cold, coldC := runFig8SensitivityDisk(t, dir, persist.Options{})
+	warm, warmC := runFig8SensitivityDisk(t, dir, persist.Options{})
 	warmReduction := 100 * (1 - float64(warm)/float64(cold))
 	if warmReduction < 60 {
 		t.Errorf("warm persistent-cache sweep only %.1f%% under cold (cold=%s warm=%s), want >= 60%%",
@@ -295,6 +297,29 @@ func TestBenchJSON(t *testing.T) {
 	}
 	if warmC.ResultHits == 0 {
 		t.Errorf("warm sweep never hit the result store: %+v", warmC)
+	}
+
+	// The storage fault plane's cost on the warm path: the same warm sweep
+	// with the hardening stack in its default shape (retry + breaker wrapping
+	// every backend op) versus with both layers disabled. A/B on an already
+	// warm directory, best of two rounds each, interleaved so neither side
+	// owns the quieter half of the machine. The floor is <5% overhead, with a
+	// small absolute epsilon so a few milliseconds of scheduler noise on a
+	// short sweep cannot fail the gate.
+	bareOpt := persist.Options{Retries: -1, BreakerThreshold: -1}
+	hardenedWarm, bareWarm := warm, time.Duration(0)
+	for round := 0; round < 2; round++ {
+		if bw, _ := runFig8SensitivityDisk(t, dir, bareOpt); round == 0 || bw < bareWarm {
+			bareWarm = bw
+		}
+		if hw, _ := runFig8SensitivityDisk(t, dir, persist.Options{}); hw < hardenedWarm {
+			hardenedWarm = hw
+		}
+	}
+	hardeningOverhead := 100 * (float64(hardenedWarm)/float64(bareWarm) - 1)
+	if hardenedWarm > bareWarm+bareWarm/20+50*time.Millisecond {
+		t.Errorf("hardening stack costs %.1f%% on the warm path (bare=%s hardened=%s), want < 5%%",
+			hardeningOverhead, bareWarm, hardenedWarm)
 	}
 
 	out := struct {
@@ -312,6 +337,9 @@ func TestBenchJSON(t *testing.T) {
 		DiskStores       uint64  `json:"disk_cold_stores"`
 		DiskResultHits   uint64  `json:"disk_warm_result_hits"`
 		DiskTraceHits    uint64  `json:"disk_warm_trace_hits"`
+		WarmBareNs       int64   `json:"disk_warm_bare_ns"`
+		WarmHardenedNs   int64   `json:"disk_warm_hardened_ns"`
+		HardeningPct     float64 `json:"hardening_overhead_pct"`
 		SimRefRate       float64 `json:"sim_ref_cold_instrs_per_sec"`
 		SimBlocksRate    float64 `json:"sim_blocks_cold_instrs_per_sec"`
 		SimSpeedup       float64 `json:"sim_blocks_speedup"`
@@ -330,6 +358,9 @@ func TestBenchJSON(t *testing.T) {
 		DiskStores:       coldC.Stores,
 		DiskResultHits:   warmC.ResultHits,
 		DiskTraceHits:    warmC.TraceHits,
+		WarmBareNs:       bareWarm.Nanoseconds(),
+		WarmHardenedNs:   hardenedWarm.Nanoseconds(),
+		HardeningPct:     hardeningOverhead,
 		SimRefRate:       refRate,
 		SimBlocksRate:    blkRate,
 		SimSpeedup:       speedup,
@@ -341,8 +372,8 @@ func TestBenchJSON(t *testing.T) {
 	if err := os.WriteFile(*benchJSONPath, append(raw, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("mem cache on %s / off %s (%.1f%%); disk cold %s / warm %s (%.1f%%); sim blocks %.2fx ref -> %s",
-		on, off, reduction, cold, warm, warmReduction, speedup, *benchJSONPath)
+	t.Logf("mem cache on %s / off %s (%.1f%%); disk cold %s / warm %s (%.1f%%); hardening %+.1f%%; sim blocks %.2fx ref -> %s",
+		on, off, reduction, cold, warm, warmReduction, hardeningOverhead, speedup, *benchJSONPath)
 }
 
 // BenchmarkObsOverhead pairs the Figure 3 sweep with the observability plane

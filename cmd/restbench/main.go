@@ -62,6 +62,17 @@
 //	-cache-ro        read-only mode: reuse what is stored, write nothing
 //	                 (the directory must already exist)
 //	-cache-off       ignore -cache-dir for this invocation
+//	-cache-chaos SPEC  inject seeded storage faults around the cache backend
+//	                 (drills and tests; reports stay byte-identical because
+//	                 every fault degrades to recompute). SPEC is comma-
+//	                 separated key=value: seed=N, rate=F (shorthand for
+//	                 err/torn/corrupt/nospace/lockstall all =F), err=F,
+//	                 torn=F, corrupt=F, nospace=F, latency=F, lockstall=F,
+//	                 delay=DUR. Example: seed=7,rate=0.5
+//	-cache-retries N transient backend failures retried per op with
+//	                 exponential backoff (default 2; 0 disables)
+//	-cache-timeout D per-op wall-clock bound on cache backend operations;
+//	                 a blown budget degrades to recompute (default: none)
 //
 // Observability controls (all off by default; none of them perturbs stdout,
 // so reports stay byte-identical with or without them):
@@ -107,13 +118,19 @@ type cacheFlagState struct {
 	MaxBytes    int64
 	MaxBytesSet bool // -cache-max-bytes given explicitly
 	RW, RO, Off bool
-	TraceCache  bool // -trace-cache (the in-memory tier the disk rides on)
+	TraceCache  bool   // -trace-cache (the in-memory tier the disk rides on)
+	Chaos       string // -cache-chaos spec (empty = no chaos)
+	Retries     int
+	RetriesSet  bool // -cache-retries given explicitly
+	Timeout     time.Duration
+	TimeoutSet  bool // -cache-timeout given explicitly
 }
 
 // validateCacheFlags rejects contradictory persistent-cache spellings with
-// one actionable line each, and resolves the effective mode ("rw", "ro" or
-// "off"; "rw" is the default when -cache-dir is set).
-func validateCacheFlags(s cacheFlagState) (mode string, err error) {
+// one actionable line each, resolves the effective mode ("rw", "ro" or
+// "off"; "rw" is the default when -cache-dir is set), and parses the chaos
+// spec if one was given.
+func validateCacheFlags(s cacheFlagState) (mode string, chaos *persist.ChaosSpec, err error) {
 	n := 0
 	for _, b := range []bool{s.RW, s.RO, s.Off} {
 		if b {
@@ -121,7 +138,7 @@ func validateCacheFlags(s cacheFlagState) (mode string, err error) {
 		}
 	}
 	if n > 1 {
-		return "", errors.New("restbench: -cache-rw, -cache-ro and -cache-off are mutually exclusive; pass at most one")
+		return "", nil, errors.New("restbench: -cache-rw, -cache-ro and -cache-off are mutually exclusive; pass at most one")
 	}
 	mode = "rw"
 	switch {
@@ -130,22 +147,37 @@ func validateCacheFlags(s cacheFlagState) (mode string, err error) {
 	case s.Off:
 		mode = "off"
 	}
-	if s.Dir == "" && (n > 0 || s.MaxBytesSet) {
-		return "", errors.New("restbench: -cache-rw/-cache-ro/-cache-off/-cache-max-bytes configure the persistent cache; pass -cache-dir DIR to enable it")
+	hardening := s.Chaos != "" || s.RetriesSet || s.TimeoutSet
+	if s.Dir == "" && (n > 0 || s.MaxBytesSet || hardening) {
+		return "", nil, errors.New("restbench: -cache-rw/-cache-ro/-cache-off/-cache-max-bytes/-cache-chaos/-cache-retries/-cache-timeout configure the persistent cache; pass -cache-dir DIR to enable it")
 	}
 	if s.MaxBytesSet && s.MaxBytes <= 0 {
-		return "", fmt.Errorf("restbench: -cache-max-bytes must be positive, got %d", s.MaxBytes)
+		return "", nil, fmt.Errorf("restbench: -cache-max-bytes must be positive, got %d", s.MaxBytes)
+	}
+	if mode == "off" && hardening {
+		return "", nil, errors.New("restbench: -cache-chaos/-cache-retries/-cache-timeout have no effect with -cache-off; drop one or the other")
+	}
+	if s.RetriesSet && s.Retries < 0 {
+		return "", nil, fmt.Errorf("restbench: -cache-retries must be >= 0, got %d", s.Retries)
+	}
+	if s.TimeoutSet && s.Timeout <= 0 {
+		return "", nil, fmt.Errorf("restbench: -cache-timeout must be positive, got %v", s.Timeout)
+	}
+	if s.Chaos != "" {
+		if chaos, err = persist.ParseChaosSpec(s.Chaos); err != nil {
+			return "", nil, fmt.Errorf("restbench: -cache-chaos: %v", err)
+		}
 	}
 	if s.Dir != "" && mode != "off" && !s.TraceCache {
-		return "", errors.New("restbench: the persistent cache rides on the trace cache; drop -trace-cache=false or pass -cache-off")
+		return "", nil, errors.New("restbench: the persistent cache rides on the trace cache; drop -trace-cache=false or pass -cache-off")
 	}
 	if mode == "ro" {
 		fi, statErr := os.Stat(s.Dir)
 		if statErr != nil || !fi.IsDir() {
-			return "", fmt.Errorf("restbench: -cache-ro: cache directory %q does not exist", s.Dir)
+			return "", nil, fmt.Errorf("restbench: -cache-ro: cache directory %q does not exist", s.Dir)
 		}
 	}
-	return mode, nil
+	return mode, chaos, nil
 }
 
 func main() {
@@ -178,6 +210,9 @@ func main() {
 	cacheRW := flag.Bool("cache-rw", false, "persistent cache in read-write mode (default when -cache-dir is set)")
 	cacheRO := flag.Bool("cache-ro", false, "persistent cache in read-only mode (directory must exist)")
 	cacheOff := flag.Bool("cache-off", false, "ignore -cache-dir for this invocation")
+	cacheChaos := flag.String("cache-chaos", "", "inject storage faults: comma-separated spec, e.g. seed=7,rate=0.5 or err=0.1,torn=0.05,delay=5ms (drill/testing)")
+	cacheRetries := flag.Int("cache-retries", persist.DefaultRetries, "transient cache backend failures retried per op (0 = no retries)")
+	cacheTimeout := flag.Duration("cache-timeout", 0, "per-op wall-clock bound on cache backend operations (0 = none)")
 	seed := flag.Int64("seed", 42, "seed for the -faults campaign")
 	only := flag.String("only", "", "substring filter for -faults scenarios")
 	metricsOut := flag.String("metrics", "", "write sweep metrics to this file (CSV, or JSON if it ends in .json)")
@@ -195,7 +230,7 @@ func main() {
 	// contradictory spelling fails in one line here, not minutes into a run.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	cacheMode, cerr := validateCacheFlags(cacheFlagState{
+	cacheMode, chaosSpec, cerr := validateCacheFlags(cacheFlagState{
 		Dir:         *cacheDir,
 		MaxBytes:    *cacheMaxBytes,
 		MaxBytesSet: explicit["cache-max-bytes"],
@@ -203,6 +238,11 @@ func main() {
 		RO:          *cacheRO,
 		Off:         *cacheOff,
 		TraceCache:  *traceCache,
+		Chaos:       *cacheChaos,
+		Retries:     *cacheRetries,
+		RetriesSet:  explicit["cache-retries"],
+		Timeout:     *cacheTimeout,
+		TimeoutSet:  explicit["cache-timeout"],
 	})
 	if cerr != nil {
 		fmt.Fprintln(os.Stderr, cerr)
@@ -253,15 +293,25 @@ func main() {
 	// results — across invocations.
 	var pcache *persist.Cache
 	if *cacheDir != "" && cacheMode != "off" {
+		popt := persist.Options{
+			MaxBytes:  *cacheMaxBytes,
+			ReadOnly:  cacheMode == "ro",
+			Chaos:     chaosSpec,
+			Retries:   *cacheRetries,
+			OpTimeout: *cacheTimeout,
+		}
+		if *cacheRetries == 0 {
+			popt.Retries = -1 // flag 0 means "no retries", not "library default"
+		}
 		var err error
-		pcache, err = persist.Open(*cacheDir, persist.Options{
-			MaxBytes: *cacheMaxBytes,
-			ReadOnly: cacheMode == "ro",
-		})
+		pcache, err = persist.Open(*cacheDir, popt)
 		if err != nil {
 			fail(err)
 		}
 		tcache.AttachDisk(pcache)
+		if chaosSpec != nil {
+			fmt.Fprintf(os.Stderr, "disk cache: chaos injection active (%s)\n", chaosSpec)
+		}
 	}
 
 	// The observability plane. All of it writes to files or stderr, never
@@ -494,6 +544,14 @@ func main() {
 			"disk cache: trace store %d hits / %d misses, result store %d hits / %d misses, %d stored, %d evicted, %d corrupt, %d bytes resident\n",
 			c.TraceHits, c.TraceMisses, c.ResultHits, c.ResultMisses,
 			c.Stores, c.Evictions, c.Corruptions, c.Bytes)
+		if s := pcache.StackCounters(); c.Unavailable > 0 || s.Retries > 0 || s.BreakerTrips > 0 ||
+			s.Timeouts > 0 || s.ChaosErrs+s.ChaosTorn+s.ChaosCorrupt+s.ChaosNoSpace > 0 {
+			fmt.Fprintf(os.Stderr,
+				"disk cache: %d ops degraded to recompute, %d retries (%d gave up), %d timeouts, breaker %d trips / %d fast-fails / %d recoveries, chaos injected %d errs / %d torn / %d corrupt / %d nospace\n",
+				c.Unavailable, s.Retries, s.RetryGiveups, s.Timeouts,
+				s.BreakerTrips, s.BreakerRejects, s.BreakerRecoveries,
+				s.ChaosErrs, s.ChaosTorn, s.ChaosCorrupt, s.ChaosNoSpace)
+		}
 		if err := pcache.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "disk cache: %v\n", err)
 		}

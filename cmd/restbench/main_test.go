@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestValidateCacheFlags pins every up-front rejection of a nonsensical
@@ -12,10 +13,11 @@ import (
 func TestValidateCacheFlags(t *testing.T) {
 	dir := t.TempDir()
 	for _, tt := range []struct {
-		name    string
-		s       cacheFlagState
-		mode    string
-		wantErr string
+		name      string
+		s         cacheFlagState
+		mode      string
+		wantChaos bool
+		wantErr   string
 	}{
 		{name: "no cache flags", s: cacheFlagState{TraceCache: true}, mode: "rw"},
 		{name: "dir alone defaults to rw", s: cacheFlagState{Dir: dir, TraceCache: true}, mode: "rw"},
@@ -58,9 +60,74 @@ func TestValidateCacheFlags(t *testing.T) {
 			s:       cacheFlagState{Dir: dir + "/missing", RO: true, TraceCache: true},
 			wantErr: "does not exist",
 		},
+		{
+			name:      "chaos spec parses",
+			s:         cacheFlagState{Dir: dir, Chaos: "seed=7,rate=0.5", TraceCache: true},
+			mode:      "rw",
+			wantChaos: true,
+		},
+		{
+			name:      "chaos with read-only mode",
+			s:         cacheFlagState{Dir: dir, RO: true, Chaos: "err=0.1", TraceCache: true},
+			mode:      "ro",
+			wantChaos: true,
+		},
+		{
+			name:    "chaos without a dir",
+			s:       cacheFlagState{Chaos: "rate=1", TraceCache: true},
+			wantErr: "pass -cache-dir DIR",
+		},
+		{
+			name:    "chaos with cache off",
+			s:       cacheFlagState{Dir: dir, Off: true, Chaos: "rate=1", TraceCache: true},
+			wantErr: "no effect with -cache-off",
+		},
+		{
+			name:    "malformed chaos spec",
+			s:       cacheFlagState{Dir: dir, Chaos: "rate=2.0", TraceCache: true},
+			wantErr: "probability in [0,1]",
+		},
+		{
+			name:    "unknown chaos key",
+			s:       cacheFlagState{Dir: dir, Chaos: "bogus=1", TraceCache: true},
+			wantErr: "unknown",
+		},
+		{
+			name:    "retries without a dir",
+			s:       cacheFlagState{Retries: 5, RetriesSet: true, TraceCache: true},
+			wantErr: "pass -cache-dir DIR",
+		},
+		{
+			name:    "negative retries",
+			s:       cacheFlagState{Dir: dir, Retries: -1, RetriesSet: true, TraceCache: true},
+			wantErr: "must be >= 0",
+		},
+		{
+			name:    "retries with cache off",
+			s:       cacheFlagState{Dir: dir, Off: true, Retries: 3, RetriesSet: true, TraceCache: true},
+			wantErr: "no effect with -cache-off",
+		},
+		{
+			name:    "timeout without a dir",
+			s:       cacheFlagState{Timeout: time.Second, TimeoutSet: true, TraceCache: true},
+			wantErr: "pass -cache-dir DIR",
+		},
+		{
+			name:    "non-positive timeout",
+			s:       cacheFlagState{Dir: dir, Timeout: -time.Second, TimeoutSet: true, TraceCache: true},
+			wantErr: "must be positive",
+		},
+		{
+			name: "retries and timeout with a dir",
+			s: cacheFlagState{
+				Dir: dir, Retries: 3, RetriesSet: true,
+				Timeout: time.Second, TimeoutSet: true, TraceCache: true,
+			},
+			mode: "rw",
+		},
 	} {
 		t.Run(tt.name, func(t *testing.T) {
-			mode, err := validateCacheFlags(tt.s)
+			mode, chaos, err := validateCacheFlags(tt.s)
 			if tt.wantErr != "" {
 				if err == nil {
 					t.Fatalf("want error containing %q, got mode %q", tt.wantErr, mode)
@@ -78,6 +145,9 @@ func TestValidateCacheFlags(t *testing.T) {
 			}
 			if mode != tt.mode {
 				t.Fatalf("mode: want %q got %q", tt.mode, mode)
+			}
+			if (chaos != nil) != tt.wantChaos {
+				t.Fatalf("chaos spec: want present=%t got %v", tt.wantChaos, chaos)
 			}
 		})
 	}

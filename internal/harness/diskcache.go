@@ -233,7 +233,25 @@ func (tc *TraceCache) recordDiskObs(r *obs.Registry) {
 	r.Counter("harness.diskcache.stores").Add(c.Stores)
 	r.Counter("harness.diskcache.evictions").Add(c.Evictions)
 	r.Counter("harness.diskcache.corruptions").Add(c.Corruptions)
+	r.Counter("harness.diskcache.unavailable").Add(c.Unavailable)
 	r.Counter("harness.diskcache.bytes").Add(c.Bytes)
+
+	// The hardening stack's own activity (same operational-state caveat).
+	s := pc.StackCounters()
+	r.Counter("persist.retry.attempts").Add(s.RetryAttempts)
+	r.Counter("persist.retry.retries").Add(s.Retries)
+	r.Counter("persist.retry.giveups").Add(s.RetryGiveups)
+	r.Counter("persist.timeout.hits").Add(s.Timeouts)
+	r.Counter("persist.breaker.trips").Add(s.BreakerTrips)
+	r.Counter("persist.breaker.rejects").Add(s.BreakerRejects)
+	r.Counter("persist.breaker.probes").Add(s.BreakerProbes)
+	r.Counter("persist.breaker.recoveries").Add(s.BreakerRecoveries)
+	r.Counter("persist.chaos.errs").Add(s.ChaosErrs)
+	r.Counter("persist.chaos.torn").Add(s.ChaosTorn)
+	r.Counter("persist.chaos.corrupt").Add(s.ChaosCorrupt)
+	r.Counter("persist.chaos.nospace").Add(s.ChaosNoSpace)
+	r.Counter("persist.chaos.latency").Add(s.ChaosLatency)
+	r.Counter("persist.chaos.lockstalls").Add(s.ChaosLockStalls)
 }
 
 // Keep the compile-time dependency on cpu explicit: the result tier's whole

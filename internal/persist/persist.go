@@ -1,6 +1,6 @@
-// Package persist is the on-disk artifact cache behind the harness's trace
-// cache: a content-addressed store that makes repeated sweeps incremental
-// across processes. It holds two tiers —
+// Package persist is the content-addressed artifact cache behind the
+// harness's trace cache: it makes repeated sweeps incremental across
+// processes. It holds two tiers —
 //
 //   - the trace store (traces/<id>.trc): captured dynamic traces in a
 //     versioned binary format (see traceio.go), keyed by a cell's functional
@@ -10,16 +10,22 @@
 //     checksums keyed by the full identity (functional digest × timing
 //     config digest), so a repeated cell skips even the replay.
 //
+// Storage is pluggable: the cache sits on the Backend protocol (backend.go)
+// — the local directory store by default, an in-memory fake in tests, and a
+// chaos-wrapped stack when fault injection is on — hardened by retry,
+// timeout and circuit-breaker middleware (middleware.go).
+//
 // Robustness contract: nothing in this package is ever allowed to turn a
 // sweep into a hard failure. Every load returns a typed error — ErrMiss for
 // an absent entry, *CorruptError for a damaged file (deleted on sight in
-// read-write mode), *VersionError for a format from another era — and the
-// harness answers all of them the same way: recompute, and rewrite the
-// entry. The manifest is crash-safe (write temp + fsync + rename; a corrupt
-// or missing manifest is rebuilt by scanning the store), stores are atomic
-// (temp + rename), the byte cap is enforced by least-recently-used eviction,
-// and cross-process capture duplication is suppressed by best-effort lock
-// files. Only the stdlib is used.
+// read-write mode), *VersionError for a format from another era,
+// *UnavailableError (or ErrBreakerOpen) for a backend that could not answer
+// — and the harness answers all of them the same way: recompute, and
+// rewrite the entry. The manifest is crash-safe (write temp + fsync +
+// rename; a corrupt or missing manifest is rebuilt by scanning the store),
+// stores are atomic, the byte cap is enforced by least-recently-used
+// eviction, and cross-process capture duplication is suppressed by advisory
+// lock files that always fail open. Only the stdlib is used.
 package persist
 
 import (
@@ -31,7 +37,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 )
@@ -91,7 +96,7 @@ func (e *VersionError) Error() string {
 // experiment grid at the default scales while still bounding disk use.
 const DefaultMaxBytes = 2 << 30
 
-// Options configures Open.
+// Options configures Open / OpenBackend.
 type Options struct {
 	// MaxBytes caps the store's payload bytes; storing past it evicts
 	// least-recently-used entries first. 0 = unlimited.
@@ -109,6 +114,29 @@ type Options struct {
 	// StaleLockAge is the age past which an abandoned lock file (a crashed
 	// leader) is stolen (default 10m).
 	StaleLockAge time.Duration
+
+	// Chaos, when non-nil, wraps the backend with the seeded fault injector
+	// (chaos.go). Test and drill use only.
+	Chaos *ChaosSpec
+	// Retries is the bounded retry budget per backend op beyond the first
+	// attempt: 0 = DefaultRetries, negative = retries disabled.
+	Retries int
+	// RetryBase is the first backoff step; re-attempt n sleeps base·2ⁿ plus
+	// up to base of seeded jitter. 0 = DefaultRetryBase.
+	RetryBase time.Duration
+	// RetrySeed seeds the backoff jitter (0 = 1), so hardened-path tests
+	// are reproducible.
+	RetrySeed uint64
+	// OpTimeout bounds each backend object op's wall-clock time; a blown
+	// budget degrades to a miss. 0 = no per-op timeout (the default: the
+	// local disk backend has no hang modes worth a goroutine per op).
+	OpTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips the
+	// circuit breaker: 0 = DefaultBreakerThreshold, negative = no breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker fast-fails before
+	// half-opening for a probe. 0 = DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 }
 
 // Counters is a point-in-time snapshot of the cache's activity, exported to
@@ -121,6 +149,7 @@ type Counters struct {
 	Corruptions              uint64
 	Rejected                 uint64 // single entries larger than the whole cap
 	LockWaits                uint64
+	Unavailable              uint64 // ops degraded by backend unavailability
 	Bytes                    uint64 // resident payload bytes
 	Entries                  uint64 // resident entry count
 }
@@ -130,6 +159,7 @@ const (
 	kindResult = "result"
 
 	manifestName = "manifest.json"
+	manifestLock = "manifest"
 )
 
 // entry is one resident cache file's manifest record.
@@ -142,21 +172,24 @@ type entry struct {
 
 func (e *entry) key() string { return e.Kind + "/" + e.ID }
 
-// manifest is the on-disk index. It is advisory: the files are the truth,
-// and Open reconciles the two (files missing from the manifest are adopted,
-// manifest rows whose file vanished are dropped), so a lost or corrupt
-// manifest costs only LRU recency, never correctness.
+// manifest is the on-disk index. It is advisory: the backend's objects are
+// the truth, and Open reconciles the two (objects missing from the manifest
+// are adopted, manifest rows whose object vanished are dropped), so a lost
+// or corrupt manifest costs only LRU recency, never correctness.
 type manifest struct {
 	Version int      `json:"version"`
 	Entries []*entry `json:"entries"`
 }
 
-// Cache is one process's handle on a cache directory. Safe for concurrent
-// use; several processes may share one directory (stores are atomic renames,
-// manifest rewrites merge with the on-disk state under a lock file).
+// Cache is one process's handle on a cache store. Safe for concurrent use;
+// several processes may share one directory (stores are atomic, manifest
+// rewrites merge with the on-disk state under an advisory lock).
 type Cache struct {
-	dir string
-	opt Options
+	b     Backend     // the hardened stack every op goes through
+	dirb  *DirBackend // non-nil when the raw backend is the local directory
+	dir   string      // the directory path ("" for non-directory backends)
+	opt   Options
+	stack *StackStats
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -165,30 +198,40 @@ type Cache struct {
 	c       Counters
 }
 
-// Open attaches to (and in read-write mode creates) a cache directory. A
-// missing or corrupt manifest is rebuilt from the files present; stale
-// temporary files from crashed writers are swept in read-write mode.
+// Open attaches to (and in read-write mode creates) a cache directory,
+// hardened by the default middleware stack. A missing or corrupt manifest is
+// rebuilt from the files present; stale temporary files from crashed writers
+// are swept in read-write mode.
 func Open(dir string, opt Options) (*Cache, error) {
+	db, err := NewDirBackend(dir, opt.ReadOnly)
+	if err != nil {
+		return nil, err
+	}
+	return openBackend(db, db, opt)
+}
+
+// OpenBackend attaches to an arbitrary Backend, hardened by the configured
+// middleware stack. The backend must already be usable (OpenBackend creates
+// no directories).
+func OpenBackend(b Backend, opt Options) (*Cache, error) {
+	db, _ := b.(*DirBackend)
+	return openBackend(b, db, opt)
+}
+
+func openBackend(raw Backend, db *DirBackend, opt Options) (*Cache, error) {
 	if opt.LockWait <= 0 {
 		opt.LockWait = 60 * time.Second
 	}
 	if opt.StaleLockAge <= 0 {
 		opt.StaleLockAge = 10 * time.Minute
 	}
-	if opt.ReadOnly {
-		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
-			return nil, fmt.Errorf("persist: read-only cache dir %s does not exist", dir)
-		}
-	} else {
-		for _, sub := range []string{"", "traces", "results", "locks"} {
-			if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
-				return nil, fmt.Errorf("persist: %w", err)
-			}
-		}
+	st := &StackStats{}
+	c := &Cache{
+		b: hardenStack(raw, opt, st), dirb: db, opt: opt, stack: st,
+		entries: make(map[string]*entry),
 	}
-	c := &Cache{dir: dir, opt: opt, entries: make(map[string]*entry)}
-	if !opt.ReadOnly {
-		c.sweepTemps()
+	if db != nil {
+		c.dir = db.dir
 	}
 	c.loadManifest()
 	c.reconcile()
@@ -198,7 +241,8 @@ func Open(dir string, opt Options) (*Cache, error) {
 // ReadOnly reports whether the cache rejects writes.
 func (c *Cache) ReadOnly() bool { return c.opt.ReadOnly }
 
-// Dir returns the cache directory.
+// Dir returns the cache directory ("" when the backend is not the local
+// directory store).
 func (c *Cache) Dir() string { return c.dir }
 
 // Counters returns a snapshot of the cache's activity.
@@ -211,6 +255,10 @@ func (c *Cache) Counters() Counters {
 	return out
 }
 
+// StackCounters returns a snapshot of the hardening stack's activity (retry,
+// timeout, breaker and chaos counters).
+func (c *Cache) StackCounters() StackCounters { return c.stack.Snapshot() }
+
 // Close flushes the manifest (recency updates included). The cache remains
 // usable after Close; it exists so a process's LRU observations survive it.
 func (c *Cache) Close() error {
@@ -222,28 +270,22 @@ func (c *Cache) Close() error {
 	return c.flushManifestLocked()
 }
 
-// sweepTemps removes leftovers of writers that crashed mid-store: temp files
-// are always named <final>.tmp.<pid>, and a rename that never happened means
-// the entry was never published.
-func (c *Cache) sweepTemps() {
-	for _, sub := range []string{".", "traces", "results"} {
-		names, err := os.ReadDir(filepath.Join(c.dir, sub))
-		if err != nil {
-			continue
-		}
-		for _, de := range names {
-			if strings.Contains(de.Name(), ".tmp.") || de.Name() == manifestName+".tmp" {
-				os.Remove(filepath.Join(c.dir, sub, de.Name()))
-			}
-		}
+// unavailableSeen counts one degraded op when err is transient backend
+// unavailability (and not a plain miss).
+func (c *Cache) unavailableSeen(err error) {
+	if IsUnavailable(err) {
+		c.mu.Lock()
+		c.c.Unavailable++
+		c.mu.Unlock()
 	}
 }
 
-// loadManifest reads manifest.json if it is present and sane; any failure
+// loadManifest reads the manifest if it is present and sane; any failure
 // just leaves the index empty for reconcile to rebuild.
 func (c *Cache) loadManifest() {
-	raw, err := os.ReadFile(filepath.Join(c.dir, manifestName))
+	raw, err := c.b.Get(kindMeta, manifestName)
 	if err != nil {
+		c.unavailableSeen(err)
 		return
 	}
 	var m manifest
@@ -257,37 +299,27 @@ func (c *Cache) loadManifest() {
 	}
 }
 
-// reconcile makes the files on disk the source of truth: rows whose file is
-// gone are dropped, files the manifest never heard of are adopted with their
-// stat size and mtime recency.
+// reconcile makes the backend's objects the source of truth: rows whose
+// object is gone are dropped, objects the manifest never heard of are
+// adopted with their stat size and mtime recency.
 func (c *Cache) reconcile() {
 	seen := make(map[string]bool)
-	for _, tier := range []struct{ sub, kind, ext string }{
-		{"traces", kindTrace, traceExt},
-		{"results", kindResult, resultExt},
-	} {
-		names, err := os.ReadDir(filepath.Join(c.dir, tier.sub))
+	for _, kind := range []string{kindTrace, kindResult} {
+		stats, err := c.b.List(kind)
 		if err != nil {
+			c.unavailableSeen(err)
 			continue
 		}
-		for _, de := range names {
-			id, ok := strings.CutSuffix(de.Name(), tier.ext)
-			if !ok || strings.Contains(de.Name(), ".tmp.") {
-				continue
-			}
-			info, err := de.Info()
-			if err != nil {
-				continue
-			}
-			key := tier.kind + "/" + id
+		for _, st := range stats {
+			key := kind + "/" + st.Name
 			seen[key] = true
 			if e, ok := c.entries[key]; ok {
-				e.Bytes = info.Size()
+				e.Bytes = st.Bytes
 				continue
 			}
 			c.entries[key] = &entry{
-				ID: id, Kind: tier.kind,
-				Bytes: info.Size(), LastUse: info.ModTime().UnixNano(),
+				ID: st.Name, Kind: kind,
+				Bytes: st.Bytes, LastUse: st.ModTime.UnixNano(),
 			}
 		}
 	}
@@ -301,7 +333,8 @@ func (c *Cache) reconcile() {
 	}
 }
 
-// path returns the final file path of an entry.
+// path returns the final file path of an entry. Only meaningful for
+// directory-backed caches (tests and tooling reach into the layout with it).
 func (c *Cache) path(kind string, id ID) string {
 	switch kind {
 	case kindTrace:
@@ -323,7 +356,7 @@ func (c *Cache) touch(kind string, id ID) {
 }
 
 // discard handles a failed load: the corruption is counted and, in
-// read-write mode, the damaged file is deleted so the recompute that
+// read-write mode, the damaged object is deleted so the recompute that
 // follows publishes a clean replacement.
 func (c *Cache) discard(kind string, id ID) {
 	c.mu.Lock()
@@ -339,10 +372,12 @@ func (c *Cache) discard(kind string, id ID) {
 		c.dirty = true
 	}
 	c.mu.Unlock()
-	os.Remove(c.path(kind, id))
+	if err := c.b.Delete(kind, id.String()); err != nil {
+		c.unavailableSeen(err)
+	}
 }
 
-// admit publishes a freshly renamed file into the index, evicting
+// admit publishes a freshly stored object into the index, evicting
 // least-recently-used entries until the byte cap holds again, and flushes
 // the manifest. Caller must not hold mu.
 func (c *Cache) admit(kind string, id ID, size int64) error {
@@ -355,8 +390,9 @@ func (c *Cache) admit(kind string, id ID, size int64) error {
 	c.entries[key] = e
 	c.total += size
 	c.c.Stores++
-	var victims []*entry
+	var victimKinds, victimIDs []string
 	if c.opt.MaxBytes > 0 {
+		var victims []*entry
 		for _, v := range c.entries {
 			if v != e {
 				victims = append(victims, v)
@@ -375,7 +411,8 @@ func (c *Cache) admit(kind string, id ID, size int64) error {
 			c.total -= v.Bytes
 			delete(c.entries, v.key())
 			c.c.Evictions++
-			os.Remove(c.path(v.Kind, mustID(v.ID)))
+			victimKinds = append(victimKinds, v.Kind)
+			victimIDs = append(victimIDs, v.ID)
 		}
 		if c.total > c.opt.MaxBytes {
 			// The new entry alone exceeds the whole cap: storing it was
@@ -385,30 +422,28 @@ func (c *Cache) admit(kind string, id ID, size int64) error {
 			c.c.Stores--
 			c.c.Rejected++
 			c.mu.Unlock()
-			os.Remove(c.path(kind, id))
+			for i := range victimIDs {
+				c.b.Delete(victimKinds[i], victimIDs[i])
+			}
+			c.b.Delete(kind, id.String())
 			return nil
 		}
 	}
 	err := c.flushManifestLocked()
 	c.mu.Unlock()
+	for i := range victimIDs {
+		if derr := c.b.Delete(victimKinds[i], victimIDs[i]); derr != nil {
+			c.unavailableSeen(derr)
+		}
+	}
 	return err
 }
 
-// mustID parses a hex id that came out of our own index.
-func mustID(hexID string) ID {
-	var id ID
-	b, err := hex.DecodeString(hexID)
-	if err == nil && len(b) == len(id) {
-		copy(id[:], b)
-	}
-	return id
-}
-
-// flushManifestLocked writes the index crash-safely (temp + fsync + rename +
-// directory fsync), merging with whatever another process published since we
-// last read it: union by key, newest recency wins, rows for vanished files
-// drop. The merge runs under the manifest lock file so two flushing
-// processes serialize instead of clobbering each other.
+// flushManifestLocked writes the index crash-safely, merging with whatever
+// another process published since we last read it: union by key, newest
+// recency wins, rows for vanished objects drop. The merge runs under the
+// manifest lock so two flushing processes serialize instead of clobbering
+// each other. Caller holds mu.
 func (c *Cache) flushManifestLocked() error {
 	unlock := c.lockManifest()
 	defer unlock()
@@ -418,9 +453,19 @@ func (c *Cache) flushManifestLocked() error {
 		cp := *e
 		merged[k] = &cp
 	}
-	if raw, err := os.ReadFile(filepath.Join(c.dir, manifestName)); err == nil {
+	if raw, err := c.b.Get(kindMeta, manifestName); err == nil {
 		var disk manifest
 		if json.Unmarshal(raw, &disk) == nil && disk.Version == FormatVersion {
+			// Adopt rows for objects we have not seen, but only those whose
+			// object actually exists (one List per kind, not a stat per row).
+			exists := make(map[string]bool)
+			for _, kind := range []string{kindTrace, kindResult} {
+				if stats, lerr := c.b.List(kind); lerr == nil {
+					for _, st := range stats {
+						exists[kind+"/"+st.Name] = true
+					}
+				}
+			}
 			for _, e := range disk.Entries {
 				if e == nil {
 					continue
@@ -431,7 +476,7 @@ func (c *Cache) flushManifestLocked() error {
 					}
 					continue
 				}
-				if _, err := os.Stat(c.path(e.Kind, mustID(e.ID))); err == nil {
+				if exists[e.key()] {
 					merged[e.key()] = e
 				}
 			}
@@ -446,41 +491,40 @@ func (c *Cache) flushManifestLocked() error {
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	final := filepath.Join(c.dir, manifestName)
-	tmp := final + ".tmp"
-	if err := writeFileSync(tmp, append(raw, '\n')); err != nil {
+	if err := c.b.Put(kindMeta, manifestName, append(raw, '\n')); err != nil {
+		// Caller holds mu: bump the counter directly (unavailableSeen locks).
+		if IsUnavailable(err) {
+			c.c.Unavailable++
+		}
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("persist: %w", err)
-	}
-	syncDir(c.dir)
 	c.dirty = false
 	return nil
 }
 
 // lockManifest serializes manifest rewrites across processes. Contention is
 // rare and short (one JSON rewrite), so waiting is a tight bounded poll;
-// locks older than StaleLockAge are stolen.
+// locks older than StaleLockAge are stolen, and a lock plane that cannot
+// answer fails open (the manifest put is still atomic — we only risk losing
+// a merge, which self-heals at the next reconcile). Caller holds mu.
 func (c *Cache) lockManifest() (unlock func()) {
-	path := filepath.Join(c.dir, manifestName+".lock")
 	deadline := time.Now().Add(c.opt.LockWait)
 	for {
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		release, err := c.b.TryLock(manifestLock)
 		if err == nil {
-			fmt.Fprintf(f, "%d\n", os.Getpid())
-			f.Close()
-			return func() { os.Remove(path) }
+			return release
 		}
-		if fi, serr := os.Stat(path); serr == nil && time.Since(fi.ModTime()) > c.opt.StaleLockAge {
-			os.Remove(path)
+		if !errors.Is(err, ErrLockHeld) {
+			if IsUnavailable(err) {
+				c.c.Unavailable++
+			}
+			return func() {}
+		}
+		if age, aerr := c.b.LockAge(manifestLock); aerr == nil && age > c.opt.StaleLockAge {
+			c.b.BreakLock(manifestLock)
 			continue
 		}
 		if time.Now().After(deadline) {
-			// Proceed without the lock: the rename below is still atomic, we
-			// only risk losing the merge with a concurrent flush (self-heals
-			// at the next reconcile).
 			return func() {}
 		}
 		time.Sleep(2 * time.Millisecond)
@@ -491,41 +535,47 @@ func (c *Cache) lockManifest() (unlock func()) {
 // reports whether this process is now the leader (call release when the
 // capture is stored or abandoned). A read-only cache never creates lock
 // files and reports every caller a leader, since there is nothing to store.
-// Locks left by crashed leaders are stolen once StaleLockAge old.
+// Locks left by crashed leaders are stolen once StaleLockAge old, and a lock
+// plane that cannot answer fails open: the caller proceeds as leader, at
+// worst duplicating a capture, never stalling one.
 func (c *Cache) TryLock(id ID) (release func(), ok bool) {
 	if c.opt.ReadOnly {
 		return func() {}, true
 	}
-	path := filepath.Join(c.dir, "locks", id.String()+".lock")
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	rel, err := c.b.TryLock(id.String())
 	if err == nil {
-		fmt.Fprintf(f, "%d\n", os.Getpid())
-		f.Close()
-		return func() { os.Remove(path) }, true
+		return rel, true
 	}
-	if fi, serr := os.Stat(path); serr == nil && time.Since(fi.ModTime()) > c.opt.StaleLockAge {
-		os.Remove(path)
-		return c.TryLock(id)
+	if !errors.Is(err, ErrLockHeld) {
+		c.unavailableSeen(err)
+		return func() {}, true
+	}
+	if age, aerr := c.b.LockAge(id.String()); aerr == nil && age > c.opt.StaleLockAge {
+		c.b.BreakLock(id.String())
+		if rel, err := c.b.TryLock(id.String()); err == nil {
+			return rel, true
+		}
 	}
 	return nil, false
 }
 
 // WaitUnlocked blocks until another process's capture lock for id is
 // released, stolen, or LockWait elapses. The caller retries its load either
-// way; a timeout merely means a duplicate capture, never a wrong result.
+// way; a timeout merely means a duplicate capture, never a wrong result. A
+// lock plane that cannot answer ends the wait immediately (fail open).
 func (c *Cache) WaitUnlocked(id ID) {
 	c.mu.Lock()
 	c.c.LockWaits++
 	c.mu.Unlock()
-	path := filepath.Join(c.dir, "locks", id.String()+".lock")
 	deadline := time.Now().Add(c.opt.LockWait)
 	for time.Now().Before(deadline) {
-		fi, err := os.Stat(path)
+		age, err := c.b.LockAge(id.String())
 		if err != nil {
+			c.unavailableSeen(err)
 			return
 		}
-		if time.Since(fi.ModTime()) > c.opt.StaleLockAge {
-			os.Remove(path)
+		if age > c.opt.StaleLockAge {
+			c.b.BreakLock(id.String())
 			return
 		}
 		time.Sleep(5 * time.Millisecond)

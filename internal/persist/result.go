@@ -25,11 +25,8 @@ package persist
 import (
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
-	"path/filepath"
 
 	"rest/internal/cpu"
 )
@@ -99,30 +96,30 @@ func (c *Cache) StoreResult(id ID, r *CellResult) error {
 	binary.LittleEndian.PutUint64(buf[off+1:off+9], r.Checksum)
 	binary.LittleEndian.PutUint32(buf[off+9:off+13], crc32.ChecksumIEEE(buf[:off+9]))
 
-	final := c.path(kindResult, id)
-	tmp := fmt.Sprintf("%s.tmp.%d", final, os.Getpid())
-	if err := writeFileSync(tmp, buf); err != nil {
+	if err := c.b.Put(kindResult, id.String(), buf); err != nil {
+		c.unavailableSeen(err)
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("persist: %w", err)
-	}
-	syncDir(filepath.Dir(final))
 	return c.admit(kindResult, id, int64(len(buf)))
 }
 
 // LoadResult reads the memoized outcome stored under id. Misses return
 // ErrMiss; damaged files return *CorruptError (deleted in read-write mode);
-// files of another format generation return *VersionError.
+// files of another format generation return *VersionError; a backend that
+// could not answer returns *UnavailableError or ErrBreakerOpen. Every one
+// of them means "recompute" to the caller.
 func (c *Cache) LoadResult(id ID) (*CellResult, error) {
 	path := c.path(kindResult, id)
-	raw, err := os.ReadFile(path)
+	raw, err := c.b.Get(kindResult, id.String())
 	if err != nil {
+		c.unavailableSeen(err)
 		c.mu.Lock()
 		c.c.ResultMisses++
 		c.mu.Unlock()
-		return nil, ErrMiss
+		if errors.Is(err, ErrNotFound) {
+			return nil, ErrMiss
+		}
+		return nil, err
 	}
 	r, derr := decodeResult(raw, &id)
 	if derr != nil {

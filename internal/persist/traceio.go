@@ -32,7 +32,6 @@
 package persist
 
 import (
-	"bufio"
 	"bytes"
 	"compress/flate"
 	"encoding/binary"
@@ -40,8 +39,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
-	"path/filepath"
 	"sync"
 
 	"rest/internal/isa"
@@ -94,9 +91,9 @@ var flateReaderPool = sync.Pool{
 }
 
 // StoreTrace writes a captured recording into the trace store under its
-// functional identity digest, atomically (temp + fsync + rename), and admits
-// it to the manifest, evicting older entries if the byte cap demands.
-// checksum is the captured run's outcome checksum, replayed verbatim.
+// functional identity digest, atomically, and admits it to the manifest,
+// evicting older entries if the byte cap demands. checksum is the captured
+// run's outcome checksum, replayed verbatim.
 func (c *Cache) StoreTrace(id ID, rec *trace.Recorder, checksum uint64) error {
 	if c.opt.ReadOnly {
 		return ErrReadOnly
@@ -104,58 +101,40 @@ func (c *Cache) StoreTrace(id ID, rec *trace.Recorder, checksum uint64) error {
 	if rec.Overflowed() {
 		return errors.New("persist: refusing to store an overflowed (partial) trace")
 	}
-	final := c.path(kindTrace, id)
-	tmp := fmt.Sprintf("%s.tmp.%d", final, os.Getpid())
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
+	var buf bytes.Buffer
+	buf.Grow(traceHeaderLen + rec.Len()*packedEntryLen/2)
+	if err := encodeTrace(&buf, rec, id, checksum, !c.opt.NoCompress); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	bw := bufio.NewWriterSize(f, 1<<20)
-	if err := encodeTrace(bw, rec, id, checksum, !c.opt.NoCompress); err == nil {
-		err = bw.Flush()
-	} else {
-		bw.Flush()
+	if err := c.b.Put(kindTrace, id.String(), buf.Bytes()); err != nil {
+		c.unavailableSeen(err)
+		return err
 	}
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("persist: %w", err)
-	}
-	fi, err := os.Stat(tmp)
-	if err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("persist: %w", err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("persist: %w", err)
-	}
-	syncDir(filepath.Dir(final))
-	return c.admit(kindTrace, id, fi.Size())
+	return c.admit(kindTrace, id, int64(buf.Len()))
 }
 
 // LoadTrace reads the trace stored under id into a fresh Recorder, returning
 // it with the captured outcome checksum. A missing file is ErrMiss; a
 // damaged one is *CorruptError (and is deleted in read-write mode); a file
 // from another format generation is *VersionError (deleted likewise — it can
-// never be read again). The returned Recorder owns pooled blocks; release it
-// via trace.Recorder.Release at last use exactly like a live capture.
+// never be read again); a backend that could not answer is *UnavailableError
+// or ErrBreakerOpen. Every one of them means "recompute" to the caller. The
+// returned Recorder owns pooled blocks; release it via
+// trace.Recorder.Release at last use exactly like a live capture.
 func (c *Cache) LoadTrace(id ID) (*trace.Recorder, uint64, error) {
 	path := c.path(kindTrace, id)
-	f, err := os.Open(path)
+	raw, err := c.b.Get(kindTrace, id.String())
 	if err != nil {
+		c.unavailableSeen(err)
 		c.mu.Lock()
 		c.c.TraceMisses++
 		c.mu.Unlock()
-		return nil, 0, ErrMiss
+		if errors.Is(err, ErrNotFound) {
+			return nil, 0, ErrMiss
+		}
+		return nil, 0, err
 	}
-	rec, checksum, derr := decodeTrace(bufio.NewReaderSize(f, 1<<20), &id)
-	f.Close()
+	rec, checksum, derr := decodeTrace(bytes.NewReader(raw), &id)
 	if derr != nil {
 		var verr *VersionError
 		if errors.As(derr, &verr) {

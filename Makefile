@@ -19,16 +19,18 @@
 #                    per-op rates, cold -j1 and warm -j4, byte-identical to
 #                    cache-off (plus the torn-write and vanished-dir
 #                    recovery checks)
+#   make watch-demo  live-telemetry demo: a background sweep with -serve
+#                    plus `restbench -watch` attached to it
 #   make clean-cache remove the default local persistent cache directory
 #   make verify      what CI runs: vet + test + race
 
 GO         ?= go
 FUZZTIME   ?= 10s
 SEED       ?= 42
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_8.json
 CACHE_DIR  ?= .restcache
 
-.PHONY: build vet test race fuzz-short faults bench bench-smoke bench-json chaos-short clean-cache verify
+.PHONY: build vet test race fuzz-short faults bench bench-smoke bench-json chaos-short watch-demo clean-cache verify
 
 build:
 	$(GO) build ./...
@@ -43,7 +45,7 @@ test: build
 # 10-minute per-package deadline under the race detector (they already
 # subset their workload grids when built with -race); give them headroom.
 race:
-	$(GO) test -race -timeout 20m ./...
+	$(GO) test -race -timeout 25m ./...
 
 # `go test -fuzz` accepts a single package per invocation.
 fuzz-short:
@@ -79,6 +81,16 @@ bench-json:
 # cache-off, recover from torn writes, and survive a vanished cache dir.
 chaos-short:
 	$(GO) test -run 'TestDiskCacheChaos|TestDiskCacheTornWrite|TestDiskCacheVanishedDir' -v ./internal/harness
+
+# Live-telemetry demo: run a sensitivity sweep with the OTLP exporter served
+# on a local port, and attach the terminal dashboard to it. The sweep exits
+# on its own; the watcher follows the stream until it closes.
+WATCH_ADDR ?= 127.0.0.1:7788
+watch-demo: build
+	$(GO) build -o ./restbench ./cmd/restbench
+	./restbench -fig8sens -scale 4 -j 4 -serve $(WATCH_ADDR) >/dev/null 2>&1 & \
+	sleep 1 && ./restbench -watch $(WATCH_ADDR); \
+	wait
 
 # Remove the conventional local persistent cache directory (what you pass to
 # restbench -cache-dir when you want a project-local store).

@@ -24,6 +24,7 @@ import (
 	"rest/internal/cpu"
 	"rest/internal/harness"
 	"rest/internal/isa"
+	"rest/internal/obs/otlp"
 	"rest/internal/persist"
 	"rest/internal/prog"
 	"rest/internal/sim"
@@ -322,6 +323,27 @@ func TestBenchJSON(t *testing.T) {
 			hardeningOverhead, bareWarm, hardenedWarm)
 	}
 
+	// The telemetry exporter's cost on the same sweep: per-cell OTLP span
+	// encoding and publication to a concurrently draining stream subscriber,
+	// versus no telemetry at all. A/B interleaved, best of two rounds each.
+	// The floor is <2% overhead with the same absolute epsilon as the
+	// hardening gate — the exporter sits outside the simulation entirely, so
+	// anything above that is a regression in the glue.
+	teleBare, teleExport := time.Duration(0), time.Duration(0)
+	for round := 0; round < 2; round++ {
+		if tb := runFig8SensitivityTelemetry(t, false); round == 0 || tb < teleBare {
+			teleBare = tb
+		}
+		if te := runFig8SensitivityTelemetry(t, true); round == 0 || te < teleExport {
+			teleExport = te
+		}
+	}
+	telemetryOverhead := 100 * (float64(teleExport)/float64(teleBare) - 1)
+	if teleExport > teleBare+teleBare/50+50*time.Millisecond {
+		t.Errorf("telemetry exporter costs %.1f%% on the sweep (bare=%s exported=%s), want < 2%%",
+			telemetryOverhead, teleBare, teleExport)
+	}
+
 	out := struct {
 		Benchmark        string  `json:"benchmark"`
 		Scale            int64   `json:"scale"`
@@ -343,6 +365,9 @@ func TestBenchJSON(t *testing.T) {
 		SimRefRate       float64 `json:"sim_ref_cold_instrs_per_sec"`
 		SimBlocksRate    float64 `json:"sim_blocks_cold_instrs_per_sec"`
 		SimSpeedup       float64 `json:"sim_blocks_speedup"`
+		TelemetryBareNs  int64   `json:"telemetry_bare_ns"`
+		TelemetryOnNs    int64   `json:"telemetry_export_ns"`
+		TelemetryPct     float64 `json:"telemetry_overhead_pct"`
 	}{
 		Benchmark:        "Fig8SensitivityCaptureReplay",
 		Scale:            benchScale,
@@ -364,6 +389,9 @@ func TestBenchJSON(t *testing.T) {
 		SimRefRate:       refRate,
 		SimBlocksRate:    blkRate,
 		SimSpeedup:       speedup,
+		TelemetryBareNs:  teleBare.Nanoseconds(),
+		TelemetryOnNs:    teleExport.Nanoseconds(),
+		TelemetryPct:     telemetryOverhead,
 	}
 	raw, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -372,8 +400,54 @@ func TestBenchJSON(t *testing.T) {
 	if err := os.WriteFile(*benchJSONPath, append(raw, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("mem cache on %s / off %s (%.1f%%); disk cold %s / warm %s (%.1f%%); hardening %+.1f%%; sim blocks %.2fx ref -> %s",
-		on, off, reduction, cold, warm, warmReduction, hardeningOverhead, speedup, *benchJSONPath)
+	t.Logf("mem cache on %s / off %s (%.1f%%); disk cold %s / warm %s (%.1f%%); hardening %+.1f%%; telemetry %+.1f%%; sim blocks %.2fx ref -> %s",
+		on, off, reduction, cold, warm, warmReduction, hardeningOverhead, telemetryOverhead, speedup, *benchJSONPath)
+}
+
+// runFig8SensitivityTelemetry times one Figure 8 sensitivity sweep with or
+// without the streaming telemetry exporter attached: per-cell span encoding
+// and publication, with one subscriber draining the stream concurrently (the
+// realistic -serve + attached collector shape).
+func runFig8SensitivityTelemetry(tb testing.TB, export bool) time.Duration {
+	tb.Helper()
+	opt := harness.ParallelOptions{Workers: runtime.GOMAXPROCS(0)}
+	var tel *harness.TelemetryExporter
+	var sub *otlp.Subscriber
+	drained := make(chan struct{})
+	if export {
+		tel = harness.NewTelemetryExporter("restbench", nil)
+		sub = tel.Bus.Subscribe(0)
+		go func() {
+			for range sub.C() {
+			}
+			close(drained)
+		}()
+		opt.OnCell = tel.OnCell("fig8sens")
+	}
+	start := time.Now()
+	if _, err := harness.RunFig8Sensitivity(context.Background(), workload.All(), benchScale, opt); err != nil {
+		tb.Fatal(err)
+	}
+	wall := time.Since(start)
+	if export {
+		tel.Bus.Unsubscribe(sub)
+		<-drained
+	}
+	return wall
+}
+
+// BenchmarkTelemetryOverhead is the exporter A/B as a standalone paired
+// benchmark (the committed BENCH artifact enforces the <2% floor via
+// TestBenchJSON; this reports the same delta for ad-hoc runs).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	var bare, exported time.Duration
+	for i := 0; i < b.N; i++ {
+		bare += runFig8SensitivityTelemetry(b, false)
+		exported += runFig8SensitivityTelemetry(b, true)
+	}
+	b.ReportMetric(float64(bare.Nanoseconds())/float64(b.N), "bare-ns")
+	b.ReportMetric(float64(exported.Nanoseconds())/float64(b.N), "exported-ns")
+	b.ReportMetric(100*(float64(exported)/float64(bare)-1), "telemetry-delta-%")
 }
 
 // BenchmarkObsOverhead pairs the Figure 3 sweep with the observability plane

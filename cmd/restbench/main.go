@@ -82,10 +82,23 @@
 //	-trace FILE      write a Chrome/Catapult JSON timeline of the sweeps'
 //	                 cells (one track per worker; open in chrome://tracing
 //	                 or https://ui.perfetto.dev)
-//	-progress        live cells-done/holes/ETA meter on stderr
+//	-progress        live cells-done/holes/ETA meter on stderr (with cache
+//	                 hit rate once any cache tier is consulted)
 //	-pprof ADDR      serve net/http/pprof and expvar on ADDR; /debug/vars
 //	                 carries build identity, live sweep progress and the
-//	                 latest metric snapshot under the "rest" key
+//	                 latest metric snapshot under the "rest" key, and the
+//	                 OTLP endpoints below are mounted on the same server
+//	-serve ADDR      serve OTLP-compatible telemetry on ADDR:
+//	                 GET /otlp/metrics is a live snapshot document,
+//	                 GET /otlp/stream a NDJSON (or ?sse=1) feed of per-cell
+//	                 spans plus periodic metric snapshots. Subscribers are
+//	                 buffered and dropped-from, never blocked on, so a
+//	                 stalled collector cannot slow the sweep
+//	-watch ADDR      attach a live terminal dashboard to another restbench
+//	                 process's -serve (or -pprof) address; takes no other
+//	                 flags
+//	-check-otlp FILE validate a captured OTLP dump (single document, NDJSON
+//	                 or SSE framing) and exit; used by CI
 //	-version         print module version + VCS revision and exit
 package main
 
@@ -99,12 +112,14 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"rest/internal/fault"
 	"rest/internal/harness"
 	"rest/internal/obs"
+	"rest/internal/obs/otlp"
 	"rest/internal/persist"
 	"rest/internal/prog"
 	"rest/internal/sim"
@@ -180,6 +195,28 @@ func validateCacheFlags(s cacheFlagState) (mode string, chaos *persist.ChaosSpec
 	return mode, chaos, nil
 }
 
+// validateWatchFlags enforces -watch's contract: it attaches to another
+// restbench process, so combining it with any flag that configures a local
+// run is a spelling mistake worth one actionable line. explicit holds the
+// flag names the user actually set (flag.Visit).
+func validateWatchFlags(explicit map[string]bool) error {
+	if !explicit["watch"] {
+		return nil
+	}
+	var bad []string
+	for name := range explicit {
+		if name != "watch" {
+			bad = append(bad, "-"+name)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("restbench: -watch attaches to another restbench process and takes no other flags; drop %s",
+		strings.Join(bad, ", "))
+}
+
 func main() {
 	fig3 := flag.Bool("fig3", false, "regenerate Figure 3")
 	fig7 := flag.Bool("fig7", false, "regenerate Figure 7")
@@ -219,6 +256,9 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome/Catapult JSON trace of the sweeps to this file")
 	progress := flag.Bool("progress", false, "live cells-done/holes/ETA meter on stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof + expvar on this address (e.g. localhost:6060)")
+	serveAddr := flag.String("serve", "", "serve OTLP telemetry (/otlp/metrics, /otlp/stream) on this address (e.g. localhost:7788)")
+	watchAddr := flag.String("watch", "", "attach a live dashboard to another restbench's -serve/-pprof address and exit with it")
+	checkOTLP := flag.String("check-otlp", "", "validate an OTLP dump file (document, NDJSON or SSE) and exit")
 	version := flag.Bool("version", false, "print build/version information and exit")
 	flag.Parse()
 
@@ -226,10 +266,35 @@ func main() {
 		fmt.Println(obs.ReadBuild())
 		return
 	}
-	// Validate the cache flag combinations up front, before any sweep: a
-	// contradictory spelling fails in one line here, not minutes into a run.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *checkOTLP != "" {
+		raw, err := os.ReadFile(*checkOTLP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "restbench: -check-otlp: "+err.Error())
+			os.Exit(1)
+		}
+		n, err := otlp.ValidateDump(raw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "restbench: -check-otlp %s: %v\n", *checkOTLP, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d valid OTLP document(s)\n", *checkOTLP, n)
+		return
+	}
+	if err := validateWatchFlags(explicit); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *watchAddr != "" {
+		if err := runWatch(*watchAddr, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	// Validate the cache flag combinations up front, before any sweep: a
+	// contradictory spelling fails in one line here, not minutes into a run.
 	cacheMode, chaosSpec, cerr := validateCacheFlags(cacheFlagState{
 		Dir:         *cacheDir,
 		MaxBytes:    *cacheMaxBytes,
@@ -315,17 +380,30 @@ func main() {
 	}
 
 	// The observability plane. All of it writes to files or stderr, never
-	// stdout, so enabling any of these flags cannot perturb the reports.
-	var live *obs.Live
+	// stdout, so enabling any of these flags cannot perturb the reports. One
+	// TelemetryExporter backs every surface (expvar, /otlp/metrics,
+	// /otlp/stream, the progress meter's cache field); its span stream is
+	// only attached to sweeps when an HTTP surface actually exists.
+	tel := harness.NewTelemetryExporter("restbench", tcache)
+	serving := *pprofAddr != "" || *serveAddr != ""
+	live := tel.Live
 	if *pprofAddr != "" {
-		live = &obs.Live{}
 		expvar.Publish("rest", expvar.Func(live.Vars))
+		tel.Source().Register(http.DefaultServeMux)
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "serving http://%s/debug/pprof/ and /debug/vars\n", *pprofAddr)
+		fmt.Fprintf(os.Stderr, "serving http://%s/debug/pprof/, /debug/vars and /otlp/{metrics,stream}\n", *pprofAddr)
+	}
+	if *serveAddr != "" {
+		resolved, err := startTelemetryServer(*serveAddr, tel)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving http://%s/otlp/metrics and /otlp/stream (attach with: restbench -watch %s)\n",
+			resolved, resolved)
 	}
 	var tracer *obs.Trace
 	if *traceOut != "" {
@@ -341,13 +419,20 @@ func main() {
 		var meter *obs.Progress
 		if *progress {
 			meter = obs.NewProgress(os.Stderr, name, cells)
+			meter.SetStats(tel.ProgressStats)
 		}
-		live.AddTotal(cells)
-		if *traceOut != "" || *progress || *pprofAddr != "" {
+		tel.AddSweep(name, cells)
+		var telOn func(harness.CellEvent)
+		if serving {
+			telOn = tel.OnCell(name)
+		}
+		if *traceOut != "" || *progress || serving {
 			o.OnCell = func(ev harness.CellEvent) {
 				ok := ev.Err == nil && !ev.Skipped
 				meter.Observe(ok)
-				live.ObserveCell(ok)
+				if telOn != nil {
+					telOn(ev)
+				}
 				verdict := "ok"
 				switch {
 				case ev.Skipped:

@@ -152,3 +152,38 @@ func TestValidateCacheFlags(t *testing.T) {
 		})
 	}
 }
+
+// TestValidateWatchFlags pins -watch's exclusivity: it attaches to another
+// process, so any local-run flag alongside it is rejected up front.
+func TestValidateWatchFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		explicit map[string]bool
+		wantErr  string
+	}{
+		{name: "no watch", explicit: map[string]bool{"fig7": true, "j": true}},
+		{name: "watch alone", explicit: map[string]bool{"watch": true}},
+		{
+			name:     "watch with experiment",
+			explicit: map[string]bool{"watch": true, "fig8": true},
+			wantErr:  "-fig8",
+		},
+		{
+			name:     "watch with serve and jobs",
+			explicit: map[string]bool{"watch": true, "serve": true, "j": true},
+			wantErr:  "-j, -serve",
+		},
+	}
+	for _, tt := range cases {
+		err := validateWatchFlags(tt.explicit)
+		if tt.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tt.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+			t.Errorf("%s: got %v, want error containing %q", tt.name, err, tt.wantErr)
+		}
+	}
+}

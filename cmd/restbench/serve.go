@@ -1,0 +1,33 @@
+// The -serve surface: restbench's OTLP-compatible telemetry endpoints.
+// Everything here is read-only with respect to the sweep and writes only to
+// the HTTP connection (plus one stderr banner), so serving telemetry cannot
+// perturb the reports — the telemetry differential tests pin that.
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"rest/internal/harness"
+)
+
+// startTelemetryServer binds addr and serves the exporter's OTLP endpoints
+// on a dedicated mux (plus /debug/vars via the caller's expvar publication
+// when -pprof shares the process). It returns the resolved address, so
+// callers can print a usable URL even for ":0" specs.
+func startTelemetryServer(addr string, tel *harness.TelemetryExporter) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("restbench: -serve %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	tel.Source().Register(mux)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}

@@ -121,6 +121,7 @@ func resultFromStore(wl workload.Workload, cfg BinaryConfig, cr *persist.CellRes
 		Cycles:   stats.Cycles,
 		Stats:    &stats,
 		Outcome:  world.Outcome{Checksum: cr.Checksum},
+		Source:   "result-store",
 	}
 }
 
@@ -158,6 +159,9 @@ func replayLocal(wl workload.Workload, cfg BinaryConfig, lim CellLimits, rec *tr
 	ent := &traceEntry{ok: true, rec: rec, outcome: out}
 	res, err := runReplay(wl, cfg, lim, ent)
 	rec.Release()
+	if res != nil {
+		res.Source = "disk-replay"
+	}
 	return res, err
 }
 
@@ -176,7 +180,11 @@ func (tc *TraceCache) runLeadFromDisk(wl workload.Workload, cfg BinaryConfig, li
 	tc.retain(ent)
 	defer tc.release(ent)
 	tc.publish(ent, rec, out, nil)
-	return runReplay(wl, cfg, lim, ent)
+	res, err := runReplay(wl, cfg, lim, ent)
+	if res != nil {
+		res.Source = "disk-replay"
+	}
+	return res, err
 }
 
 // captureToDisk decides whether a capturing cell should persist its trace,

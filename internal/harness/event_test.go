@@ -1,0 +1,232 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rest/internal/obs"
+	"rest/internal/obs/otlp"
+	"rest/internal/persist"
+)
+
+// fig7Grid and sensGrid subset their sweep grids under the race detector,
+// following the package convention of trimming sweep sizes when races are
+// being checked (the assertions below need variety, not the full matrix).
+func fig7Grid() []BinaryConfig {
+	cfgs := Fig7Configs()
+	if raceEnabled && len(cfgs) > 3 {
+		cfgs = cfgs[:3]
+	}
+	return cfgs
+}
+
+func sensGrid() []BinaryConfig {
+	cfgs := Fig8SensitivityConfigs()
+	if raceEnabled {
+		cfgs = cfgs[:len(cfgs)/2]
+	}
+	return cfgs
+}
+
+// collectEvents runs one sweep and returns its CellEvent stream in arrival
+// order.
+func collectEvents(t *testing.T, cfgs []BinaryConfig, opt ParallelOptions) []CellEvent {
+	t.Helper()
+	var mu sync.Mutex
+	var evs []CellEvent
+	opt.OnCell = func(ev CellEvent) {
+		mu.Lock()
+		evs = append(evs, ev)
+		mu.Unlock()
+	}
+	wls := subset(t, "lbm", "xalanc")
+	if _, err := RunMatrixParallel(context.Background(), wls, cfgs, 1, opt); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	return evs
+}
+
+// The event clock is injectable: every Start/End timestamp must come from
+// opt.Now, making span exports byte-stable under test.
+func TestCellEventInjectedClock(t *testing.T) {
+	t.Parallel()
+	base := time.Unix(1700000000, 0)
+	var mu sync.Mutex
+	tick := 0
+	evs := collectEvents(t, fig7Grid(), ParallelOptions{
+		Workers: 2,
+		Now: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			tick++
+			return base.Add(time.Duration(tick) * time.Millisecond)
+		},
+	})
+	if len(evs) == 0 {
+		t.Fatal("no events")
+	}
+	for _, ev := range evs {
+		if ev.Start.Before(base) || ev.End.Before(ev.Start) {
+			t.Errorf("cell %s/%s: timestamps %v..%v not from injected clock",
+				ev.Workload, ev.Config, ev.Start, ev.End)
+		}
+	}
+}
+
+// Source tags must follow the result's actual provenance through the cache
+// tiers: live stream/capture/replay in memory, result-store and disk-replay
+// across processes.
+func TestCellEventSourceTags(t *testing.T) {
+	t.Parallel()
+
+	// No cache: every cell streams.
+	for _, ev := range collectEvents(t, fig7Grid(), ParallelOptions{Workers: 2}) {
+		if ev.Source != "stream" {
+			t.Errorf("uncached cell %s/%s tagged %q, want stream", ev.Workload, ev.Config, ev.Source)
+		}
+	}
+
+	// In-memory trace cache over a timing-only grid (the sharing the cache
+	// exists for): captures and replays appear.
+	tags := map[string]int{}
+	for _, ev := range collectEvents(t, sensGrid(), ParallelOptions{Workers: 2, TraceCache: NewTraceCache()}) {
+		tags[ev.Source]++
+	}
+	if tags["capture"] == 0 || tags["replay"] == 0 {
+		t.Errorf("trace-cached sweep sources = %v, want captures and replays", tags)
+	}
+	if tags[""] > 0 {
+		t.Errorf("successful cells with empty source: %v", tags)
+	}
+
+	// Warm persistent cache: a second sweep over the same grid must serve
+	// from the result store (and the trace store for planned leaders).
+	dir := t.TempDir()
+	coldTC, _ := diskTC(t, dir, persist.Options{})
+	collectEvents(t, sensGrid(), ParallelOptions{Workers: 2, TraceCache: coldTC})
+	warmTC, _ := diskTC(t, dir, persist.Options{})
+	warm := map[string]int{}
+	for _, ev := range collectEvents(t, sensGrid(), ParallelOptions{Workers: 2, TraceCache: warmTC}) {
+		warm[ev.Source]++
+	}
+	if warm["result-store"] == 0 {
+		t.Errorf("warm sweep sources = %v, want result-store hits", warm)
+	}
+	if warm["stream"]+warm["capture"] > 0 {
+		t.Errorf("warm sweep re-executed cells: %v", warm)
+	}
+}
+
+// Obs rides the event stream only when the sweep collects metrics.
+func TestCellEventObsAttachment(t *testing.T) {
+	t.Parallel()
+	for _, ev := range collectEvents(t, fig7Grid(), ParallelOptions{Workers: 2}) {
+		if ev.Obs != nil {
+			t.Fatalf("cell %s/%s carries a registry without Metrics", ev.Workload, ev.Config)
+		}
+	}
+	for _, ev := range collectEvents(t, fig7Grid(), ParallelOptions{Workers: 2, Metrics: true}) {
+		if ev.Obs == nil {
+			t.Fatalf("cell %s/%s missing registry with Metrics on", ev.Workload, ev.Config)
+		}
+		findMetric(t, ev.Obs.Snapshot(), "sim.user_instructions")
+	}
+}
+
+// The exporter glue end to end: events drive the live state, every published
+// line validates, and the snapshot carries progress gauges plus cache
+// counters.
+func TestTelemetryExporterOnSweep(t *testing.T) {
+	t.Parallel()
+	tc := NewTraceCache()
+	tel := NewTelemetryExporter("restbench-test", tc)
+	sub := tel.Bus.Subscribe(4096)
+
+	wls := subset(t, "lbm", "xalanc")
+	cfgs := sensGrid()
+	cells := len(wls) * len(cfgs)
+	tel.AddSweep("fig7", cells)
+	_, err := RunMatrixParallel(context.Background(), wls, cfgs, 1, ParallelOptions{
+		Workers:    2,
+		TraceCache: tc,
+		Metrics:    true,
+		OnCell:     tel.OnCell("fig7"),
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+
+	total, done, holes := tel.Live.Progress()
+	if total != cells || done != cells || holes != 0 {
+		t.Errorf("live progress = %d/%d (%d holes), want %d/%d (0)", done, total, holes, cells, cells)
+	}
+
+	// Every streamed line is a valid OTLP document; one span per cell.
+	tel.Bus.Unsubscribe(sub)
+	spans := 0
+	for line := range sub.C() {
+		if err := otlp.ValidateLine(line); err != nil {
+			t.Fatalf("published line invalid: %v\n%s", err, line)
+		}
+		if strings.Contains(string(line), "resourceSpans") {
+			spans++
+		}
+	}
+	if spans != cells {
+		t.Errorf("published %d span lines, want %d", spans, cells)
+	}
+	if pub, dropped := tel.Bus.Counters(); pub != uint64(cells) || dropped != 0 {
+		t.Errorf("bus counters = %d published, %d dropped; want %d, 0", pub, dropped, cells)
+	}
+
+	// The snapshot merges progress gauges, cache counters and the live
+	// per-cell aggregate, and encodes to a valid document.
+	snap := tel.Snapshot()
+	if m := findMetric(t, snap, "harness.live.cells_done"); m.Value != uint64(cells) {
+		t.Errorf("cells_done gauge = %d, want %d", m.Value, cells)
+	}
+	findMetric(t, snap, "harness.trace_cache.hits")
+	findMetric(t, snap, "sim.user_instructions")
+	doc := otlp.Line(otlp.EncodeMetrics(snap, otlp.ServiceResource("restbench-test"), time.Unix(0, 0), time.Unix(1, 0)))
+	if err := otlp.ValidateMetrics(doc); err != nil {
+		t.Fatalf("exporter snapshot does not encode to valid OTLP: %v", err)
+	}
+
+	// The meter stats roll up the cache tiers.
+	if st := tel.ProgressStats(); st.CacheLookups == 0 || st.CacheHits == 0 {
+		t.Errorf("progress stats empty after a cached sweep: %+v", st)
+	}
+}
+
+// CellEventSpan flattens verdicts the way the dashboard expects.
+func TestCellEventSpanVerdicts(t *testing.T) {
+	t.Parallel()
+	ok := CellEventSpan("fig7", CellEvent{Workload: "lbm", Config: "plain", Instrs: 5, Cycles: 9, Source: "stream"})
+	if ok.Verdict != "ok" || ok.Reason != "" || ok.Cycles != 9 {
+		t.Errorf("ok span: %+v", ok)
+	}
+	sk := CellEventSpan("fig7", CellEvent{Skipped: true})
+	if sk.Verdict != "skipped" {
+		t.Errorf("skipped span: %+v", sk)
+	}
+	hole := CellEventSpan("fig7", CellEvent{Err: context.DeadlineExceeded})
+	if hole.Verdict != "hole" || hole.Reason == "" {
+		t.Errorf("hole span: %+v", hole)
+	}
+
+	// A nil exporter disables the stream without branching at call sites.
+	var nx *TelemetryExporter
+	if nx.OnCell("fig7") != nil {
+		t.Error("nil exporter returned a callback")
+	}
+	nx.AddSweep("fig7", 3)
+	if s := nx.Snapshot(); s != nil {
+		t.Errorf("nil exporter snapshot: %v", s)
+	}
+	if st := nx.ProgressStats(); st != (obs.ProgressStats{}) {
+		t.Errorf("nil exporter stats: %+v", st)
+	}
+}

@@ -85,6 +85,11 @@ type RunResult struct {
 	// with CellLimits.Metrics). The sweep merges cell registries in grid
 	// order into Matrix.Obs.
 	Obs *obs.Registry
+	// Source tags which execution path produced the result: "stream",
+	// "capture", "replay", "disk-replay" or "result-store" (see
+	// CellEvent.Source). Observability metadata only — every path returns
+	// identical Stats/Outcome by the differential tests' contract.
+	Source string
 }
 
 // CellLimits bounds one cell's execution: the watchdog budgets every sweep
@@ -226,10 +231,14 @@ func runStreamed(wl workload.Workload, cfg BinaryConfig, scale int64, lim CellLi
 	if out.Detected() {
 		return nil, fmt.Errorf("harness: %s/%s: spurious detection: %s", wl.Name, cfg.Name, out)
 	}
+	source := "stream"
+	if cap != nil {
+		source = "capture"
+	}
 	return &RunResult{
 		Workload: wl.Name, Config: cfg.Name,
 		Cycles: stats.Cycles, Stats: stats, Outcome: out, World: w,
-		Obs: reg,
+		Obs: reg, Source: source,
 	}, nil
 }
 
@@ -279,7 +288,7 @@ func runReplay(wl workload.Workload, cfg BinaryConfig, lim CellLimits, ent *trac
 	return &RunResult{
 		Workload: wl.Name, Config: cfg.Name,
 		Cycles: stats.Cycles, Stats: stats, Outcome: out, World: w,
-		Obs: reg,
+		Obs: reg, Source: "replay",
 	}, nil
 }
 

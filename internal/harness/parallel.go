@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"rest/internal/obs"
 	"rest/internal/sim"
 	"rest/internal/workload"
 )
@@ -64,10 +65,14 @@ type ParallelOptions struct {
 	// OnCell, when non-nil, receives one CellEvent per grid cell as it
 	// finishes (or is skipped). Events arrive in completion order and may be
 	// delivered concurrently from multiple workers; the callback must be
-	// safe for concurrent use. The trace/progress surfaces hang off this
-	// stream — it reports wall-clock facts, which are explicitly NOT part of
-	// the determinism contract.
+	// safe for concurrent use. The trace/progress/telemetry surfaces hang
+	// off this stream — it reports wall-clock facts, which are explicitly
+	// NOT part of the determinism contract.
 	OnCell func(CellEvent)
+	// Now is the event-stream clock (nil = time.Now). Injected by tests so
+	// CellEvent timestamps are deterministic; the simulation itself never
+	// reads it.
+	Now func() time.Time
 }
 
 // CellEvent is one cell's lifecycle report for the observability stream:
@@ -89,6 +94,17 @@ type CellEvent struct {
 	Skipped bool
 	// Instrs and Cycles summarize a successful cell (zero otherwise).
 	Instrs, Cycles uint64
+	// Source tags where a successful cell's result came from: "stream"
+	// (live execution), "capture" (live execution recording a shared
+	// trace), "replay" (in-memory trace cache), "disk-replay" (persistent
+	// trace store) or "result-store" (memoized cell outcome). Empty for
+	// failed or skipped cells. Like the timestamps, it reflects wall-clock
+	// scheduling and cache warmth, not the determinism contract.
+	Source string
+	// Obs is the cell's private metric registry (nil unless the sweep ran
+	// with Metrics). It is delivered after the cell has finished writing
+	// it; receivers must treat it as read-only.
+	Obs *obs.Registry
 }
 
 // EffectiveWorkers resolves the worker-pool size actually used.
@@ -234,6 +250,10 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	now := opt.Now
+	if now == nil {
+		now = time.Now
+	}
 	outcomes := make([]cellOutcome, len(cells))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -253,6 +273,8 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 		}
 		if o.res != nil {
 			ev.Cycles = o.res.Cycles
+			ev.Source = o.res.Source
+			ev.Obs = o.res.Obs
 			if o.res.Stats != nil {
 				ev.Instrs = o.res.Stats.Instructions
 			}
@@ -271,8 +293,8 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 					opt.TraceCache.forfeit(cellTraceKey(
 						cells[i].wl.Name, cells[i].cfg, scale, opt.CellInstrBudget))
 				}
-				now := time.Now()
-				emit(worker, i, now, now, outcomes[i])
+				at := now()
+				emit(worker, i, at, at, outcomes[i])
 			}
 			for i := range jobs {
 				// Each worker writes only its own slot; no locking needed.
@@ -299,10 +321,10 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 						lim.Timeout = rem
 					}
 				}
-				start := time.Now()
+				start := now()
 				r, err := runCell(cells[i].wl, cells[i].cfg, scale, lim, opt.TraceCache)
 				outcomes[i] = cellOutcome{res: r, err: err}
-				emit(worker, i, start, time.Now(), outcomes[i])
+				emit(worker, i, start, now(), outcomes[i])
 				if err != nil && opt.FailFast {
 					cancel()
 				}

@@ -2,16 +2,24 @@ package obs
 
 import "sync"
 
-// Live is the mutable state behind restbench's expvar endpoint: overall
-// cell progress plus the latest aggregated metric snapshot. It is updated
-// from the sweep completion stream (worker goroutines) and read by HTTP
-// handlers, so every access is mutex-protected.
+// Live is the mutable state behind restbench's expvar and OTLP endpoints:
+// overall cell progress plus a continuously updated metric aggregate. It is
+// updated from the sweep completion stream (worker goroutines) and read by
+// HTTP handlers, so every access is mutex-protected.
+//
+// The aggregate has two tiers. While a sweep runs, finished cells' private
+// registries are merged into a live registry as they complete — merge is
+// commutative, so the snapshot depends only on which cells have finished,
+// never on the order they did — and /debug/vars reflects them immediately.
+// When the sweep finishes, SetMetrics publishes the authoritative
+// grid-order aggregate, which supersedes the live tier.
 type Live struct {
 	mu      sync.Mutex
 	total   int
 	done    int
 	holes   int
-	metrics []Metric
+	agg     *Registry
+	metrics []Metric // final grid-order snapshot (nil until SetMetrics)
 }
 
 // AddTotal registers n more expected cells (called once per sweep).
@@ -38,7 +46,26 @@ func (l *Live) ObserveCell(ok bool) {
 	l.mu.Unlock()
 }
 
-// SetMetrics publishes the latest aggregated registry snapshot. Nil-safe.
+// MergeObs folds one finished cell's private registry into the live
+// aggregate. The registry must not be mutated after the call (finished
+// cells' registries never are). Nil-safe on both sides.
+func (l *Live) MergeObs(r *Registry) {
+	if l == nil || r == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.agg == nil {
+		l.agg = NewRegistry()
+	}
+	// A bound mismatch is impossible by construction (every cell registers
+	// through the same probe constructors); the live tier is advisory, so a
+	// failed merge degrades to a stale snapshot rather than an abort.
+	_ = l.agg.Merge(r)
+}
+
+// SetMetrics publishes the authoritative aggregated registry snapshot
+// (grid-order merged, at sweep end). It supersedes the live tier. Nil-safe.
 func (l *Live) SetMetrics(ms []Metric) {
 	if l == nil {
 		return
@@ -48,16 +75,57 @@ func (l *Live) SetMetrics(ms []Metric) {
 	l.mu.Unlock()
 }
 
-// Vars returns the expvar payload: progress counters, the build identity
-// and the latest metric snapshot. The signature matches expvar.Func.
-func (l *Live) Vars() any {
+// Snapshot returns the current metric view: the final grid-order aggregate
+// once SetMetrics has published it, otherwise the live per-completion
+// aggregate. Nil-safe (returns nil).
+func (l *Live) Snapshot() []Metric {
+	if l == nil {
+		return nil
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.metrics != nil {
+		return l.metrics
+	}
+	return l.agg.Snapshot()
+}
+
+// MergeInto folds the live aggregate into r (the per-completion tier only,
+// not the final SetMetrics snapshot — callers that want one coherent
+// registry add their own sweep-level series). Nil-safe on both sides.
+func (l *Live) MergeInto(r *Registry) {
+	if l == nil || r == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.agg != nil {
+		_ = r.Merge(l.agg)
+	}
+}
+
+// Progress reports the live cell counts. Nil-safe.
+func (l *Live) Progress() (total, done, holes int) {
+	if l == nil {
+		return 0, 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total, l.done, l.holes
+}
+
+// Vars returns the expvar payload: progress counters, the build identity
+// and the current metric snapshot. Because Snapshot reads the live
+// aggregate until the final flush, /debug/vars reflects every completed
+// cell mid-sweep, not just the last flush point. The signature matches
+// expvar.Func.
+func (l *Live) Vars() any {
+	total, done, holes := l.Progress()
 	return map[string]any{
 		"build":       ReadBuild(),
-		"cells_total": l.total,
-		"cells_done":  l.done,
-		"cells_holes": l.holes,
-		"metrics":     l.metrics,
+		"cells_total": total,
+		"cells_done":  done,
+		"cells_holes": holes,
+		"metrics":     l.Snapshot(),
 	}
 }

@@ -1,0 +1,76 @@
+package obs
+
+import "testing"
+
+// Regression for the flush-point staleness bug: /debug/vars (Live.Vars) must
+// reflect cells merged mid-sweep, not only the final SetMetrics flush.
+func TestLiveVarsReflectMidSweepMerges(t *testing.T) {
+	l := &Live{}
+	l.AddTotal(4)
+
+	cell := NewRegistry()
+	cell.Counter("cpu.cycles").Add(100)
+	l.ObserveCell(true)
+	l.MergeObs(cell)
+
+	vars := l.Vars().(map[string]any)
+	ms, ok := vars["metrics"].([]Metric)
+	if !ok || len(ms) != 1 || ms[0].Name != "cpu.cycles" || ms[0].Value != 100 {
+		t.Fatalf("mid-sweep Vars() missing merged cell registry: %v", vars["metrics"])
+	}
+
+	// A second cell accumulates (merge is commutative addition for counters).
+	cell2 := NewRegistry()
+	cell2.Counter("cpu.cycles").Add(50)
+	l.ObserveCell(true)
+	l.MergeObs(cell2)
+	if ms := l.Snapshot(); len(ms) != 1 || ms[0].Value != 150 {
+		t.Fatalf("live aggregate after two cells: %v", ms)
+	}
+
+	// The final flush supersedes the live tier.
+	final := NewRegistry()
+	final.Counter("cpu.cycles").Add(150)
+	final.Counter("harness.cells_ok").Add(2)
+	l.SetMetrics(final.Snapshot())
+	if ms := l.Snapshot(); len(ms) != 2 {
+		t.Fatalf("final snapshot not published: %v", ms)
+	}
+}
+
+func TestLiveMergeIntoFoldsOnlyLiveTier(t *testing.T) {
+	l := &Live{}
+	cell := NewRegistry()
+	cell.Counter("cpu.cycles").Add(7)
+	l.MergeObs(cell)
+
+	// The final tier must NOT leak through MergeInto, or exporter snapshots
+	// would double-count the sweep-level series they add themselves.
+	final := NewRegistry()
+	final.Counter("harness.cells_ok").Add(1)
+	l.SetMetrics(final.Snapshot())
+
+	out := NewRegistry()
+	out.Counter("harness.live.cells_done").Add(1)
+	l.MergeInto(out)
+	snap := out.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("MergeInto produced %d series, want 2: %v", len(snap), snap)
+	}
+	for _, m := range snap {
+		if m.Name == "harness.cells_ok" {
+			t.Fatalf("final tier leaked through MergeInto: %v", snap)
+		}
+	}
+
+	// Nil receivers and nil registries are no-ops.
+	var nl *Live
+	nl.MergeObs(cell)
+	nl.MergeInto(out)
+	nl.ObserveCell(true)
+	if tot, done, holes := nl.Progress(); tot+done+holes != 0 {
+		t.Errorf("nil Live has progress")
+	}
+	l.MergeObs(nil)
+	l.MergeInto(nil)
+}

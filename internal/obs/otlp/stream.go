@@ -1,0 +1,108 @@
+package otlp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Bus fans exported telemetry lines out to any number of subscribers
+// without ever blocking the publisher. The sweep engine's worker goroutines
+// sit on the publishing side, so the cardinal rule is that a slow, stalled
+// or dead subscriber costs the sweep nothing: each subscriber owns a
+// bounded buffer, and a line that does not fit is dropped and counted —
+// never queued unboundedly, never waited on.
+type Bus struct {
+	mu        sync.Mutex
+	subs      map[*Subscriber]struct{}
+	published uint64
+	dropped   uint64
+}
+
+// DefaultSubscriberBuffer is the per-subscriber line buffer when Subscribe
+// is called with buf <= 0. At one span line per sweep cell plus one metrics
+// line per second, 256 lines absorb multi-second consumer stalls on every
+// realistic grid.
+const DefaultSubscriberBuffer = 256
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[*Subscriber]struct{})}
+}
+
+// Subscriber is one stream consumer's bounded mailbox.
+type Subscriber struct {
+	ch      chan []byte
+	dropped atomic.Uint64
+}
+
+// C is the subscriber's line channel. It is closed by Unsubscribe.
+func (s *Subscriber) C() <-chan []byte { return s.ch }
+
+// Dropped reports how many lines were discarded because this subscriber's
+// buffer was full.
+func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
+
+// Subscribe registers a consumer with the given buffer depth (<= 0 selects
+// DefaultSubscriberBuffer). The subscriber receives every line published
+// after this call that fits its buffer.
+func (b *Bus) Subscribe(buf int) *Subscriber {
+	if buf <= 0 {
+		buf = DefaultSubscriberBuffer
+	}
+	s := &Subscriber{ch: make(chan []byte, buf)}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// Unsubscribe removes the consumer and closes its channel. Idempotent.
+func (b *Bus) Unsubscribe(s *Subscriber) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[s]; ok {
+		delete(b.subs, s)
+		close(s.ch)
+	}
+}
+
+// Publish delivers one line to every subscriber whose buffer has room,
+// dropping (and counting) it for the rest. Nil-safe and non-blocking by
+// construction: the only synchronization is the bus mutex, which no
+// subscriber holds while consuming.
+func (b *Bus) Publish(line []byte) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.published++
+	for s := range b.subs {
+		select {
+		case s.ch <- line:
+		default:
+			s.dropped.Add(1)
+			b.dropped++
+		}
+	}
+}
+
+// Subscribers reports the current consumer count. Nil-safe.
+func (b *Bus) Subscribers() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Counters reports lifetime published and dropped line counts. Nil-safe.
+func (b *Bus) Counters() (published, dropped uint64) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published, b.dropped
+}

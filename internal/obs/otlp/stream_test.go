@@ -1,0 +1,107 @@
+package otlp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func drain(s *Subscriber) []string {
+	var out []string
+	for {
+		select {
+		case line, ok := <-s.C():
+			if !ok {
+				return out
+			}
+			out = append(out, string(line))
+		default:
+			return out
+		}
+	}
+}
+
+func TestBusFanOut(t *testing.T) {
+	b := NewBus()
+	a := b.Subscribe(4)
+	c := b.Subscribe(4)
+	b.Publish([]byte("one"))
+	b.Publish([]byte("two"))
+	for _, s := range []*Subscriber{a, c} {
+		got := drain(s)
+		if len(got) != 2 || got[0] != "one" || got[1] != "two" {
+			t.Errorf("subscriber got %v, want [one two]", got)
+		}
+		if s.Dropped() != 0 {
+			t.Errorf("unexpected drops: %d", s.Dropped())
+		}
+	}
+	if n := b.Subscribers(); n != 2 {
+		t.Errorf("Subscribers() = %d, want 2", n)
+	}
+	if pub, drop := b.Counters(); pub != 2 || drop != 0 {
+		t.Errorf("Counters() = %d, %d, want 2, 0", pub, drop)
+	}
+}
+
+func TestBusDropsForFullSubscriberWithoutBlocking(t *testing.T) {
+	b := NewBus()
+	stalled := b.Subscribe(2) // never reads
+	healthy := b.Subscribe(16)
+	for i := 0; i < 10; i++ {
+		b.Publish([]byte(fmt.Sprintf("line-%d", i))) // must not block
+	}
+	if got := len(drain(healthy)); got != 10 {
+		t.Errorf("healthy subscriber got %d lines, want 10", got)
+	}
+	if stalled.Dropped() != 8 {
+		t.Errorf("stalled subscriber dropped %d, want 8", stalled.Dropped())
+	}
+	if got := len(drain(stalled)); got != 2 {
+		t.Errorf("stalled subscriber buffered %d lines, want 2", got)
+	}
+	if pub, drop := b.Counters(); pub != 10 || drop != 8 {
+		t.Errorf("Counters() = %d, %d, want 10, 8", pub, drop)
+	}
+}
+
+func TestBusUnsubscribeIdempotentAndNilSafe(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe(0) // default buffer
+	b.Unsubscribe(s)
+	b.Unsubscribe(s) // second call must not double-close
+	if _, ok := <-s.C(); ok {
+		t.Errorf("channel not closed after Unsubscribe")
+	}
+	b.Publish([]byte("after")) // no live subscribers; still counted
+	if pub, _ := b.Counters(); pub != 1 {
+		t.Errorf("published = %d, want 1", pub)
+	}
+	var nb *Bus
+	nb.Publish([]byte("x")) // nil bus is a no-op
+	if nb.Subscribers() != 0 {
+		t.Errorf("nil bus has subscribers")
+	}
+}
+
+func TestBusConcurrentPublish(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(4096)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Publish([]byte("x"))
+			}
+		}()
+	}
+	wg.Wait()
+	if pub, drop := b.Counters(); pub != 800 || drop != 0 {
+		t.Errorf("Counters() = %d, %d, want 800, 0", pub, drop)
+	}
+	if got := len(drain(sub)); got != 800 {
+		t.Errorf("subscriber got %d lines, want 800", got)
+	}
+}

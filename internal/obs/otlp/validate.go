@@ -1,0 +1,274 @@
+package otlp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The OTLP schema checkers, mirroring obs.ValidateCatapult: they parse the
+// exported bytes back as untyped JSON and check the fields a collector
+// needs, so an encoder regression can never ship a document this package
+// itself would reject. The unit tests and the CI telemetry leg (via
+// restbench -check-otlp) share these.
+
+func checkUintString(doc string, v any, what string) error {
+	s, ok := v.(string)
+	if !ok {
+		return fmt.Errorf("otlp: %s: %s must be a decimal string, got %T", doc, what, v)
+	}
+	if _, err := strconv.ParseUint(s, 10, 64); err != nil {
+		return fmt.Errorf("otlp: %s: %s %q is not a decimal uint64", doc, what, s)
+	}
+	return nil
+}
+
+func checkAttrs(doc string, v any, what string) error {
+	attrs, ok := v.([]any)
+	if !ok {
+		return fmt.Errorf("otlp: %s: %s attributes must be an array", doc, what)
+	}
+	for i, a := range attrs {
+		kv, ok := a.(map[string]any)
+		if !ok {
+			return fmt.Errorf("otlp: %s: %s attribute %d is not an object", doc, what, i)
+		}
+		key, _ := kv["key"].(string)
+		if key == "" {
+			return fmt.Errorf("otlp: %s: %s attribute %d has no key", doc, what, i)
+		}
+		val, ok := kv["value"].(map[string]any)
+		if !ok || len(val) != 1 {
+			return fmt.Errorf("otlp: %s: attribute %q needs exactly one value variant", doc, key)
+		}
+	}
+	return nil
+}
+
+func checkDataPoints(name string, v any, histogram bool) error {
+	dps, ok := v.([]any)
+	if !ok || len(dps) == 0 {
+		return fmt.Errorf("otlp: metric %q has no dataPoints", name)
+	}
+	for i, d := range dps {
+		dp, ok := d.(map[string]any)
+		if !ok {
+			return fmt.Errorf("otlp: metric %q dataPoint %d is not an object", name, i)
+		}
+		if err := checkUintString("metrics", dp["timeUnixNano"], "timeUnixNano"); err != nil {
+			return err
+		}
+		if histogram {
+			if err := checkUintString("metrics", dp["count"], "count"); err != nil {
+				return err
+			}
+			buckets, ok := dp["bucketCounts"].([]any)
+			if !ok {
+				return fmt.Errorf("otlp: metric %q dataPoint %d has no bucketCounts", name, i)
+			}
+			bounds, _ := dp["explicitBounds"].([]any)
+			if len(buckets) != len(bounds)+1 {
+				return fmt.Errorf("otlp: metric %q: %d bucketCounts for %d explicitBounds (want bounds+1)",
+					name, len(buckets), len(bounds))
+			}
+			for _, b := range buckets {
+				if err := checkUintString("metrics", b, "bucketCount"); err != nil {
+					return err
+				}
+			}
+		} else if err := checkUintString("metrics", dp["asInt"], "asInt"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateMetrics checks that raw parses as an OTLP JSON metrics document:
+// a resourceMetrics array whose metrics each carry exactly one instrument
+// variant, a semantic "rest."-prefixed name, and well-formed data points
+// (decimal-string integers, bucketCounts = explicitBounds+1, cumulative
+// monotonic sums).
+func ValidateMetrics(raw []byte) error {
+	var doc struct {
+		ResourceMetrics []struct {
+			Resource     map[string]any `json:"resource"`
+			ScopeMetrics []struct {
+				Scope   map[string]any   `json:"scope"`
+				Metrics []map[string]any `json:"metrics"`
+			} `json:"scopeMetrics"`
+		} `json:"resourceMetrics"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("otlp: metrics document is not valid JSON: %w", err)
+	}
+	if doc.ResourceMetrics == nil {
+		return fmt.Errorf("otlp: document has no resourceMetrics array")
+	}
+	for _, rm := range doc.ResourceMetrics {
+		if err := checkAttrs("metrics", rm.Resource["attributes"], "resource"); err != nil {
+			return err
+		}
+		for _, sm := range rm.ScopeMetrics {
+			if name, _ := sm.Scope["name"].(string); name == "" {
+				return fmt.Errorf("otlp: scopeMetrics has no scope name")
+			}
+			for _, m := range sm.Metrics {
+				name, _ := m["name"].(string)
+				if !strings.HasPrefix(name, "rest.") {
+					return fmt.Errorf("otlp: metric name %q is outside the rest. namespace", name)
+				}
+				variants := 0
+				for _, kind := range []string{"sum", "gauge", "histogram"} {
+					body, ok := m[kind].(map[string]any)
+					if !ok {
+						continue
+					}
+					variants++
+					if err := checkDataPoints(name, body["dataPoints"], kind == "histogram"); err != nil {
+						return err
+					}
+					if kind != "gauge" {
+						if at, _ := body["aggregationTemporality"].(float64); int(at) != CumulativeTemporality {
+							return fmt.Errorf("otlp: metric %q: aggregationTemporality %v, want cumulative (%d)",
+								name, body["aggregationTemporality"], CumulativeTemporality)
+						}
+					}
+					if kind == "sum" {
+						if mono, _ := body["isMonotonic"].(bool); !mono {
+							return fmt.Errorf("otlp: sum %q must be monotonic", name)
+						}
+					}
+				}
+				if variants != 1 {
+					return fmt.Errorf("otlp: metric %q has %d instrument variants, want exactly 1", name, variants)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isHex(s string) bool {
+	for _, c := range s {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateSpans checks that raw parses as an OTLP JSON trace document:
+// a resourceSpans array whose spans carry 16-byte/8-byte lowercase-hex
+// trace/span ids, a name, ordered start/end nanosecond timestamps, valid
+// attributes and a status code in range.
+func ValidateSpans(raw []byte) error {
+	var doc struct {
+		ResourceSpans []struct {
+			Resource   map[string]any `json:"resource"`
+			ScopeSpans []struct {
+				Scope map[string]any   `json:"scope"`
+				Spans []map[string]any `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("otlp: spans document is not valid JSON: %w", err)
+	}
+	if doc.ResourceSpans == nil {
+		return fmt.Errorf("otlp: document has no resourceSpans array")
+	}
+	for _, rs := range doc.ResourceSpans {
+		if err := checkAttrs("spans", rs.Resource["attributes"], "resource"); err != nil {
+			return err
+		}
+		for _, ss := range rs.ScopeSpans {
+			for _, s := range ss.Spans {
+				name, _ := s["name"].(string)
+				if name == "" {
+					return fmt.Errorf("otlp: span has no name")
+				}
+				tid, _ := s["traceId"].(string)
+				if len(tid) != 32 || !isHex(tid) {
+					return fmt.Errorf("otlp: span %q: traceId %q is not 32 lowercase hex chars", name, tid)
+				}
+				sid, _ := s["spanId"].(string)
+				if len(sid) != 16 || !isHex(sid) {
+					return fmt.Errorf("otlp: span %q: spanId %q is not 16 lowercase hex chars", name, sid)
+				}
+				if err := checkUintString("spans", s["startTimeUnixNano"], "startTimeUnixNano"); err != nil {
+					return err
+				}
+				if err := checkUintString("spans", s["endTimeUnixNano"], "endTimeUnixNano"); err != nil {
+					return err
+				}
+				start, _ := strconv.ParseUint(s["startTimeUnixNano"].(string), 10, 64)
+				end, _ := strconv.ParseUint(s["endTimeUnixNano"].(string), 10, 64)
+				if end < start {
+					return fmt.Errorf("otlp: span %q ends before it starts", name)
+				}
+				if attrs, ok := s["attributes"]; ok {
+					if err := checkAttrs("spans", attrs, "span"); err != nil {
+						return err
+					}
+				}
+				if st, ok := s["status"].(map[string]any); ok {
+					code, _ := st["code"].(float64)
+					if code < StatusUnset || code > StatusError {
+						return fmt.Errorf("otlp: span %q: status code %v out of range", name, code)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateLine dispatches one stream line to the matching document checker
+// by its top-level key.
+func ValidateLine(raw []byte) error {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return fmt.Errorf("otlp: stream line is not a JSON object: %w", err)
+	}
+	switch {
+	case probe["resourceMetrics"] != nil:
+		return ValidateMetrics(raw)
+	case probe["resourceSpans"] != nil:
+		return ValidateSpans(raw)
+	default:
+		return fmt.Errorf("otlp: stream line has neither resourceMetrics nor resourceSpans")
+	}
+}
+
+// ValidateDump validates a telemetry capture however it was taken: a single
+// pretty-printed or compact document (GET /otlp/metrics), an NDJSON stream
+// dump (GET /otlp/stream), or an SSE dump ("data: ..." framing, as curl
+// records /otlp/stream?sse=1). Returns the number of validated documents.
+func ValidateDump(raw []byte) (int, error) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return 0, fmt.Errorf("otlp: dump is empty")
+	}
+	// A single document may be pretty-printed across lines; try it first.
+	if err := ValidateLine(trimmed); err == nil {
+		return 1, nil
+	}
+	n := 0
+	for i, line := range bytes.Split(trimmed, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		line = bytes.TrimPrefix(line, []byte("data: ")) // SSE framing
+		if len(line) == 0 || line[0] != '{' {
+			continue
+		}
+		if err := ValidateLine(line); err != nil {
+			return n, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("otlp: dump contains no OTLP documents")
+	}
+	return n, nil
+}

@@ -7,6 +7,14 @@ import (
 	"time"
 )
 
+// ProgressStats is the cache-activity summary an enriched meter line
+// renders: Hits out of Lookups across whatever cache tiers the sweep has
+// attached (in-memory trace cache, persistent result/trace stores).
+type ProgressStats struct {
+	CacheHits    uint64
+	CacheLookups uint64
+}
+
 // Progress renders a live cells-done/holes/ETA meter for one sweep. It is
 // fed from the sweep engine's completion stream (worker goroutines), so it
 // carries its own mutex. The meter writes to stderr in restbench — stdout
@@ -20,12 +28,36 @@ type Progress struct {
 	done  int
 	holes int
 	start time.Time
-	now   func() time.Time // injectable clock for tests
+	now   func() time.Time     // injectable clock for tests
+	stats func() ProgressStats // optional cache-activity supplier
 }
 
 // NewProgress starts a meter for a sweep of total cells, writing to w.
 func NewProgress(w io.Writer, label string, total int) *Progress {
 	return &Progress{w: w, label: label, total: total, start: time.Now(), now: time.Now}
+}
+
+// SetClock replaces the meter's wall clock (the injected time also becomes
+// the start instant). For deterministic golden tests. Nil-safe.
+func (p *Progress) SetClock(now func() time.Time) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.now = now
+	p.start = now()
+	p.mu.Unlock()
+}
+
+// SetStats attaches a cache-activity supplier; each repaint queries it and
+// appends a "cache N% hit" field when any lookups have happened. Nil-safe.
+func (p *Progress) SetStats(f func() ProgressStats) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.stats = f
+	p.mu.Unlock()
 }
 
 // Observe records one finished cell; ok=false counts it as a hole
@@ -46,9 +78,12 @@ func (p *Progress) Observe(ok bool) {
 // render paints the meter line; callers hold p.mu.
 func (p *Progress) render() {
 	elapsed := p.now().Sub(p.start)
-	line := fmt.Sprintf("\r%s: %d/%d cells", p.label, p.done, p.total)
-	if p.holes > 0 {
-		line += fmt.Sprintf(", %d holes", p.holes)
+	line := fmt.Sprintf("\r%s: %d/%d cells, %d holes", p.label, p.done, p.total, p.holes)
+	if p.stats != nil {
+		if s := p.stats(); s.CacheLookups > 0 {
+			line += fmt.Sprintf(", cache %d%% hit (%d/%d)",
+				100*s.CacheHits/s.CacheLookups, s.CacheHits, s.CacheLookups)
+		}
 	}
 	line += fmt.Sprintf(", elapsed %s", elapsed.Round(100*time.Millisecond))
 	if p.done > 0 && p.done < p.total {

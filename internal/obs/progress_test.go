@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The meter lines are golden-tested with an injected clock: the enriched
+// fields (holes always shown, cache hit rate once lookups happen) are part
+// of the operator-facing surface.
+func TestProgressMeterGolden(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "fig8", 4)
+	base := time.Unix(1700000000, 0)
+	tick := 0
+	p.SetClock(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick-1) * time.Second)
+	})
+
+	stats := ProgressStats{}
+	p.SetStats(func() ProgressStats { return stats })
+
+	p.Observe(true) // 1s elapsed, no cache activity yet
+	stats = ProgressStats{CacheHits: 3, CacheLookups: 4}
+	p.Observe(false) // 2s elapsed, hole, cache field appears
+	p.Finish()
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\r")
+	want := []string{
+		"",
+		"fig8: 1/4 cells, 0 holes, elapsed 1s, eta 3s",
+		"fig8: 2/4 cells, 1 holes, cache 75% hit (3/4), elapsed 2s, eta 2s",
+	}
+	for i, w := range want {
+		if i >= len(lines) || lines[i] != w {
+			t.Fatalf("meter frame %d = %q, want %q (full: %q)", i, lines[i], w, buf.String())
+		}
+	}
+}
+
+func TestProgressMeterWithoutStats(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "fig7", 2)
+	p.SetClock(func() time.Time { return time.Unix(1700000000, 0) })
+	p.Observe(true)
+	p.Finish()
+	if got := buf.String(); strings.Contains(got, "cache") {
+		t.Errorf("cache field rendered with no stats supplier: %q", got)
+	}
+	// Nil meter: everything is a no-op.
+	var np *Progress
+	np.SetClock(nil)
+	np.SetStats(nil)
+	np.Observe(true)
+	np.Finish()
+}

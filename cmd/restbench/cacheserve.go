@@ -1,0 +1,82 @@
+// The -cache-serve surface: a standalone artifact-cache server. Sharded
+// restbench processes on other machines (or just other PIDs) point
+// -cache-url at it and share one store: captured traces, memoized cell
+// results and the cross-process capture locks all live behind the wire
+// protocol that internal/persist's CacheServer and HTTPBackend speak.
+//
+// The server is deliberately dumb — it serves whatever persist.Backend it
+// wraps (here a DirBackend) and keeps the advisory lock leases; all cache
+// policy (admission, eviction, integrity, retry) stays in the clients, so a
+// server restart loses nothing but in-flight leases, and even those degrade
+// to the lock files' mtime-based recovery.
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+
+	"rest/internal/persist"
+)
+
+// validateCacheServeFlags enforces -cache-serve's contract: it turns the
+// process into a cache server for other restbench invocations, so the only
+// flag that may accompany it is -cache-dir (the directory to serve, and it
+// is required). explicit holds the flag names the user actually set.
+func validateCacheServeFlags(explicit map[string]bool) error {
+	if !explicit["cache-serve"] {
+		return nil
+	}
+	if !explicit["cache-dir"] {
+		return fmt.Errorf("restbench: -cache-serve needs -cache-dir DIR (the artifact store to serve)")
+	}
+	var bad []string
+	for name := range explicit {
+		if name != "cache-serve" && name != "cache-dir" {
+			bad = append(bad, "-"+name)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("restbench: -cache-serve runs a cache server for other restbench processes and takes only -cache-dir; drop %s",
+		strings.Join(bad, ", "))
+}
+
+// runCacheServe binds addr and serves the artifact store under dir until
+// SIGINT/SIGTERM. The resolved address (usable even for ":0" specs) and an
+// attach hint print to stderr; stdout stays empty, matching every other
+// restbench mode's "reports only" contract.
+func runCacheServe(addr, dir string) error {
+	b, err := persist.NewDirBackend(dir, false)
+	if err != nil {
+		return fmt.Errorf("restbench: -cache-serve: %w", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("restbench: -cache-serve %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	persist.NewCacheServer(b).Register(mux)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "cache-serve: %v\n", err)
+		}
+	}()
+	resolved := ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "serving artifact cache %s on http://%s/cache/v1/ (attach with: restbench -cache-url http://%s ...)\n",
+		dir, resolved, resolved)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-stop
+	fmt.Fprintf(os.Stderr, "cache-serve: %s, shutting down\n", sig)
+	ln.Close()
+	return nil
+}

@@ -72,7 +72,28 @@
 //	-cache-retries N transient backend failures retried per op with
 //	                 exponential backoff (default 2; 0 disables)
 //	-cache-timeout D per-op wall-clock bound on cache backend operations;
-//	                 a blown budget degrades to recompute (default: none)
+//	                 a blown budget degrades to recompute (default: none;
+//	                 30s with -cache-url unless set explicitly)
+//
+// Distributed sweeps (details in EXPERIMENTS.md): one process serves a
+// cache directory, N shard processes each compute a deterministic slice of
+// every grid into it, and a merge run assembles reports byte-identical to a
+// single-process sweep.
+//
+//	-cache-serve ADDR  serve the -cache-dir artifact store to other
+//	                 restbench processes over HTTP until SIGINT/SIGTERM;
+//	                 takes only -cache-dir
+//	-cache-url URL   use a -cache-serve server as the persistent cache
+//	                 instead of a local directory; the full hardening
+//	                 stack (-cache-retries/-cache-timeout/-cache-chaos,
+//	                 circuit breaker, fail-open locks) applies to the
+//	                 network exactly as it does to disk
+//	-shard I/N       run slice I of N (1-based) of every sweep grid and
+//	                 publish the artifacts to the shared store; stdout
+//	                 stays empty — the -merge run renders the reports
+//	-merge           assemble full reports from the shard artifacts in the
+//	                 shared store (a plain full-grid run: complete stores
+//	                 replay everything, missing cells just recompute)
 //
 // Observability controls (all off by default; none of them perturbs stdout,
 // so reports stay byte-identical with or without them):
@@ -114,6 +135,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"rest/internal/fault"
@@ -130,6 +152,7 @@ import (
 // separated from the flag package so tests can exercise every combination.
 type cacheFlagState struct {
 	Dir         string
+	URL         string // -cache-url (HTTP backend; mutually exclusive with Dir)
 	MaxBytes    int64
 	MaxBytesSet bool // -cache-max-bytes given explicitly
 	RW, RO, Off bool
@@ -138,14 +161,30 @@ type cacheFlagState struct {
 	Retries     int
 	RetriesSet  bool // -cache-retries given explicitly
 	Timeout     time.Duration
-	TimeoutSet  bool // -cache-timeout given explicitly
+	TimeoutSet  bool   // -cache-timeout given explicitly
+	Shard       string // -shard spec (empty = full grid)
+	Merge       bool   // -merge (assemble the full grid from the shared store)
+}
+
+// cacheSetup is the validated, resolved persistent-cache configuration:
+// the effective store mode, the parsed chaos spec, and the grid slice this
+// process owns.
+type cacheSetup struct {
+	Mode  string // "rw", "ro" or "off"
+	Chaos *persist.ChaosSpec
+	Shard harness.Shard
 }
 
 // validateCacheFlags rejects contradictory persistent-cache spellings with
 // one actionable line each, resolves the effective mode ("rw", "ro" or
-// "off"; "rw" is the default when -cache-dir is set), and parses the chaos
-// spec if one was given.
-func validateCacheFlags(s cacheFlagState) (mode string, chaos *persist.ChaosSpec, err error) {
+// "off"; "rw" is the default when a store is configured), and parses the
+// chaos spec and shard slice if given.
+func validateCacheFlags(s cacheFlagState) (cacheSetup, error) {
+	var none cacheSetup
+	if s.Dir != "" && s.URL != "" {
+		return none, errors.New("restbench: -cache-dir and -cache-url are mutually exclusive; pass one store, not both")
+	}
+	store := s.Dir != "" || s.URL != ""
 	n := 0
 	for _, b := range []bool{s.RW, s.RO, s.Off} {
 		if b {
@@ -153,9 +192,9 @@ func validateCacheFlags(s cacheFlagState) (mode string, chaos *persist.ChaosSpec
 		}
 	}
 	if n > 1 {
-		return "", nil, errors.New("restbench: -cache-rw, -cache-ro and -cache-off are mutually exclusive; pass at most one")
+		return none, errors.New("restbench: -cache-rw, -cache-ro and -cache-off are mutually exclusive; pass at most one")
 	}
-	mode = "rw"
+	mode := "rw"
 	switch {
 	case s.RO:
 		mode = "ro"
@@ -163,36 +202,53 @@ func validateCacheFlags(s cacheFlagState) (mode string, chaos *persist.ChaosSpec
 		mode = "off"
 	}
 	hardening := s.Chaos != "" || s.RetriesSet || s.TimeoutSet
-	if s.Dir == "" && (n > 0 || s.MaxBytesSet || hardening) {
-		return "", nil, errors.New("restbench: -cache-rw/-cache-ro/-cache-off/-cache-max-bytes/-cache-chaos/-cache-retries/-cache-timeout configure the persistent cache; pass -cache-dir DIR to enable it")
+	if !store && (n > 0 || s.MaxBytesSet || hardening) {
+		return none, errors.New("restbench: -cache-rw/-cache-ro/-cache-off/-cache-max-bytes/-cache-chaos/-cache-retries/-cache-timeout configure the persistent cache; pass -cache-dir DIR or -cache-url URL to enable it")
 	}
 	if s.MaxBytesSet && s.MaxBytes <= 0 {
-		return "", nil, fmt.Errorf("restbench: -cache-max-bytes must be positive, got %d", s.MaxBytes)
+		return none, fmt.Errorf("restbench: -cache-max-bytes must be positive, got %d", s.MaxBytes)
 	}
 	if mode == "off" && hardening {
-		return "", nil, errors.New("restbench: -cache-chaos/-cache-retries/-cache-timeout have no effect with -cache-off; drop one or the other")
+		return none, errors.New("restbench: -cache-chaos/-cache-retries/-cache-timeout have no effect with -cache-off; drop one or the other")
 	}
 	if s.RetriesSet && s.Retries < 0 {
-		return "", nil, fmt.Errorf("restbench: -cache-retries must be >= 0, got %d", s.Retries)
+		return none, fmt.Errorf("restbench: -cache-retries must be >= 0, got %d", s.Retries)
 	}
 	if s.TimeoutSet && s.Timeout <= 0 {
-		return "", nil, fmt.Errorf("restbench: -cache-timeout must be positive, got %v", s.Timeout)
+		return none, fmt.Errorf("restbench: -cache-timeout must be positive, got %v", s.Timeout)
 	}
+	setup := cacheSetup{Mode: mode}
 	if s.Chaos != "" {
-		if chaos, err = persist.ParseChaosSpec(s.Chaos); err != nil {
-			return "", nil, fmt.Errorf("restbench: -cache-chaos: %v", err)
+		var err error
+		if setup.Chaos, err = persist.ParseChaosSpec(s.Chaos); err != nil {
+			return none, fmt.Errorf("restbench: -cache-chaos: %v", err)
 		}
 	}
-	if s.Dir != "" && mode != "off" && !s.TraceCache {
-		return "", nil, errors.New("restbench: the persistent cache rides on the trace cache; drop -trace-cache=false or pass -cache-off")
+	if store && mode != "off" && !s.TraceCache {
+		return none, errors.New("restbench: the persistent cache rides on the trace cache; drop -trace-cache=false or pass -cache-off")
 	}
-	if mode == "ro" {
+	if mode == "ro" && s.Dir != "" {
 		fi, statErr := os.Stat(s.Dir)
 		if statErr != nil || !fi.IsDir() {
-			return "", nil, fmt.Errorf("restbench: -cache-ro: cache directory %q does not exist", s.Dir)
+			return none, fmt.Errorf("restbench: -cache-ro: cache directory %q does not exist", s.Dir)
 		}
 	}
-	return mode, chaos, nil
+	if s.Shard != "" {
+		if s.Merge {
+			return none, errors.New("restbench: -shard runs one slice, -merge assembles the full grid; pass one, not both")
+		}
+		if !store || mode != "rw" {
+			return none, errors.New("restbench: -shard publishes its artifacts to the shared store; pass -cache-dir DIR or -cache-url URL in read-write mode")
+		}
+		var err error
+		if setup.Shard, err = harness.ParseShard(s.Shard); err != nil {
+			return none, fmt.Errorf("restbench: -shard: %v", err)
+		}
+	}
+	if s.Merge && (!store || mode == "off") {
+		return none, errors.New("restbench: -merge assembles reports from the shared store; pass -cache-dir DIR or -cache-url URL")
+	}
+	return setup, nil
 }
 
 // validateWatchFlags enforces -watch's contract: it attaches to another
@@ -243,6 +299,10 @@ func main() {
 	engineName := flag.String("engine", "auto", "functional simulator engine: blocks (default), ref, auto")
 	traceCache := flag.Bool("trace-cache", true, "capture/replay dynamic traces across timing-only config variants")
 	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (empty = no persistent cache)")
+	cacheURL := flag.String("cache-url", "", "shared artifact cache server URL (see -cache-serve; mutually exclusive with -cache-dir)")
+	cacheServe := flag.String("cache-serve", "", "serve the -cache-dir artifact store to other restbench processes on this address and exit on SIGINT/SIGTERM")
+	shardSpec := flag.String("shard", "", "run slice i/n of every sweep grid (1-based, e.g. 2/4); requires a read-write shared store, suppresses stdout reports")
+	merge := flag.Bool("merge", false, "assemble full reports from shard artifacts in the shared store (a plain full-grid run; cells recompute only if missing)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", persist.DefaultMaxBytes, "byte cap on the persistent cache (LRU eviction past it)")
 	cacheRW := flag.Bool("cache-rw", false, "persistent cache in read-write mode (default when -cache-dir is set)")
 	cacheRO := flag.Bool("cache-ro", false, "persistent cache in read-only mode (directory must exist)")
@@ -293,10 +353,22 @@ func main() {
 		}
 		return
 	}
+	if err := validateCacheServeFlags(explicit); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *cacheServe != "" {
+		if err := runCacheServe(*cacheServe, *cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	// Validate the cache flag combinations up front, before any sweep: a
 	// contradictory spelling fails in one line here, not minutes into a run.
-	cacheMode, chaosSpec, cerr := validateCacheFlags(cacheFlagState{
+	setup, cerr := validateCacheFlags(cacheFlagState{
 		Dir:         *cacheDir,
+		URL:         *cacheURL,
 		MaxBytes:    *cacheMaxBytes,
 		MaxBytesSet: explicit["cache-max-bytes"],
 		RW:          *cacheRW,
@@ -308,11 +380,18 @@ func main() {
 		RetriesSet:  explicit["cache-retries"],
 		Timeout:     *cacheTimeout,
 		TimeoutSet:  explicit["cache-timeout"],
+		Shard:       *shardSpec,
+		Merge:       *merge,
 	})
 	if cerr != nil {
 		fmt.Fprintln(os.Stderr, cerr)
 		os.Exit(2)
 	}
+	cacheMode, chaosSpec := setup.Mode, setup.Chaos
+	// A sharded process computes its slice and publishes artifacts; the
+	// reports it could render would be partial, so stdout stays empty and a
+	// later -merge run assembles the real ones from the shared store.
+	shardMode := setup.Shard.Enabled()
 	engine, eerr := sim.ParseEngine(*engineName)
 	if eerr != nil {
 		fmt.Fprintln(os.Stderr, "restbench: "+eerr.Error())
@@ -345,6 +424,7 @@ func main() {
 		CellTimeout:     *cellTimeout,
 		CellInstrBudget: *cellBudget,
 		Engine:          engine,
+		Shard:           setup.Shard,
 	}
 	// One cache for the whole invocation: grids that share functional
 	// identities across sweeps (e.g. -fig8 and -fig8sens both time the
@@ -355,9 +435,10 @@ func main() {
 		opt.TraceCache = tcache
 	}
 	// The persistent tier extends those captures — and memoized clean cell
-	// results — across invocations.
+	// results — across invocations (and, over -cache-url, across processes
+	// and machines sharing one -cache-serve store).
 	var pcache *persist.Cache
-	if *cacheDir != "" && cacheMode != "off" {
+	if (*cacheDir != "" || *cacheURL != "") && cacheMode != "off" {
 		popt := persist.Options{
 			MaxBytes:  *cacheMaxBytes,
 			ReadOnly:  cacheMode == "ro",
@@ -369,7 +450,19 @@ func main() {
 			popt.Retries = -1 // flag 0 means "no retries", not "library default"
 		}
 		var err error
-		pcache, err = persist.Open(*cacheDir, popt)
+		if *cacheURL != "" {
+			// A remote store adds network stalls the local default never
+			// sees: bound every op unless the user chose their own budget.
+			if !explicit["cache-timeout"] {
+				popt.OpTimeout = 30 * time.Second
+			}
+			var hb *persist.HTTPBackend
+			if hb, err = persist.NewHTTPBackend(*cacheURL, persist.HTTPOptions{}); err == nil {
+				pcache, err = persist.OpenBackend(hb, popt)
+			}
+		} else {
+			pcache, err = persist.Open(*cacheDir, popt)
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -385,6 +478,7 @@ func main() {
 	// /otlp/stream, the progress meter's cache field); its span stream is
 	// only attached to sweeps when an HTTP surface actually exists.
 	tel := harness.NewTelemetryExporter("restbench", tcache)
+	tel.Shard = setup.Shard
 	serving := *pprofAddr != "" || *serveAddr != ""
 	live := tel.Live
 	if *pprofAddr != "" {
@@ -416,22 +510,53 @@ func main() {
 	sweepOpt := func(name string, cells int) (harness.ParallelOptions, func(*harness.Matrix)) {
 		o := opt
 		o.Metrics = *metricsOut != ""
+		// In shard mode the meter, the live gauges and the stderr note all
+		// describe the work this shard actually owns — a count only the sweep
+		// planner knows (the partition unit is the functional identity, not
+		// the cell), so they are wired up from its OnPlan report instead of
+		// the full grid size.
 		var meter *obs.Progress
-		if *progress {
-			meter = obs.NewProgress(os.Stderr, name, cells)
-			meter.SetStats(tel.ProgressStats)
+		startMeter := func(cells int) {
+			if *progress {
+				meter = obs.NewProgress(os.Stderr, name, cells)
+				meter.SetStats(tel.ProgressStats)
+			}
+			tel.AddSweep(name, cells)
 		}
-		tel.AddSweep(name, cells)
+		if shardMode {
+			o.OnPlan = func(owned, total int) {
+				note := ""
+				if owned == 0 {
+					note = " (empty shard)"
+				}
+				fmt.Fprintf(os.Stderr, "%s: shard %s owns %d of %d cells%s\n",
+					name, setup.Shard, owned, total, note)
+				startMeter(owned)
+			}
+		} else {
+			startMeter(cells)
+		}
 		var telOn func(harness.CellEvent)
 		if serving {
 			telOn = tel.OnCell(name)
 		}
-		if *traceOut != "" || *progress || serving {
+		// Merge provenance: count how much of the grid the shared store
+		// served so the stderr summary can say whether the shards' work was
+		// actually reused. Atomics — cells finish on concurrent workers.
+		var fromStore, computed atomic.Uint64
+		if *traceOut != "" || *progress || serving || *merge {
 			o.OnCell = func(ev harness.CellEvent) {
 				ok := ev.Err == nil && !ev.Skipped
 				meter.Observe(ok)
 				if telOn != nil {
 					telOn(ev)
+				}
+				if *merge && ok {
+					if ev.Source == "result-store" || ev.Source == "disk-replay" {
+						fromStore.Add(1)
+					} else {
+						computed.Add(1)
+					}
 				}
 				verdict := "ok"
 				switch {
@@ -447,8 +572,13 @@ func main() {
 					})
 			}
 		}
+		total := cells
 		return o, func(m *harness.Matrix) {
 			meter.Finish()
+			if *merge {
+				fmt.Fprintf(os.Stderr, "%s: merge served %d of %d cells from the shared cache (%d recomputed)\n",
+					name, fromStore.Load(), total, computed.Load())
+			}
 			if m == nil || !o.Metrics {
 				return
 			}
@@ -484,11 +614,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s: elapsed %s (j=%d)\n",
 			name, time.Since(start).Round(time.Millisecond), opt.EffectiveWorkers())
 	}
+	// report prints one finished report to stdout — except in shard mode,
+	// where this process's view of the grid is partial by construction, so
+	// stdout stays empty and the -merge run renders the real reports.
+	report := func(s string) {
+		if !shardMode {
+			fmt.Println(s)
+		}
+	}
+	// Tables, -stats and -faults are not sweep grids: a shard owns no slice
+	// of them, so they run (and print) only in full or -merge invocations.
+	if shardMode && (*all || *table1 || *table2 || *table3 || *stats || *faults) {
+		fmt.Fprintln(os.Stderr, "shard mode computes sweep-grid slices only; tables, -stats and -faults are left to the -merge run")
+	}
 
-	if *all || *table2 {
+	if (*all || *table2) && !shardMode {
 		fmt.Println(harness.RenderTableII())
 	}
-	if *all || *table1 {
+	if (*all || *table1) && !shardMode {
 		out, ok := harness.RunTableI()
 		fmt.Println(out)
 		if !ok {
@@ -502,7 +645,7 @@ func main() {
 		sweepErr("fig3", err)
 		finish(r.Matrix)
 		elapsed("fig3", start)
-		fmt.Println(r.Render())
+		report(r.Render())
 	}
 	if *all || *fig7 {
 		wls := workload.All()
@@ -515,22 +658,22 @@ func main() {
 		sweepErr("fig7", err)
 		finish(m)
 		elapsed("fig7", start)
-		fmt.Println(m.RenderOverheadTable(
+		report(m.RenderOverheadTable(
 			fmt.Sprintf("Figure 7: runtime overheads over plain binaries (scale %d)", *scale)))
-		fmt.Println("headline: " + m.Summary())
-		fmt.Println()
+		report("headline: " + m.Summary())
+		report("")
 		if *chart {
-			fmt.Println(m.RenderBarChart("Figure 7 (bars)", 180))
+			report(m.RenderBarChart("Figure 7 (bars)", 180))
 		}
 		if *csv {
-			fmt.Println(m.CSV())
+			report(m.CSV())
 		}
 		if *jsonOut {
 			raw, err := m.JSON("figure7", *scale)
 			if err != nil {
 				fail(err)
 			}
-			fmt.Println(string(raw))
+			report(string(raw))
 		}
 	}
 	if *all || *fig8 {
@@ -542,10 +685,10 @@ func main() {
 		sweepErr("fig8", err)
 		finish(m)
 		elapsed("fig8", start)
-		fmt.Println(m.RenderOverheadTable(
+		report(m.RenderOverheadTable(
 			fmt.Sprintf("Figure 8: token-width overheads, secure mode (scale %d)", *scale)))
 		if *csv {
-			fmt.Println(m.CSV())
+			report(m.CSV())
 		}
 	}
 	if *all || *fig8sens {
@@ -555,13 +698,13 @@ func main() {
 		sweepErr("fig8sens", err)
 		finish(m)
 		elapsed("fig8sens", start)
-		fmt.Println(m.RenderOverheadTable(
+		report(m.RenderOverheadTable(
 			fmt.Sprintf("Figure 8 sensitivity: overheads under timing variants (scale %d)", *scale)))
 		if *csv {
-			fmt.Println(m.CSV())
+			report(m.CSV())
 		}
 	}
-	if *all || *stats {
+	if (*all || *stats) && !shardMode {
 		wl, err := workload.ByName(*statsWL)
 		if err != nil {
 			fail(err)
@@ -574,7 +717,7 @@ func main() {
 		finish(s.Matrix)
 		fmt.Println(s.Render())
 	}
-	if *all || *faults {
+	if (*all || *faults) && !shardMode {
 		start := time.Now()
 		c, err := fault.RunCampaign(fault.Options{Seed: *seed, Only: *only, Engine: engine})
 		if err != nil {
@@ -596,7 +739,7 @@ func main() {
 			fail(fmt.Errorf("fault campaign: %d scenarios deviated from the paper's predicted verdicts", n))
 		}
 	}
-	if *all || *table3 {
+	if (*all || *table3) && !shardMode {
 		fmt.Println(harness.RenderTableIII())
 	}
 	if *metricsOut != "" {
@@ -636,6 +779,19 @@ func main() {
 				c.Unavailable, s.Retries, s.RetryGiveups, s.Timeouts,
 				s.BreakerTrips, s.BreakerRejects, s.BreakerRecoveries,
 				s.ChaosErrs, s.ChaosTorn, s.ChaosCorrupt, s.ChaosNoSpace)
+		}
+		// The cross-process coordination plane only speaks up when another
+		// process was actually there: contended capture locks, and time
+		// spent waiting out other leaders.
+		if c.LockContended > 0 || c.LockWaits > 0 {
+			fmt.Fprintf(os.Stderr, "disk cache: lock plane %d contended acquires, %d waits (%s waiting)\n",
+				c.LockContended, c.LockWaits, time.Duration(c.LockWaitNs).Round(time.Millisecond))
+		}
+		if hc, ok := pcache.HTTPCounters(); ok {
+			fmt.Fprintf(os.Stderr,
+				"http cache: %d gets (%d coalesced, %s saved) / %d puts / %d lists, %d lock ops (%d renews), %d transport errors, %d B in / %d B out\n",
+				hc.Gets, hc.Coalesced, time.Duration(hc.CoalescedWaitNs).Round(time.Millisecond),
+				hc.Puts, hc.Lists, hc.LockOps, hc.Renews, hc.TransportErrs, hc.BytesIn, hc.BytesOut)
 		}
 		if err := pcache.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "disk cache: %v\n", err)

@@ -17,6 +17,7 @@ func TestValidateCacheFlags(t *testing.T) {
 		s         cacheFlagState
 		mode      string
 		wantChaos bool
+		wantShard string // Shard.String() of the parsed slice ("" = full grid)
 		wantErr   string
 	}{
 		{name: "no cache flags", s: cacheFlagState{TraceCache: true}, mode: "rw"},
@@ -125,12 +126,80 @@ func TestValidateCacheFlags(t *testing.T) {
 			},
 			mode: "rw",
 		},
+		{name: "url alone defaults to rw", s: cacheFlagState{URL: "http://localhost:9", TraceCache: true}, mode: "rw"},
+		{
+			name: "url carries the hardening stack",
+			s: cacheFlagState{
+				URL: "http://localhost:9", Chaos: "seed=3,rate=0.2",
+				Retries: 4, RetriesSet: true, TraceCache: true,
+			},
+			mode:      "rw",
+			wantChaos: true,
+		},
+		{
+			name: "url in read-only mode skips the dir check",
+			s:    cacheFlagState{URL: "http://localhost:9", RO: true, TraceCache: true},
+			mode: "ro",
+		},
+		{
+			name:    "dir and url together",
+			s:       cacheFlagState{Dir: dir, URL: "http://localhost:9", TraceCache: true},
+			wantErr: "not both",
+		},
+		{
+			name:    "url without the trace cache",
+			s:       cacheFlagState{URL: "http://localhost:9", TraceCache: false},
+			wantErr: "rides on the trace cache",
+		},
+		{
+			name:      "shard over a dir store",
+			s:         cacheFlagState{Dir: dir, Shard: "2/4", TraceCache: true},
+			mode:      "rw",
+			wantShard: "2/4",
+		},
+		{
+			name:      "shard over a url store",
+			s:         cacheFlagState{URL: "http://localhost:9", Shard: "1/2", TraceCache: true},
+			mode:      "rw",
+			wantShard: "1/2",
+		},
+		{
+			name:    "shard without a store",
+			s:       cacheFlagState{Shard: "1/2", TraceCache: true},
+			wantErr: "read-write mode",
+		},
+		{
+			name:    "shard over a read-only store",
+			s:       cacheFlagState{Dir: dir, RO: true, Shard: "1/2", TraceCache: true},
+			wantErr: "read-write mode",
+		},
+		{
+			name:    "shard with merge",
+			s:       cacheFlagState{Dir: dir, Shard: "1/2", Merge: true, TraceCache: true},
+			wantErr: "pass one, not both",
+		},
+		{
+			name:    "malformed shard spec",
+			s:       cacheFlagState{Dir: dir, Shard: "0/2", TraceCache: true},
+			wantErr: "-shard",
+		},
+		{name: "merge over a dir store", s: cacheFlagState{Dir: dir, Merge: true, TraceCache: true}, mode: "rw"},
+		{
+			name: "merge over a read-only url store",
+			s:    cacheFlagState{URL: "http://localhost:9", RO: true, Merge: true, TraceCache: true},
+			mode: "ro",
+		},
+		{
+			name:    "merge without a store",
+			s:       cacheFlagState{Merge: true, TraceCache: true},
+			wantErr: "-merge assembles",
+		},
 	} {
 		t.Run(tt.name, func(t *testing.T) {
-			mode, chaos, err := validateCacheFlags(tt.s)
+			setup, err := validateCacheFlags(tt.s)
 			if tt.wantErr != "" {
 				if err == nil {
-					t.Fatalf("want error containing %q, got mode %q", tt.wantErr, mode)
+					t.Fatalf("want error containing %q, got %+v", tt.wantErr, setup)
 				}
 				if !strings.Contains(err.Error(), tt.wantErr) {
 					t.Fatalf("error %q does not contain %q", err, tt.wantErr)
@@ -143,13 +212,57 @@ func TestValidateCacheFlags(t *testing.T) {
 			if err != nil {
 				t.Fatalf("unexpected error: %v", err)
 			}
-			if mode != tt.mode {
-				t.Fatalf("mode: want %q got %q", tt.mode, mode)
+			if setup.Mode != tt.mode {
+				t.Fatalf("mode: want %q got %q", tt.mode, setup.Mode)
 			}
-			if (chaos != nil) != tt.wantChaos {
-				t.Fatalf("chaos spec: want present=%t got %v", tt.wantChaos, chaos)
+			if (setup.Chaos != nil) != tt.wantChaos {
+				t.Fatalf("chaos spec: want present=%t got %v", tt.wantChaos, setup.Chaos)
+			}
+			if setup.Shard.String() != tt.wantShard {
+				t.Fatalf("shard: want %q got %q", tt.wantShard, setup.Shard)
 			}
 		})
+	}
+}
+
+// TestValidateCacheServeFlags pins -cache-serve's contract: it turns the
+// process into a cache server, needs the directory to serve, and takes no
+// flag that would configure a local run.
+func TestValidateCacheServeFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		explicit map[string]bool
+		wantErr  string
+	}{
+		{name: "no cache-serve", explicit: map[string]bool{"fig3": true, "cache-dir": true}},
+		{name: "serve with its dir", explicit: map[string]bool{"cache-serve": true, "cache-dir": true}},
+		{
+			name:     "serve without a dir",
+			explicit: map[string]bool{"cache-serve": true},
+			wantErr:  "needs -cache-dir",
+		},
+		{
+			name:     "serve with an experiment",
+			explicit: map[string]bool{"cache-serve": true, "cache-dir": true, "fig8": true},
+			wantErr:  "-fig8",
+		},
+		{
+			name:     "serve with shard and jobs",
+			explicit: map[string]bool{"cache-serve": true, "cache-dir": true, "shard": true, "j": true},
+			wantErr:  "-j, -shard",
+		},
+	}
+	for _, tt := range cases {
+		err := validateCacheServeFlags(tt.explicit)
+		if tt.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tt.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+			t.Errorf("%s: got %v, want error containing %q", tt.name, err, tt.wantErr)
+		}
 	}
 }
 

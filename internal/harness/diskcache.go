@@ -244,6 +244,28 @@ func (tc *TraceCache) recordDiskObs(r *obs.Registry) {
 	r.Counter("harness.diskcache.unavailable").Add(c.Unavailable)
 	r.Counter("harness.diskcache.bytes").Add(c.Bytes)
 
+	// The cross-process lock plane: how often this process raced another for
+	// a capture lock and how long it spent waiting out other leaders.
+	r.Counter("persist.lock.contended").Add(c.LockContended)
+	r.Counter("persist.lock.waits").Add(c.LockWaits)
+	r.Counter("persist.lock.wait_ns").Add(c.LockWaitNs)
+
+	// Wire traffic when the store is a remote cache server (absent for a
+	// local directory, so local metric dumps carry no dead rows).
+	if hc, ok := pc.HTTPCounters(); ok {
+		r.Counter("persist.httpbackend.gets").Add(hc.Gets)
+		r.Counter("persist.httpbackend.puts").Add(hc.Puts)
+		r.Counter("persist.httpbackend.deletes").Add(hc.Deletes)
+		r.Counter("persist.httpbackend.lists").Add(hc.Lists)
+		r.Counter("persist.httpbackend.lock_ops").Add(hc.LockOps)
+		r.Counter("persist.httpbackend.renews").Add(hc.Renews)
+		r.Counter("persist.httpbackend.coalesced").Add(hc.Coalesced)
+		r.Counter("persist.httpbackend.coalesced_wait_ns").Add(hc.CoalescedWaitNs)
+		r.Counter("persist.httpbackend.transport_errs").Add(hc.TransportErrs)
+		r.Counter("persist.httpbackend.bytes_in").Add(hc.BytesIn)
+		r.Counter("persist.httpbackend.bytes_out").Add(hc.BytesOut)
+	}
+
 	// The hardening stack's own activity (same operational-state caveat).
 	s := pc.StackCounters()
 	r.Counter("persist.retry.attempts").Add(s.RetryAttempts)

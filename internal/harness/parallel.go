@@ -73,6 +73,21 @@ type ParallelOptions struct {
 	// CellEvent timestamps are deterministic; the simulation itself never
 	// reads it.
 	Now func() time.Time
+	// Shard restricts the sweep to the grid cells one shard of a distributed
+	// run owns (the zero value runs the full grid). The returned Matrix
+	// contains only the owned cells; reassembling the full grid is a warm
+	// re-run of the unsharded sweep over the shared persistent cache (every
+	// computed cell is a result-store hit, anything a killed shard left
+	// behind is recomputed), which is what keeps merged reports byte-identical
+	// to a single-process run at any shard count.
+	Shard Shard
+	// OnPlan, when non-nil, is called once before any cell runs with the
+	// number of grid cells this process will execute and the full grid size.
+	// Only the planner knows the owned count exactly — the shard partition
+	// unit is the functional identity, not the cell (see Shard) — so this is
+	// where progress meters and "shard i/n owns X of Y cells" notes get
+	// their totals. Called from the sweep goroutine before workers start.
+	OnPlan func(owned, total int)
 }
 
 // CellEvent is one cell's lifecycle report for the observability stream:
@@ -235,16 +250,26 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 		wl  workload.Workload
 		cfg BinaryConfig
 	}
-	cells := make([]cell, 0, len(wls)*len(cfgs))
+	gridTotal := len(wls) * len(cfgs)
+	owned := opt.Shard.ownership(wls, cfgs, scale, opt.CellInstrBudget)
+	cells := make([]cell, 0, gridTotal)
+	idx := 0
 	for _, wl := range wls {
 		for _, cfg := range cfgs {
-			cells = append(cells, cell{wl, cfg})
+			if owned[idx] {
+				cells = append(cells, cell{wl, cfg})
+			}
+			idx++
 		}
+	}
+	if opt.OnPlan != nil {
+		opt.OnPlan(len(cells), gridTotal)
 	}
 	if opt.TraceCache != nil {
 		// Register the grid before any cell runs, so capture/replay/bypass
-		// roles are a function of the grid alone, not of scheduling.
-		opt.TraceCache.Plan(wls, cfgs, scale, opt.CellInstrBudget)
+		// roles are a function of the grid alone, not of scheduling. A shard
+		// plans only its own cells (see PlanShard).
+		opt.TraceCache.PlanShard(wls, cfgs, scale, opt.CellInstrBudget, opt.Shard)
 	}
 
 	cctx, cancel := context.WithCancel(ctx)
@@ -376,6 +401,14 @@ func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []Bina
 		}
 		if opt.TraceCache != nil {
 			opt.TraceCache.recordObs(m.Obs)
+		}
+		if opt.Shard.Enabled() && m.Obs != nil {
+			// Shard identity and coverage, so a distributed sweep's metric
+			// stream says which slice of which grid this process ran.
+			m.Obs.Counter("harness.shard.index").Add(uint64(opt.Shard.Index))
+			m.Obs.Counter("harness.shard.count").Add(uint64(opt.Shard.Count))
+			m.Obs.Counter("harness.shard.cells").Add(uint64(len(cells)))
+			m.Obs.Counter("harness.shard.cells_total").Add(uint64(gridTotal))
 		}
 	}
 	if len(merr.Cells) > 0 || merr.Skipped > 0 {

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rest/internal/workload"
+)
+
+// Shard selects a deterministic slice of a sweep grid for one process, the
+// scale-out half of the distributed-sweep story: every process sees the same
+// workload-major grid order, derives the same partition from it, and the
+// shared artifact cache carries the results across processes. The partition
+// is a pure function of the grid — no coordination, no registration, no
+// ordering between shards — so shards can run on different machines, at
+// different times, or twice (duplicate submissions are idempotent: content
+// addressing makes the second run a cache hit).
+//
+// The partition unit is the functional identity, not the cell: all cells
+// sharing one captured trace (the timing rows of a workload × flavour; see
+// cellTraceKey) form one unit, numbered in first-appearance order, and every
+// unit lands whole on exactly one shard. Splitting a unit would make several
+// shards need the same capture, and the store's cross-process single-flight
+// would then serialize the cold path through its capture locks — measured on
+// the sensitivity grid, two cell-strided shards ran no faster than one.
+// Units are dealt to shards in boustrophedon (snake) order rather than plain
+// round-robin so that systematic cost differences between neighbouring
+// units — a grid's flavours alternate, and instrumented builds simulate
+// slower than plain ones — and any cost gradient along the workload axis
+// both spread evenly across shards. For grids with no shared identities
+// (every config functionally distinct) the unit is a single cell and this
+// degrades to balanced cell-level dealing.
+//
+// The zero Shard is "no sharding": the full grid.
+type Shard struct {
+	// Index is the 0-based shard number, 0 ≤ Index < Count.
+	Index int
+	// Count is the total number of shards; 0 (or negative) disables sharding.
+	Count int
+}
+
+// ParseShard parses the restbench "-shard i/n" spec (1-based on the wire,
+// 0-based in the struct).
+func ParseShard(spec string) (Shard, error) {
+	i, n, ok := strings.Cut(spec, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("shard spec %q is not i/n (e.g. 2/4)", spec)
+	}
+	idx, err := strconv.Atoi(strings.TrimSpace(i))
+	if err != nil {
+		return Shard{}, fmt.Errorf("shard index %q is not an integer", i)
+	}
+	cnt, err := strconv.Atoi(strings.TrimSpace(n))
+	if err != nil {
+		return Shard{}, fmt.Errorf("shard count %q is not an integer", n)
+	}
+	if cnt < 1 {
+		return Shard{}, fmt.Errorf("shard count must be ≥ 1, got %d", cnt)
+	}
+	if idx < 1 || idx > cnt {
+		return Shard{}, fmt.Errorf("shard index %d out of range 1..%d", idx, cnt)
+	}
+	return Shard{Index: idx - 1, Count: cnt}, nil
+}
+
+// Enabled reports whether the shard restricts the grid at all.
+func (s Shard) Enabled() bool { return s.Count > 0 }
+
+// Owns reports whether partition unit u (functional identities in
+// first-appearance order; see ownership) belongs to this shard. Units are
+// dealt in snake order: forward on even rounds, backward on odd ones, so any
+// window of 2·Count consecutive units gives every shard exactly two.
+func (s Shard) Owns(u int) bool {
+	if !s.Enabled() {
+		return true
+	}
+	p := u % s.Count
+	if (u/s.Count)%2 == 1 {
+		p = s.Count - 1 - p
+	}
+	return p == s.Index
+}
+
+// String renders the 1-based wire form ("2/4"), or "" when disabled.
+func (s Shard) String() string {
+	if !s.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index+1, s.Count)
+}
+
+// ownership maps every cell of the workload-major grid to whether this shard
+// owns it. Cells sharing a functional identity (one captured trace) always
+// resolve to the same owner — identities need not be adjacent in the grid
+// (sensitivity grids alternate flavours), so units are tracked by key, not
+// by run. This is the single source of truth for the partition: the sweep
+// engine builds its cell list from it and PlanShard plans exactly the same
+// slice.
+func (s Shard) ownership(wls []workload.Workload, cfgs []BinaryConfig, scale int64, budget uint64) []bool {
+	owns := make([]bool, len(wls)*len(cfgs))
+	if !s.Enabled() {
+		for i := range owns {
+			owns[i] = true
+		}
+		return owns
+	}
+	units := make(map[traceKey]int)
+	i := 0
+	for _, wl := range wls {
+		for _, cfg := range cfgs {
+			k := cellTraceKey(wl.Name, cfg, scale, budget)
+			u, seen := units[k]
+			if !seen {
+				u = len(units)
+				units[k] = u
+			}
+			owns[i] = s.Owns(u)
+			i++
+		}
+	}
+	return owns
+}

@@ -56,6 +56,7 @@ var semanticPrefixes = []struct{ from, to string }{
 	{"harness.trace_cache.", "rest.cache.trace."},
 	{"harness.diskcache.", "rest.cache.disk."},
 	{"harness.", "rest.sweep."},
+	{"persist.httpbackend.", "rest.persist.http."},
 	{"persist.", "rest.persist."},
 	{"sim.blockcache.", "rest.sim.blockcache."},
 	{"sim.", "rest.sim."},

@@ -37,7 +37,10 @@ func TestSemanticNames(t *testing.T) {
 		"harness.trace_cache.hits":     "rest.cache.trace.hits",
 		"harness.diskcache.trace_hits": "rest.cache.disk.trace_hits",
 		"harness.live.cells_done":      "rest.sweep.live.cells_done",
+		"harness.shard.index":          "rest.sweep.shard.index",
 		"persist.breaker.trips":        "rest.persist.breaker.trips",
+		"persist.lock.contended":       "rest.persist.lock.contended",
+		"persist.httpbackend.gets":     "rest.persist.http.gets",
 		"fault.detected":               "rest.fault.detected",
 		"unmapped.thing":               "rest.unmapped.thing",
 	}

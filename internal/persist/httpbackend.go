@@ -1,0 +1,397 @@
+// HTTPBackend speaks the CacheServer wire protocol and presents it as an
+// ordinary Backend, so a remote artifact store slots under the hardening
+// stack (breaker → retry → timeout) exactly like a local directory: every
+// transport or server failure surfaces as *UnavailableError (the only class
+// the retry layer touches), 404/507/423 map straight back onto the typed
+// taxonomy, and lock failures stay fail-open at the Cache layer.
+//
+// Two network-only concerns live here rather than in the middleware:
+//
+//   - Single-flight gets. Parallel sweep workers routinely ask for the same
+//     artifact at the same moment (every worker warming the same trace).
+//     Identical concurrent Gets coalesce onto one wire request; followers
+//     wait for the leader's bytes and receive a private copy. The wait time
+//     is accounted (CoalescedWaitNs) so the stderr summary can show it.
+//
+//   - Lock leases. The server grants leases that expire when the holder
+//     stops renewing; TryLock starts a background renewer that keeps the
+//     lease young until release. A killed process simply stops renewing and
+//     the server-side age grows until another client steals the lock — the
+//     same abandoned-leader recovery as local lock files.
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLockRenew is how often a held lock lease is refreshed. It must sit
+// well under Options.StaleLockAge (default 10m) so a live holder is never
+// mistaken for a dead one.
+const DefaultLockRenew = 15 * time.Second
+
+// HTTPOptions tunes an HTTPBackend.
+type HTTPOptions struct {
+	// Client overrides the HTTP client (nil = a pooled keep-alive client).
+	Client *http.Client
+	// RenewEvery overrides the lock lease renewal period. Zero means
+	// DefaultLockRenew; negative disables auto-renewal (tests).
+	RenewEvery time.Duration
+}
+
+// HTTPBackend is a Backend served by a remote CacheServer.
+type HTTPBackend struct {
+	base  string // e.g. "http://127.0.0.1:7070", no trailing slash
+	hc    *http.Client
+	renew time.Duration
+	st    httpStats
+
+	mu       sync.Mutex
+	inflight map[string]*getCall // kind/name → in-progress wire Get
+}
+
+// getCall is one in-flight wire Get that followers can latch onto.
+type getCall struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// httpStats are the backend's wire counters (persist.httpbackend.* in sweep
+// metrics). Atomics: Gets race with each other by design.
+type httpStats struct {
+	gets, puts, deletes, lists       atomic.Uint64
+	lockOps, renews                  atomic.Uint64
+	coalesced, coalescedWaitNs       atomic.Uint64
+	transportErrs, bytesIn, bytesOut atomic.Uint64
+}
+
+// HTTPCounters is a point-in-time snapshot of an HTTPBackend's wire traffic.
+type HTTPCounters struct {
+	Gets, Puts, Deletes, Lists uint64 // wire requests by verb
+	LockOps                    uint64 // acquires + releases + breaks + age probes
+	Renews                     uint64 // lease renewal attempts
+	Coalesced                  uint64 // Gets served from another caller's flight
+	CoalescedWaitNs            uint64 // total time spent waiting on those flights
+	TransportErrs              uint64 // requests that died before a status arrived
+	BytesIn, BytesOut          uint64 // payload bytes received / sent
+}
+
+// NewHTTPBackend connects to a CacheServer at baseURL (scheme://host[:port],
+// any path prefix before /cache/v1/ is kept). It performs no I/O; the first
+// request discovers whether the server is reachable.
+func NewHTTPBackend(baseURL string, opt HTTPOptions) (*HTTPBackend, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("persist: bad cache URL %q: %w", baseURL, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("persist: cache URL %q must be http(s)://host[:port]", baseURL)
+	}
+	hc := opt.Client
+	if hc == nil {
+		hc = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	renew := opt.RenewEvery
+	if renew == 0 {
+		renew = DefaultLockRenew
+	}
+	base := u.Scheme + "://" + u.Host + u.Path
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &HTTPBackend{
+		base:     base,
+		hc:       hc,
+		renew:    renew,
+		inflight: make(map[string]*getCall),
+	}, nil
+}
+
+// Counters snapshots the wire traffic so far.
+func (b *HTTPBackend) Counters() HTTPCounters {
+	return HTTPCounters{
+		Gets:            b.st.gets.Load(),
+		Puts:            b.st.puts.Load(),
+		Deletes:         b.st.deletes.Load(),
+		Lists:           b.st.lists.Load(),
+		LockOps:         b.st.lockOps.Load(),
+		Renews:          b.st.renews.Load(),
+		Coalesced:       b.st.coalesced.Load(),
+		CoalescedWaitNs: b.st.coalescedWaitNs.Load(),
+		TransportErrs:   b.st.transportErrs.Load(),
+		BytesIn:         b.st.bytesIn.Load(),
+		BytesOut:        b.st.bytesOut.Load(),
+	}
+}
+
+// do performs one wire request and returns (status, body, nil), or a non-nil
+// error when no well-formed response arrived (connection refused, reset
+// mid-body, or a body shorter than its declared Content-Length — the torn
+// response a dying server or proxy produces).
+func (b *HTTPBackend) do(method, path string, q url.Values, body []byte) (int, []byte, error) {
+	u := b.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, u, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := b.hc.Do(req)
+	if err != nil {
+		b.st.transportErrs.Add(1)
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		b.st.transportErrs.Add(1)
+		return 0, nil, fmt.Errorf("reading response: %w", err)
+	}
+	if resp.ContentLength >= 0 && int64(len(data)) != resp.ContentLength {
+		b.st.transportErrs.Add(1)
+		return 0, nil, fmt.Errorf("torn response: read %d of %d declared bytes", len(data), resp.ContentLength)
+	}
+	b.st.bytesIn.Add(uint64(len(data)))
+	b.st.bytesOut.Add(uint64(len(body)))
+	return resp.StatusCode, data, nil
+}
+
+// statusErr summarizes an unexpected status for the Unavailable cause chain.
+func statusErr(status int, body []byte) error {
+	msg := string(bytes.TrimSpace(body))
+	if len(msg) > 120 {
+		msg = msg[:120]
+	}
+	if msg == "" {
+		return fmt.Errorf("server returned %d", status)
+	}
+	return fmt.Errorf("server returned %d: %s", status, msg)
+}
+
+func objPath(kind, name string) string {
+	return "/cache/v1/obj/" + url.PathEscape(kind) + "/" + url.PathEscape(name)
+}
+
+func lockPath(name string) string {
+	return "/cache/v1/lock/" + url.PathEscape(name)
+}
+
+// Get fetches one object, coalescing concurrent identical requests onto a
+// single wire round trip.
+func (b *HTTPBackend) Get(kind, name string) ([]byte, error) {
+	key := kind + "/" + name
+	b.mu.Lock()
+	if c, ok := b.inflight[key]; ok {
+		b.mu.Unlock()
+		b.st.coalesced.Add(1)
+		start := time.Now()
+		<-c.done
+		b.st.coalescedWaitNs.Add(uint64(time.Since(start)))
+		if c.err != nil {
+			return nil, c.err
+		}
+		out := make([]byte, len(c.data))
+		copy(out, c.data)
+		return out, nil
+	}
+	c := &getCall{done: make(chan struct{})}
+	b.inflight[key] = c
+	b.mu.Unlock()
+
+	c.data, c.err = b.getWire(kind, name)
+	b.mu.Lock()
+	delete(b.inflight, key)
+	b.mu.Unlock()
+	close(c.done)
+	// The leader keeps the original slice; only followers copy.
+	return c.data, c.err
+}
+
+func (b *HTTPBackend) getWire(kind, name string) ([]byte, error) {
+	b.st.gets.Add(1)
+	status, data, err := b.do(http.MethodGet, objPath(kind, name), nil, nil)
+	if err != nil {
+		return nil, unavailable("get", kind, name, err)
+	}
+	switch status {
+	case http.StatusOK:
+		return data, nil
+	case http.StatusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, unavailable("get", kind, name, statusErr(status, data))
+	}
+}
+
+// Put publishes one object.
+func (b *HTTPBackend) Put(kind, name string, data []byte) error {
+	b.st.puts.Add(1)
+	status, body, err := b.do(http.MethodPut, objPath(kind, name), nil, data)
+	if err != nil {
+		return unavailable("put", kind, name, err)
+	}
+	switch status {
+	case http.StatusNoContent:
+		return nil
+	case http.StatusInsufficientStorage:
+		return ErrNoSpace
+	default:
+		return unavailable("put", kind, name, statusErr(status, body))
+	}
+}
+
+// Delete removes one object; absent objects are not an error.
+func (b *HTTPBackend) Delete(kind, name string) error {
+	b.st.deletes.Add(1)
+	status, body, err := b.do(http.MethodDelete, objPath(kind, name), nil, nil)
+	if err != nil {
+		return unavailable("delete", kind, name, err)
+	}
+	switch status {
+	case http.StatusNoContent, http.StatusNotFound:
+		return nil
+	default:
+		return unavailable("delete", kind, name, statusErr(status, body))
+	}
+}
+
+// List enumerates one kind.
+func (b *HTTPBackend) List(kind string) ([]Stat, error) {
+	b.st.lists.Add(1)
+	status, data, err := b.do(http.MethodGet, "/cache/v1/list/"+url.PathEscape(kind), nil, nil)
+	if err != nil {
+		return nil, unavailable("list", kind, "", err)
+	}
+	if status != http.StatusOK {
+		return nil, unavailable("list", kind, "", statusErr(status, data))
+	}
+	var wire []wireStat
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return nil, unavailable("list", kind, "", fmt.Errorf("malformed listing: %w", err))
+	}
+	out := make([]Stat, 0, len(wire))
+	for _, ws := range wire {
+		out = append(out, Stat{Name: ws.Name, Bytes: ws.Bytes, ModTime: time.Unix(0, ws.ModUnixNS)})
+	}
+	return out, nil
+}
+
+// TryLock acquires a lease on name. On success the returned release function
+// stops the renewer and releases the lease (best-effort: release after a
+// steal or a dead server must never blow up — the lease ages out anyway).
+func (b *HTTPBackend) TryLock(name string) (func(), error) {
+	b.st.lockOps.Add(1)
+	status, data, err := b.do(http.MethodPost, lockPath(name), nil, nil)
+	if err != nil {
+		return nil, unavailable("lock", "", name, err)
+	}
+	switch status {
+	case http.StatusOK:
+		var wl wireLease
+		if json.Unmarshal(data, &wl) != nil || wl.Lease == "" {
+			return nil, unavailable("lock", "", name, errors.New("malformed lease grant"))
+		}
+		return b.holdLease(name, wl.Lease), nil
+	case http.StatusLocked:
+		return nil, ErrLockHeld
+	default:
+		return nil, unavailable("lock", "", name, statusErr(status, data))
+	}
+}
+
+// holdLease starts the background renewer (when enabled) and returns the
+// idempotent release hook.
+func (b *HTTPBackend) holdLease(name, lease string) func() {
+	stop := make(chan struct{})
+	renewerDone := make(chan struct{})
+	if b.renew > 0 {
+		go func() {
+			defer close(renewerDone)
+			t := time.NewTicker(b.renew)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					b.st.renews.Add(1)
+					q := url.Values{"lease": {lease}}
+					status, _, err := b.do(http.MethodPost, lockPath(name), q, nil)
+					if err == nil && status == http.StatusConflict {
+						// Lease stolen (we were presumed dead): stop renewing;
+						// the eventual release is a harmless no-op.
+						return
+					}
+				}
+			}
+		}()
+	} else {
+		close(renewerDone)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stop)
+			<-renewerDone
+			b.st.lockOps.Add(1)
+			q := url.Values{"lease": {lease}}
+			b.do(http.MethodDelete, lockPath(name), q, nil) // best-effort
+		})
+	}
+}
+
+// LockAge reports how long the current lease on name has gone unrenewed.
+func (b *HTTPBackend) LockAge(name string) (time.Duration, error) {
+	b.st.lockOps.Add(1)
+	status, data, err := b.do(http.MethodGet, lockPath(name), nil, nil)
+	if err != nil {
+		return 0, unavailable("lockage", "", name, err)
+	}
+	switch status {
+	case http.StatusOK:
+		var wa wireAge
+		if err := json.Unmarshal(data, &wa); err != nil {
+			return 0, unavailable("lockage", "", name, fmt.Errorf("malformed age: %w", err))
+		}
+		return time.Duration(wa.AgeNS), nil
+	case http.StatusNotFound:
+		return 0, ErrNotFound
+	default:
+		return 0, unavailable("lockage", "", name, statusErr(status, data))
+	}
+}
+
+// BreakLock force-releases name's lease (stale-holder recovery).
+func (b *HTTPBackend) BreakLock(name string) error {
+	b.st.lockOps.Add(1)
+	status, data, err := b.do(http.MethodDelete, lockPath(name), nil, nil)
+	if err != nil {
+		return unavailable("breaklock", "", name, err)
+	}
+	switch status {
+	case http.StatusNoContent, http.StatusNotFound:
+		return nil
+	default:
+		return unavailable("breaklock", "", name, statusErr(status, data))
+	}
+}

@@ -149,6 +149,8 @@ type Counters struct {
 	Corruptions              uint64
 	Rejected                 uint64 // single entries larger than the whole cap
 	LockWaits                uint64
+	LockWaitNs               uint64 // wall-clock time spent in WaitUnlocked
+	LockContended            uint64 // TryLock races lost to another holder
 	Unavailable              uint64 // ops degraded by backend unavailability
 	Bytes                    uint64 // resident payload bytes
 	Entries                  uint64 // resident entry count
@@ -185,9 +187,10 @@ type manifest struct {
 // several processes may share one directory (stores are atomic, manifest
 // rewrites merge with the on-disk state under an advisory lock).
 type Cache struct {
-	b     Backend     // the hardened stack every op goes through
-	dirb  *DirBackend // non-nil when the raw backend is the local directory
-	dir   string      // the directory path ("" for non-directory backends)
+	b     Backend      // the hardened stack every op goes through
+	dirb  *DirBackend  // non-nil when the raw backend is the local directory
+	httpb *HTTPBackend // non-nil when the raw backend is a remote cache server
+	dir   string       // the directory path ("" for non-directory backends)
 	opt   Options
 	stack *StackStats
 
@@ -233,6 +236,7 @@ func openBackend(raw Backend, db *DirBackend, opt Options) (*Cache, error) {
 	if db != nil {
 		c.dir = db.dir
 	}
+	c.httpb, _ = raw.(*HTTPBackend)
 	c.loadManifest()
 	c.reconcile()
 	return c, nil
@@ -258,6 +262,15 @@ func (c *Cache) Counters() Counters {
 // StackCounters returns a snapshot of the hardening stack's activity (retry,
 // timeout, breaker and chaos counters).
 func (c *Cache) StackCounters() StackCounters { return c.stack.Snapshot() }
+
+// HTTPCounters returns the remote backend's wire counters; ok is false when
+// the cache is not backed by an HTTP cache server.
+func (c *Cache) HTTPCounters() (HTTPCounters, bool) {
+	if c.httpb == nil {
+		return HTTPCounters{}, false
+	}
+	return c.httpb.Counters(), true
+}
 
 // Close flushes the manifest (recency updates included). The cache remains
 // usable after Close; it exists so a process's LRU observations survive it.
@@ -556,6 +569,9 @@ func (c *Cache) TryLock(id ID) (release func(), ok bool) {
 			return rel, true
 		}
 	}
+	c.mu.Lock()
+	c.c.LockContended++
+	c.mu.Unlock()
 	return nil, false
 }
 
@@ -564,9 +580,15 @@ func (c *Cache) TryLock(id ID) (release func(), ok bool) {
 // way; a timeout merely means a duplicate capture, never a wrong result. A
 // lock plane that cannot answer ends the wait immediately (fail open).
 func (c *Cache) WaitUnlocked(id ID) {
+	start := time.Now()
 	c.mu.Lock()
 	c.c.LockWaits++
 	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.c.LockWaitNs += uint64(time.Since(start))
+		c.mu.Unlock()
+	}()
 	deadline := time.Now().Add(c.opt.LockWait)
 	for time.Now().Before(deadline) {
 		age, err := c.b.LockAge(id.String())

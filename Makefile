@@ -27,7 +27,7 @@
 GO         ?= go
 FUZZTIME   ?= 10s
 SEED       ?= 42
-BENCH_JSON ?= BENCH_9.json
+BENCH_JSON ?= BENCH_10.json
 CACHE_DIR  ?= .restcache
 
 .PHONY: build vet test race fuzz-short faults bench bench-smoke bench-json chaos-short watch-demo clean-cache verify

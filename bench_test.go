@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -231,13 +232,12 @@ func BenchmarkFig8DiskColdWarm(b *testing.B) {
 
 // runFig8SensitivityHTTP is runFig8SensitivityDisk's twin over the wire: the
 // same sweep against a cache served by the HTTP backend instead of a local
-// directory handle.
-func runFig8SensitivityHTTP(tb testing.TB, url string, popt persist.Options) (time.Duration, persist.Counters) {
+// directory handle. The backend is a parameter, not a local, because its
+// read-through memory cache is part of what the warm leg measures: a
+// long-lived worker reusing one backend serves repeat object reads from
+// memory instead of re-crossing the wire every sweep.
+func runFig8SensitivityHTTP(tb testing.TB, hb *persist.HTTPBackend, popt persist.Options) (time.Duration, persist.Counters) {
 	tb.Helper()
-	hb, err := persist.NewHTTPBackend(url, persist.HTTPOptions{})
-	if err != nil {
-		tb.Fatal(err)
-	}
 	pc, err := persist.OpenBackend(hb, popt)
 	if err != nil {
 		tb.Fatal(err)
@@ -265,6 +265,18 @@ func buildRestbench(tb testing.TB) string {
 	return bin
 }
 
+// runRestbenchStdout runs the CLI once and returns its report bytes.
+func runRestbenchStdout(tb testing.TB, bin string, args ...string) []byte {
+	tb.Helper()
+	var out, errs bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout, cmd.Stderr = &out, &errs
+	if err := cmd.Run(); err != nil {
+		tb.Fatalf("restbench %s: %v\n%s", strings.Join(args, " "), err, errs.Bytes())
+	}
+	return out.Bytes()
+}
+
 // serveCacheDir exposes dir over the cache wire protocol on a loopback
 // listener and returns the URL shard processes attach to.
 func serveCacheDir(tb testing.TB, dir string) string {
@@ -280,60 +292,173 @@ func serveCacheDir(tb testing.TB, dir string) string {
 	return srv.URL
 }
 
+// poolMeasurement names the single metric every multi-process arm in this
+// file — the 1/2/4 shard arms and the elastic pool arms alike — is scored
+// with, so speedup ratios always compare like with like. With enough cores
+// for the widest arm plus the cache server, every process truly runs in
+// parallel and wall clock is the honest number. On smaller machines (CI
+// boxes are often 1-2 cores) the wall of N concurrent CPU-bound processes
+// only measures the kernel slicing one core, so every arm — including the
+// single-process baseline — is instead scored by its CPU makespan: the
+// largest CPU time (user+system) any surviving process consumed, which
+// models the wall clock of the deployment the fan-out targets (one machine
+// per worker, where lease-wait stalls park a core instead of burning it).
+// Either way all processes launch concurrently and every arm is measured
+// identically; earlier revisions mixed a concurrent wall for the baseline
+// with a per-shard maximum for the fan-out arms, which skewed the ratio.
+func poolMeasurement() string {
+	if runtime.NumCPU() >= 5 {
+		return "wall-concurrent"
+	}
+	return "cpu-makespan-concurrent"
+}
+
+// runProcPool launches n worker processes concurrently and scores the arm
+// under poolMeasurement(). kill, when non-nil, runs while the pool works and
+// returns the index of a process it terminated: that process models a
+// crashed machine, so its exit status, partial CPU time, and output are all
+// ignored. Surviving workers must exit clean with an empty stdout; their
+// stderr is returned for summary parsing, indexed by worker.
+func runProcPool(tb testing.TB, n int, mk func(k int, out, errs *bytes.Buffer) *exec.Cmd, kill func(cmds []*exec.Cmd) int) (time.Duration, []string) {
+	tb.Helper()
+	cmds := make([]*exec.Cmd, n)
+	outs := make([]bytes.Buffer, n)
+	errs := make([]bytes.Buffer, n)
+	start := time.Now()
+	for k := range cmds {
+		cmds[k] = mk(k, &outs[k], &errs[k])
+		if err := cmds[k].Start(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	killed := -1
+	if kill != nil {
+		killed = kill(cmds)
+	}
+	var cpuMax time.Duration
+	var stderrs []string
+	for k, cmd := range cmds {
+		err := cmd.Wait()
+		if k == killed {
+			stderrs = append(stderrs, "")
+			continue
+		}
+		if err != nil {
+			tb.Fatalf("worker %d/%d: %v\n%s", k+1, n, err, errs[k].Bytes())
+		}
+		if outs[k].Len() > 0 {
+			tb.Fatalf("worker %d/%d printed to stdout:\n%s", k+1, n, outs[k].Bytes())
+		}
+		st := cmd.ProcessState
+		if c := st.UserTime() + st.SystemTime(); c > cpuMax {
+			cpuMax = c
+		}
+		stderrs = append(stderrs, errs[k].String())
+	}
+	if poolMeasurement() == "wall-concurrent" {
+		return time.Since(start), stderrs
+	}
+	return cpuMax, stderrs
+}
+
 // runShardProcesses measures an n-shard cold distributed sweep: n
 // single-worker restbench shard processes sharing one cache server, separate
-// OS processes and wire protocol included. With at least n CPUs the shards
-// run concurrently and the wall clock is the time until the last exits. On
-// smaller machines (CI boxes are often 1-2 cores) concurrent CPU-bound
-// processes would only measure the kernel scheduler slicing one core — so
-// the shards run back-to-back and the modeled wall is the slowest single
-// shard, which is the wall clock of the deployment sharding targets: one
-// machine per shard. The returned mode names the measurement taken.
-func runShardProcesses(tb testing.TB, bin, url string, n int) (time.Duration, string) {
+// OS processes and wire protocol included.
+func runShardProcesses(tb testing.TB, bin, url string, n int) time.Duration {
 	tb.Helper()
-	shardCmd := func(k int, out, errs *bytes.Buffer) *exec.Cmd {
+	d, _ := runProcPool(tb, n, func(k int, out, errs *bytes.Buffer) *exec.Cmd {
 		cmd := exec.Command(bin, "-fig8sens",
 			"-scale", strconv.Itoa(benchScale), "-j", "1",
 			"-shard", fmt.Sprintf("%d/%d", k+1, n), "-cache-url", url)
 		cmd.Stdout, cmd.Stderr = out, errs
 		return cmd
-	}
-	check := func(k int, err error, out, errs *bytes.Buffer) {
-		if err != nil {
-			tb.Fatalf("shard %d/%d: %v\n%s", k+1, n, err, errs.Bytes())
-		}
-		if out.Len() > 0 {
-			tb.Fatalf("shard %d/%d printed to stdout:\n%s", k+1, n, out.Bytes())
-		}
-	}
+	}, nil)
+	return d
+}
 
-	if runtime.NumCPU() >= n {
-		cmds := make([]*exec.Cmd, n)
-		outs := make([]bytes.Buffer, n)
-		errs := make([]bytes.Buffer, n)
-		start := time.Now()
-		for k := range cmds {
-			cmds[k] = shardCmd(k, &outs[k], &errs[k])
-			if err := cmds[k].Start(); err != nil {
+// benchStaleAge is the lease staleness horizon elastic bench workers run
+// with: long enough that a live worker (renewing at a quarter of this) is
+// never mistaken for dead, short enough that a killed worker's claim is
+// re-stolen well before the survivors drain their own share.
+const benchStaleAge = "2s"
+
+// runElasticPool measures an n-worker elastic cold sweep over a freshly
+// served cache dir: every worker joins with -shard auto and the pool drains
+// by work stealing. When killAtMarkers > 0, worker 0 is SIGKILLed as soon as
+// that many unit completion markers exist in the store — mid-sweep, so the
+// survivors must steal its lease and finish its share.
+func runElasticPool(tb testing.TB, bin, url, dir string, n, killAtMarkers int) (time.Duration, []elasticSummary) {
+	tb.Helper()
+	mk := func(k int, out, errs *bytes.Buffer) *exec.Cmd {
+		cmd := exec.Command(bin, "-fig8sens",
+			"-scale", strconv.Itoa(benchScale), "-j", "1",
+			"-shard", "auto", "-cache-url", url, "-cache-stale-age", benchStaleAge)
+		cmd.Stdout, cmd.Stderr = out, errs
+		return cmd
+	}
+	var kill func(cmds []*exec.Cmd) int
+	if killAtMarkers > 0 {
+		kill = func(cmds []*exec.Cmd) int {
+			deadline := time.Now().Add(10 * time.Minute)
+			for countElasticMarkers(tb, dir) < killAtMarkers {
+				if time.Now().After(deadline) {
+					tb.Fatalf("elastic pool published fewer than %d markers in 10m", killAtMarkers)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			if err := cmds[0].Process.Kill(); err != nil {
 				tb.Fatal(err)
 			}
+			return 0
 		}
-		for k, cmd := range cmds {
-			check(k, cmd.Wait(), &outs[k], &errs[k])
-		}
-		return time.Since(start), "concurrent"
 	}
+	d, stderrs := runProcPool(tb, n, mk, kill)
+	var sums []elasticSummary
+	for k, s := range stderrs {
+		if killAtMarkers > 0 && k == 0 {
+			continue
+		}
+		sums = append(sums, parseElasticSummary(tb, s))
+	}
+	return d, sums
+}
 
-	var worst time.Duration
-	for k := 0; k < n; k++ {
-		var out, errs bytes.Buffer
-		start := time.Now()
-		check(k, shardCmd(k, &out, &errs).Run(), &out, &errs)
-		if d := time.Since(start); d > worst {
-			worst = d
+// countElasticMarkers counts published unit completion markers in a served
+// cache directory. Markers are meta objects, which a DirBackend keeps at the
+// directory root under their literal names.
+func countElasticMarkers(tb testing.TB, dir string) int {
+	tb.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), harness.ElasticMarkerPrefix) {
+			n++
 		}
 	}
-	return worst, "per-shard-max"
+	return n
+}
+
+// elasticSummary is one worker's parsed "elastic pool:" stderr line.
+type elasticSummary struct {
+	claimed, units, stolen, done, skipped, leaseLost, cells, waits int
+}
+
+func parseElasticSummary(tb testing.TB, stderr string) elasticSummary {
+	tb.Helper()
+	i := strings.Index(stderr, "elastic pool: ")
+	if i < 0 {
+		tb.Fatalf("no elastic pool summary in worker stderr:\n%s", stderr)
+	}
+	var s elasticSummary
+	if _, err := fmt.Sscanf(stderr[i:],
+		"elastic pool: claimed %d of %d units (%d stolen), %d done, %d already published, %d lease-lost, %d cells computed, %d drain waits",
+		&s.claimed, &s.units, &s.stolen, &s.done, &s.skipped, &s.leaseLost, &s.cells, &s.waits); err != nil {
+		tb.Fatalf("malformed elastic pool summary (%v):\n%s", err, stderr[i:])
+	}
+	return s
 }
 
 // benchJSONPath gates TestBenchJSON: `make bench-json` passes
@@ -448,40 +573,98 @@ func TestBenchJSON(t *testing.T) {
 
 	// The distributed plane, scaling leg: N separate shard processes (one
 	// sweep worker each, so parallelism comes purely from the process
-	// fan-out) share one cold cache server; the wall clock should drop
-	// roughly with the process count. Floor: >= 1.6x at two shards. See
-	// runShardProcesses for how the wall is measured when the machine has
-	// fewer cores than shards (shard_measurement in the artifact).
+	// fan-out) share one cold cache server; the measured cost should drop
+	// roughly with the process count. Floor: >= 1.6x at two shards. Every
+	// arm is scored under the one metric poolMeasurement() names (recorded
+	// as shard_measurement in the artifact).
 	bin := buildRestbench(t)
 	shardWall := map[int]time.Duration{}
-	shardMode := map[int]string{}
 	for _, n := range []int{1, 2, 4} {
-		shardWall[n], shardMode[n] = runShardProcesses(t, bin, serveCacheDir(t, t.TempDir()), n)
+		shardWall[n] = runShardProcesses(t, bin, serveCacheDir(t, t.TempDir()), n)
 	}
 	shardSpeedup2 := float64(shardWall[1]) / float64(shardWall[2])
 	shardSpeedup4 := float64(shardWall[1]) / float64(shardWall[4])
 	if shardSpeedup2 < 1.6 {
-		t.Errorf("2-shard cold sweep only %.2fx the 1-shard wall (1=%s 2=%s, %s), want >= 1.6x",
-			shardSpeedup2, shardWall[1], shardWall[2], shardMode[2])
+		t.Errorf("2-shard cold sweep only %.2fx the 1-shard cost (1=%s 2=%s, %s), want >= 1.6x",
+			shardSpeedup2, shardWall[1], shardWall[2], poolMeasurement())
+	}
+
+	// The elastic plane: a 3-worker work-stealing pool over a fresh store,
+	// with worker 0 killed once half the grid's unit markers are published —
+	// the survivors must steal its lease, finish its share, and drain the
+	// grid without recomputing anything already published. Scored against a
+	// single elastic worker under the same metric. The ideal with a clean
+	// halfway kill is ~2.4x (each worker does 1/6 of the work before the
+	// kill, the survivors split the remaining half), so the 2.2x floor
+	// leaves room for the stolen unit's replay and scheduler noise.
+	units := harness.UnitCount(workload.All(), harness.Fig8SensitivityConfigs(), benchScale, 0)
+	solo1Dir := t.TempDir()
+	elastic1, _ := runElasticPool(t, bin, serveCacheDir(t, solo1Dir), solo1Dir, 1, 0)
+	elasticDir := t.TempDir()
+	elasticURL := serveCacheDir(t, elasticDir)
+	elastic3, sums := runElasticPool(t, bin, elasticURL, elasticDir, 3, units/2)
+	elasticSpeedup := float64(elastic1) / float64(elastic3)
+	if elasticSpeedup < 2.2 {
+		t.Errorf("3-worker elastic sweep with a halfway kill only %.2fx one worker (1=%s 3=%s, %s), want >= 2.2x",
+			elasticSpeedup, elastic1, elastic3, poolMeasurement())
+	}
+	if got := countElasticMarkers(t, elasticDir); got != units {
+		t.Errorf("elastic pool drained with %d of %d unit markers", got, units)
+	}
+	var stolen int
+	for _, s := range sums {
+		stolen += s.stolen
+	}
+	if stolen == 0 {
+		t.Errorf("no survivor stole the killed worker's lease: %+v", sums)
+	}
+	// Published-exactly-once, checked through the scheduler itself: a late
+	// worker joining the drained pool must find every unit already
+	// published and compute nothing.
+	_, verifySums := runElasticPool(t, bin, elasticURL, elasticDir, 1, 0)
+	if v := verifySums[0]; v.cells != 0 || v.done != 0 {
+		t.Errorf("drained elastic grid was recomputed by a late worker: %+v", v)
+	}
+	// And the merge of the pool's artifacts must be byte-identical to a
+	// plain single-process sweep's report.
+	soloOut := runRestbenchStdout(t, bin, "-fig8sens", "-scale", strconv.Itoa(benchScale))
+	mergeOut := runRestbenchStdout(t, bin, "-fig8sens", "-scale", strconv.Itoa(benchScale),
+		"-cache-url", elasticURL, "-merge")
+	if !bytes.Equal(soloOut, mergeOut) {
+		t.Errorf("elastic merge is not byte-identical to the single-process report (%d vs %d bytes)",
+			len(mergeOut), len(soloOut))
 	}
 
 	// The distributed plane, wire-tax leg: the warm sweep served by the HTTP
 	// backend through a loopback cache server over the directory the disk
-	// A/B warmed above, versus straight off that directory. A raw <5% of a
-	// millisecond-scale warm sweep is physically impossible over a socket,
-	// so the gate is 5% plus an absolute wire budget (~2ms per grid cell);
-	// the real percentage is recorded in the artifact.
+	// A/B warmed above, versus straight off that directory. One backend is
+	// shared across rounds — the long-lived-worker shape — so the first
+	// sweep pays the wire for every object and warms the backend's
+	// read-through memory cache, and later sweeps measure the warm path the
+	// cache exists for. Before that cache, this leg ran at ~380% of the
+	// directory sweep; the gate now holds it to 50% plus a small absolute
+	// epsilon for the requests that still must cross the wire (manifest and
+	// marker meta reads are never cached).
 	httpURL := serveCacheDir(t, dir)
-	httpWarm, httpC := runFig8SensitivityHTTP(t, httpURL, persist.Options{})
-	if h2, _ := runFig8SensitivityHTTP(t, httpURL, persist.Options{}); h2 < httpWarm {
+	hb, err := persist.NewHTTPBackend(httpURL, persist.HTTPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpCold, _ := runFig8SensitivityHTTP(t, hb, persist.Options{})
+	httpWarm, httpC := runFig8SensitivityHTTP(t, hb, persist.Options{})
+	if h2, _ := runFig8SensitivityHTTP(t, hb, persist.Options{}); h2 < httpWarm {
 		httpWarm = h2
 	}
 	if httpC.ResultHits == 0 {
 		t.Errorf("HTTP warm sweep never hit the result store: %+v", httpC)
 	}
+	httpWire := hb.Counters()
+	if httpWire.ReadHits == 0 {
+		t.Errorf("HTTP warm sweep never hit the read-through cache: %+v", httpWire)
+	}
 	httpOverhead := 100 * (float64(httpWarm)/float64(hardenedWarm) - 1)
-	if httpWarm > hardenedWarm+hardenedWarm/20+500*time.Millisecond {
-		t.Errorf("HTTP warm sweep %s vs dir %s (+%.1f%%), want within 5%% + 500ms wire budget",
+	if httpWarm > hardenedWarm+hardenedWarm/2+100*time.Millisecond {
+		t.Errorf("HTTP warm sweep %s vs dir %s (+%.1f%%), want within 50%% + 100ms wire budget",
 			httpWarm, hardenedWarm, httpOverhead)
 	}
 
@@ -537,9 +720,17 @@ func TestBenchJSON(t *testing.T) {
 		ShardSpeedup2    float64 `json:"shard_2proc_speedup"`
 		ShardSpeedup4    float64 `json:"shard_4proc_speedup"`
 		ShardMeasurement string  `json:"shard_measurement"`
+		ElasticUnits     int     `json:"elastic_units"`
+		Elastic1Ns       int64   `json:"elastic_cold_1worker_ns"`
+		Elastic3KillNs   int64   `json:"elastic_cold_3worker_killed_ns"`
+		ElasticSpeedup   float64 `json:"elastic_killed_speedup"`
+		ElasticStolen    int     `json:"elastic_stolen_units"`
+		HTTPColdNs       int64   `json:"http_cold_ns"`
 		HTTPWarmNs       int64   `json:"http_warm_ns"`
 		HTTPOverheadPct  float64 `json:"http_warm_overhead_pct"`
 		HTTPResultHits   uint64  `json:"http_warm_result_hits"`
+		HTTPReadHits     uint64  `json:"http_read_cache_hits"`
+		HTTPReadSavedB   uint64  `json:"http_read_cache_saved_bytes"`
 	}{
 		Benchmark:        "Fig8SensitivityCaptureReplay",
 		Scale:            benchScale,
@@ -569,10 +760,18 @@ func TestBenchJSON(t *testing.T) {
 		ShardCold4Ns:     shardWall[4].Nanoseconds(),
 		ShardSpeedup2:    shardSpeedup2,
 		ShardSpeedup4:    shardSpeedup4,
-		ShardMeasurement: fmt.Sprintf("1proc=%s 2proc=%s 4proc=%s", shardMode[1], shardMode[2], shardMode[4]),
+		ShardMeasurement: poolMeasurement(),
+		ElasticUnits:     units,
+		Elastic1Ns:       elastic1.Nanoseconds(),
+		Elastic3KillNs:   elastic3.Nanoseconds(),
+		ElasticSpeedup:   elasticSpeedup,
+		ElasticStolen:    stolen,
+		HTTPColdNs:       httpCold.Nanoseconds(),
 		HTTPWarmNs:       httpWarm.Nanoseconds(),
 		HTTPOverheadPct:  httpOverhead,
 		HTTPResultHits:   httpC.ResultHits,
+		HTTPReadHits:     httpWire.ReadHits,
+		HTTPReadSavedB:   httpWire.ReadSavedBytes,
 	}
 	raw, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -581,9 +780,10 @@ func TestBenchJSON(t *testing.T) {
 	if err := os.WriteFile(*benchJSONPath, append(raw, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("mem cache on %s / off %s (%.1f%%); disk cold %s / warm %s (%.1f%%); hardening %+.1f%%; telemetry %+.1f%%; sim blocks %.2fx ref; shards 1/2/4 %s/%s/%s (%.2fx/%.2fx, 2proc=%s); http warm %s (%+.1f%%) -> %s",
+	t.Logf("mem cache on %s / off %s (%.1f%%); disk cold %s / warm %s (%.1f%%); hardening %+.1f%%; telemetry %+.1f%%; sim blocks %.2fx ref; shards 1/2/4 %s/%s/%s (%.2fx/%.2fx, %s); elastic 1w %s / 3w-killed %s (%.2fx, %d stolen); http warm %s (%+.1f%%, %d read hits) -> %s",
 		on, off, reduction, cold, warm, warmReduction, hardeningOverhead, telemetryOverhead, speedup,
-		shardWall[1], shardWall[2], shardWall[4], shardSpeedup2, shardSpeedup4, shardMode[2], httpWarm, httpOverhead, *benchJSONPath)
+		shardWall[1], shardWall[2], shardWall[4], shardSpeedup2, shardSpeedup4, poolMeasurement(),
+		elastic1, elastic3, elasticSpeedup, stolen, httpWarm, httpOverhead, httpWire.ReadHits, *benchJSONPath)
 }
 
 // runFig8SensitivityTelemetry times one Figure 8 sensitivity sweep with or

@@ -91,6 +91,16 @@
 //	-shard I/N       run slice I of N (1-based) of every sweep grid and
 //	                 publish the artifacts to the shared store; stdout
 //	                 stays empty — the -merge run renders the reports
+//	-shard auto      join an elastic work-stealing pool instead of taking
+//	                 a fixed slice: claim functional-identity units under
+//	                 renewed leases on the shared store, publish the
+//	                 artifacts, steal expired leases from killed or
+//	                 stalled workers, and exit when the grid drains. Any
+//	                 number of workers may join or die mid-sweep; -merge
+//	                 still assembles byte-identical reports
+//	-cache-stale-age D  age past which an abandoned cache lock or lease
+//	                 (a crashed worker) is considered dead and stolen
+//	                 (default 10m; CI drills shrink it)
 //	-merge           assemble full reports from the shard artifacts in the
 //	                 shared store (a plain full-grid run: complete stores
 //	                 replay everything, missing cells just recompute)
@@ -161,8 +171,10 @@ type cacheFlagState struct {
 	Retries     int
 	RetriesSet  bool // -cache-retries given explicitly
 	Timeout     time.Duration
-	TimeoutSet  bool   // -cache-timeout given explicitly
-	Shard       string // -shard spec (empty = full grid)
+	TimeoutSet  bool // -cache-timeout given explicitly
+	StaleAge    time.Duration
+	StaleAgeSet bool   // -cache-stale-age given explicitly
+	Shard       string // -shard spec (empty = full grid; "auto" = elastic pool)
 	Merge       bool   // -merge (assemble the full grid from the shared store)
 }
 
@@ -170,9 +182,10 @@ type cacheFlagState struct {
 // the effective store mode, the parsed chaos spec, and the grid slice this
 // process owns.
 type cacheSetup struct {
-	Mode  string // "rw", "ro" or "off"
-	Chaos *persist.ChaosSpec
-	Shard harness.Shard
+	Mode    string // "rw", "ro" or "off"
+	Chaos   *persist.ChaosSpec
+	Shard   harness.Shard
+	Elastic bool // -shard auto: work-stealing pool instead of a fixed slice
 }
 
 // validateCacheFlags rejects contradictory persistent-cache spellings with
@@ -201,21 +214,24 @@ func validateCacheFlags(s cacheFlagState) (cacheSetup, error) {
 	case s.Off:
 		mode = "off"
 	}
-	hardening := s.Chaos != "" || s.RetriesSet || s.TimeoutSet
+	hardening := s.Chaos != "" || s.RetriesSet || s.TimeoutSet || s.StaleAgeSet
 	if !store && (n > 0 || s.MaxBytesSet || hardening) {
-		return none, errors.New("restbench: -cache-rw/-cache-ro/-cache-off/-cache-max-bytes/-cache-chaos/-cache-retries/-cache-timeout configure the persistent cache; pass -cache-dir DIR or -cache-url URL to enable it")
+		return none, errors.New("restbench: -cache-rw/-cache-ro/-cache-off/-cache-max-bytes/-cache-chaos/-cache-retries/-cache-timeout/-cache-stale-age configure the persistent cache; pass -cache-dir DIR or -cache-url URL to enable it")
 	}
 	if s.MaxBytesSet && s.MaxBytes <= 0 {
 		return none, fmt.Errorf("restbench: -cache-max-bytes must be positive, got %d", s.MaxBytes)
 	}
 	if mode == "off" && hardening {
-		return none, errors.New("restbench: -cache-chaos/-cache-retries/-cache-timeout have no effect with -cache-off; drop one or the other")
+		return none, errors.New("restbench: -cache-chaos/-cache-retries/-cache-timeout/-cache-stale-age have no effect with -cache-off; drop one or the other")
 	}
 	if s.RetriesSet && s.Retries < 0 {
 		return none, fmt.Errorf("restbench: -cache-retries must be >= 0, got %d", s.Retries)
 	}
 	if s.TimeoutSet && s.Timeout <= 0 {
 		return none, fmt.Errorf("restbench: -cache-timeout must be positive, got %v", s.Timeout)
+	}
+	if s.StaleAgeSet && s.StaleAge <= 0 {
+		return none, fmt.Errorf("restbench: -cache-stale-age must be positive, got %v", s.StaleAge)
 	}
 	setup := cacheSetup{Mode: mode}
 	if s.Chaos != "" {
@@ -240,9 +256,13 @@ func validateCacheFlags(s cacheFlagState) (cacheSetup, error) {
 		if !store || mode != "rw" {
 			return none, errors.New("restbench: -shard publishes its artifacts to the shared store; pass -cache-dir DIR or -cache-url URL in read-write mode")
 		}
-		var err error
-		if setup.Shard, err = harness.ParseShard(s.Shard); err != nil {
-			return none, fmt.Errorf("restbench: -shard: %v", err)
+		if s.Shard == "auto" {
+			setup.Elastic = true
+		} else {
+			var err error
+			if setup.Shard, err = harness.ParseShard(s.Shard); err != nil {
+				return none, fmt.Errorf("restbench: -shard: %v", err)
+			}
 		}
 	}
 	if s.Merge && (!store || mode == "off") {
@@ -301,7 +321,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (empty = no persistent cache)")
 	cacheURL := flag.String("cache-url", "", "shared artifact cache server URL (see -cache-serve; mutually exclusive with -cache-dir)")
 	cacheServe := flag.String("cache-serve", "", "serve the -cache-dir artifact store to other restbench processes on this address and exit on SIGINT/SIGTERM")
-	shardSpec := flag.String("shard", "", "run slice i/n of every sweep grid (1-based, e.g. 2/4); requires a read-write shared store, suppresses stdout reports")
+	shardSpec := flag.String("shard", "", "run slice i/n of every sweep grid (1-based, e.g. 2/4), or \"auto\" to join an elastic work-stealing pool; requires a read-write shared store, suppresses stdout reports")
 	merge := flag.Bool("merge", false, "assemble full reports from shard artifacts in the shared store (a plain full-grid run; cells recompute only if missing)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", persist.DefaultMaxBytes, "byte cap on the persistent cache (LRU eviction past it)")
 	cacheRW := flag.Bool("cache-rw", false, "persistent cache in read-write mode (default when -cache-dir is set)")
@@ -310,6 +330,7 @@ func main() {
 	cacheChaos := flag.String("cache-chaos", "", "inject storage faults: comma-separated spec, e.g. seed=7,rate=0.5 or err=0.1,torn=0.05,delay=5ms (drill/testing)")
 	cacheRetries := flag.Int("cache-retries", persist.DefaultRetries, "transient cache backend failures retried per op (0 = no retries)")
 	cacheTimeout := flag.Duration("cache-timeout", 0, "per-op wall-clock bound on cache backend operations (0 = none)")
+	cacheStaleAge := flag.Duration("cache-stale-age", 0, "age past which an abandoned cache lock or lease is considered dead and stolen (0 = default, 10m)")
 	seed := flag.Int64("seed", 42, "seed for the -faults campaign")
 	only := flag.String("only", "", "substring filter for -faults scenarios")
 	metricsOut := flag.String("metrics", "", "write sweep metrics to this file (CSV, or JSON if it ends in .json)")
@@ -380,6 +401,8 @@ func main() {
 		RetriesSet:  explicit["cache-retries"],
 		Timeout:     *cacheTimeout,
 		TimeoutSet:  explicit["cache-timeout"],
+		StaleAge:    *cacheStaleAge,
+		StaleAgeSet: explicit["cache-stale-age"],
 		Shard:       *shardSpec,
 		Merge:       *merge,
 	})
@@ -388,10 +411,13 @@ func main() {
 		os.Exit(2)
 	}
 	cacheMode, chaosSpec := setup.Mode, setup.Chaos
-	// A sharded process computes its slice and publishes artifacts; the
-	// reports it could render would be partial, so stdout stays empty and a
-	// later -merge run assembles the real ones from the shared store.
+	// A sharded (or elastic) process computes its share and publishes
+	// artifacts; the reports it could render would be partial, so stdout
+	// stays empty and a later -merge run assembles the real ones from the
+	// shared store.
 	shardMode := setup.Shard.Enabled()
+	elasticMode := setup.Elastic
+	workerMode := shardMode || elasticMode
 	engine, eerr := sim.ParseEngine(*engineName)
 	if eerr != nil {
 		fmt.Fprintln(os.Stderr, "restbench: "+eerr.Error())
@@ -425,6 +451,7 @@ func main() {
 		CellInstrBudget: *cellBudget,
 		Engine:          engine,
 		Shard:           setup.Shard,
+		Elastic:         setup.Elastic,
 	}
 	// One cache for the whole invocation: grids that share functional
 	// identities across sweeps (e.g. -fig8 and -fig8sens both time the
@@ -440,11 +467,12 @@ func main() {
 	var pcache *persist.Cache
 	if (*cacheDir != "" || *cacheURL != "") && cacheMode != "off" {
 		popt := persist.Options{
-			MaxBytes:  *cacheMaxBytes,
-			ReadOnly:  cacheMode == "ro",
-			Chaos:     chaosSpec,
-			Retries:   *cacheRetries,
-			OpTimeout: *cacheTimeout,
+			MaxBytes:     *cacheMaxBytes,
+			ReadOnly:     cacheMode == "ro",
+			Chaos:        chaosSpec,
+			Retries:      *cacheRetries,
+			OpTimeout:    *cacheTimeout,
+			StaleLockAge: *cacheStaleAge,
 		}
 		if *cacheRetries == 0 {
 			popt.Retries = -1 // flag 0 means "no retries", not "library default"
@@ -456,8 +484,15 @@ func main() {
 			if !explicit["cache-timeout"] {
 				popt.OpTimeout = 30 * time.Second
 			}
+			// A short -cache-stale-age (fast recovery from killed
+			// workers) only works if live holders renew their leases
+			// well inside that window; tie the renew period to it.
+			hopt := persist.HTTPOptions{}
+			if *cacheStaleAge > 0 && *cacheStaleAge/4 < persist.DefaultLockRenew {
+				hopt.RenewEvery = *cacheStaleAge / 4
+			}
 			var hb *persist.HTTPBackend
-			if hb, err = persist.NewHTTPBackend(*cacheURL, persist.HTTPOptions{}); err == nil {
+			if hb, err = persist.NewHTTPBackend(*cacheURL, hopt); err == nil {
 				pcache, err = persist.OpenBackend(hb, popt)
 			}
 		} else {
@@ -535,6 +570,18 @@ func main() {
 			}
 		} else {
 			startMeter(cells)
+		}
+		if elasticMode {
+			// The elastic summary is the worker's only account of the pool
+			// dynamics: how many units it claimed (and how many of those were
+			// steals from dead peers), how many it published, and how many it
+			// abandoned to a livelier thief. CI greps the "elastic pool:"
+			// prefix.
+			o.OnElastic = func(st harness.ElasticStats) {
+				fmt.Fprintf(os.Stderr,
+					"%s: elastic pool: claimed %d of %d units (%d stolen), %d done, %d already published, %d lease-lost, %d cells computed, %d drain waits\n",
+					name, st.Claimed, st.Units, st.Steals, st.Done, st.Skipped, st.LeaseLost, st.CellsRun, st.DrainWaits)
+			}
 		}
 		var telOn func(harness.CellEvent)
 		if serving {
@@ -618,20 +665,21 @@ func main() {
 	// where this process's view of the grid is partial by construction, so
 	// stdout stays empty and the -merge run renders the real reports.
 	report := func(s string) {
-		if !shardMode {
+		if !workerMode {
 			fmt.Println(s)
 		}
 	}
-	// Tables, -stats and -faults are not sweep grids: a shard owns no slice
-	// of them, so they run (and print) only in full or -merge invocations.
-	if shardMode && (*all || *table1 || *table2 || *table3 || *stats || *faults) {
+	// Tables, -stats and -faults are not sweep grids: a shard or elastic
+	// worker owns no slice of them, so they run (and print) only in full or
+	// -merge invocations.
+	if workerMode && (*all || *table1 || *table2 || *table3 || *stats || *faults) {
 		fmt.Fprintln(os.Stderr, "shard mode computes sweep-grid slices only; tables, -stats and -faults are left to the -merge run")
 	}
 
-	if (*all || *table2) && !shardMode {
+	if (*all || *table2) && !workerMode {
 		fmt.Println(harness.RenderTableII())
 	}
-	if (*all || *table1) && !shardMode {
+	if (*all || *table1) && !workerMode {
 		out, ok := harness.RunTableI()
 		fmt.Println(out)
 		if !ok {
@@ -704,7 +752,7 @@ func main() {
 			report(m.CSV())
 		}
 	}
-	if (*all || *stats) && !shardMode {
+	if (*all || *stats) && !workerMode {
 		wl, err := workload.ByName(*statsWL)
 		if err != nil {
 			fail(err)
@@ -717,7 +765,7 @@ func main() {
 		finish(s.Matrix)
 		fmt.Println(s.Render())
 	}
-	if (*all || *faults) && !shardMode {
+	if (*all || *faults) && !workerMode {
 		start := time.Now()
 		c, err := fault.RunCampaign(fault.Options{Seed: *seed, Only: *only, Engine: engine})
 		if err != nil {
@@ -739,7 +787,7 @@ func main() {
 			fail(fmt.Errorf("fault campaign: %d scenarios deviated from the paper's predicted verdicts", n))
 		}
 	}
-	if (*all || *table3) && !shardMode {
+	if (*all || *table3) && !workerMode {
 		fmt.Println(harness.RenderTableIII())
 	}
 	if *metricsOut != "" {

@@ -17,8 +17,9 @@ func TestValidateCacheFlags(t *testing.T) {
 		s         cacheFlagState
 		mode      string
 		wantChaos bool
-		wantShard string // Shard.String() of the parsed slice ("" = full grid)
-		wantErr   string
+		wantShard   string // Shard.String() of the parsed slice ("" = full grid)
+		wantElastic bool   // -shard auto resolved to the work-stealing pool
+		wantErr     string
 	}{
 		{name: "no cache flags", s: cacheFlagState{TraceCache: true}, mode: "rw"},
 		{name: "dir alone defaults to rw", s: cacheFlagState{Dir: dir, TraceCache: true}, mode: "rw"},
@@ -183,6 +184,57 @@ func TestValidateCacheFlags(t *testing.T) {
 			s:       cacheFlagState{Dir: dir, Shard: "0/2", TraceCache: true},
 			wantErr: "-shard",
 		},
+		{
+			name:        "shard auto over a url store",
+			s:           cacheFlagState{URL: "http://localhost:9", Shard: "auto", TraceCache: true},
+			mode:        "rw",
+			wantElastic: true,
+		},
+		{
+			name:        "shard auto over a dir store",
+			s:           cacheFlagState{Dir: dir, Shard: "auto", TraceCache: true},
+			mode:        "rw",
+			wantElastic: true,
+		},
+		{
+			name:    "shard auto without a store",
+			s:       cacheFlagState{Shard: "auto", TraceCache: true},
+			wantErr: "read-write mode",
+		},
+		{
+			name:    "shard auto over a read-only store",
+			s:       cacheFlagState{Dir: dir, RO: true, Shard: "auto", TraceCache: true},
+			wantErr: "read-write mode",
+		},
+		{
+			name:    "shard auto with merge",
+			s:       cacheFlagState{Dir: dir, Shard: "auto", Merge: true, TraceCache: true},
+			wantErr: "pass one, not both",
+		},
+		{
+			name:    "stale age without a store",
+			s:       cacheFlagState{StaleAge: time.Second, StaleAgeSet: true, TraceCache: true},
+			wantErr: "pass -cache-dir DIR",
+		},
+		{
+			name:    "non-positive stale age",
+			s:       cacheFlagState{Dir: dir, StaleAge: -time.Second, StaleAgeSet: true, TraceCache: true},
+			wantErr: "must be positive",
+		},
+		{
+			name:    "stale age with cache off",
+			s:       cacheFlagState{Dir: dir, Off: true, StaleAge: time.Second, StaleAgeSet: true, TraceCache: true},
+			wantErr: "no effect with -cache-off",
+		},
+		{
+			name: "stale age with an elastic worker",
+			s: cacheFlagState{
+				URL: "http://localhost:9", Shard: "auto",
+				StaleAge: 5 * time.Second, StaleAgeSet: true, TraceCache: true,
+			},
+			mode:        "rw",
+			wantElastic: true,
+		},
 		{name: "merge over a dir store", s: cacheFlagState{Dir: dir, Merge: true, TraceCache: true}, mode: "rw"},
 		{
 			name: "merge over a read-only url store",
@@ -220,6 +272,9 @@ func TestValidateCacheFlags(t *testing.T) {
 			}
 			if setup.Shard.String() != tt.wantShard {
 				t.Fatalf("shard: want %q got %q", tt.wantShard, setup.Shard)
+			}
+			if setup.Elastic != tt.wantElastic {
+				t.Fatalf("elastic: want %t got %t", tt.wantElastic, setup.Elastic)
 			}
 		})
 	}

@@ -264,6 +264,9 @@ func (tc *TraceCache) recordDiskObs(r *obs.Registry) {
 		r.Counter("persist.httpbackend.transport_errs").Add(hc.TransportErrs)
 		r.Counter("persist.httpbackend.bytes_in").Add(hc.BytesIn)
 		r.Counter("persist.httpbackend.bytes_out").Add(hc.BytesOut)
+		r.Counter("persist.httpbackend.read_hits").Add(hc.ReadHits)
+		r.Counter("persist.httpbackend.read_misses").Add(hc.ReadMisses)
+		r.Counter("persist.httpbackend.read_saved_bytes").Add(hc.ReadSavedBytes)
 	}
 
 	// The hardening stack's own activity (same operational-state caveat).

@@ -87,7 +87,19 @@ type ParallelOptions struct {
 	// unit is the functional identity, not the cell (see Shard) — so this is
 	// where progress meters and "shard i/n owns X of Y cells" notes get
 	// their totals. Called from the sweep goroutine before workers start.
+	// Elastic sweeps never call it: what this process will run is decided by
+	// the pool, one claim at a time (OnElastic reports the tally instead).
 	OnPlan func(owned, total int)
+	// Elastic switches the sweep from the static Shard partition to the
+	// work-stealing pool (elastic.go): units are claimed via leases on the
+	// shared store's lock plane, completions are recorded as markers, and
+	// the sweep exits when the whole grid has drained — across every worker,
+	// not just this one. Requires a TraceCache with an attached persistent
+	// store; mutually exclusive with Shard.
+	Elastic bool
+	// OnElastic, when non-nil, receives this worker's pool participation
+	// tally once the elastic sweep drains. Ignored unless Elastic is set.
+	OnElastic func(ElasticStats)
 }
 
 // CellEvent is one cell's lifecycle report for the observability stream:
@@ -246,6 +258,9 @@ type cellOutcome struct {
 // cell becomes an annotated hole in the partial Matrix (Matrix.Holes) and
 // one entry of the grid-ordered MatrixError.
 func RunMatrixParallel(ctx context.Context, wls []workload.Workload, cfgs []BinaryConfig, scale int64, opt ParallelOptions) (*Matrix, error) {
+	if opt.Elastic {
+		return runMatrixElastic(ctx, wls, cfgs, scale, opt)
+	}
 	type cell struct {
 		wl  workload.Workload
 		cfg BinaryConfig

@@ -183,6 +183,23 @@ func (tc *TraceCache) PlanShard(wls []workload.Workload, cfgs []BinaryConfig, sc
 	}
 }
 
+// planUnit registers n upcoming uses of one functional identity. The
+// elastic scheduler plans per-unit at claim time — it cannot plan the grid
+// up front like PlanShard, because which units this process runs is decided
+// by the pool, one claim at a time.
+func (tc *TraceCache) planUnit(k traceKey, n int) {
+	tc.mu.Lock()
+	tc.plan[k] += n
+	tc.mu.Unlock()
+}
+
+// diskStore returns the attached persistent tier (nil when none).
+func (tc *TraceCache) diskStore() *persist.Cache {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.disk
+}
+
 // acquire resolves one planned cell's role. It decrements the cell's planned
 // use count; the last user of an identity also drops its entry, bounding the
 // cache's memory to the live shared identities.

@@ -38,6 +38,8 @@ func TestSemanticNames(t *testing.T) {
 		"harness.diskcache.trace_hits": "rest.cache.disk.trace_hits",
 		"harness.live.cells_done":      "rest.sweep.live.cells_done",
 		"harness.shard.index":          "rest.sweep.shard.index",
+		"harness.elastic.steals":       "rest.sweep.elastic.steals",
+		"harness.elastic.lease_lost":   "rest.sweep.elastic.lease_lost",
 		"persist.breaker.trips":        "rest.persist.breaker.trips",
 		"persist.lock.contended":       "rest.persist.lock.contended",
 		"persist.httpbackend.gets":     "rest.persist.http.gets",

@@ -209,7 +209,12 @@ func TestHTTPBackendSingleFlight(t *testing.T) {
 		t.Fatal(err)
 	}
 	gc := &gatedCountBackend{Backend: inner, gate: make(chan struct{})}
-	hb := newHTTPBackend(t, newCacheServer(t, gc))
+	// The read-through memory cache would serve repeat gets without a wire
+	// request; this test is about the wire, so it runs with the cache off.
+	hb, err := NewHTTPBackend(newCacheServer(t, gc), HTTPOptions{RenewEvery: -1, ReadCacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	const followers = 4
 	results := make(chan []byte, followers+1)

@@ -25,6 +25,15 @@
 //	GET    /cache/v1/lock/{name}          {"age_ns":N} (404 unheld)
 //	DELETE /cache/v1/lock/{name}?lease=T  release (409 not the holder)
 //	DELETE /cache/v1/lock/{name}          break (stale-lock recovery)
+//	GET    /cache/v1/epoch                {"epoch":N}; with ?after=E&wait_ms=M
+//	                                      long-polls until epoch > E or M ms
+//
+// The epoch is a monotonic change counter over the store's scheduling state:
+// it bumps on every meta publish and every lock grant/release/break. Idle
+// elastic workers long-poll it instead of spinning on list/lock probes —
+// one cheap parked request per worker replaces a polling storm, and the
+// response still carries the current epoch so a missed bump can never
+// deadlock a client (it just re-polls with the newer value).
 package persist
 
 import (
@@ -53,9 +62,11 @@ type CacheServer struct {
 	b   Backend
 	now func() time.Time // injectable for deterministic tests
 
-	mu     sync.Mutex
-	leases map[string]*serverLease // lock name → active lease
-	seq    uint64
+	mu        sync.Mutex
+	leases    map[string]*serverLease // lock name → active lease
+	seq       uint64
+	epoch     uint64        // scheduling-state change counter
+	epochWait chan struct{} // closed and replaced on every bump
 }
 
 // serverLease is one granted lock lease: the backend lock's release hook plus
@@ -68,7 +79,25 @@ type serverLease struct {
 
 // NewCacheServer wraps a Backend for HTTP serving.
 func NewCacheServer(b Backend) *CacheServer {
-	return &CacheServer{b: b, now: time.Now, leases: make(map[string]*serverLease)}
+	return &CacheServer{
+		b: b, now: time.Now,
+		leases:    make(map[string]*serverLease),
+		epochWait: make(chan struct{}),
+	}
+}
+
+// SetNow injects the clock lease liveness is measured against. Tests only:
+// call before serving requests, never while the server is live.
+func (s *CacheServer) SetNow(now func() time.Time) { s.now = now }
+
+// bumpEpoch records a scheduling-state change and wakes every parked
+// epoch long-poll.
+func (s *CacheServer) bumpEpoch() {
+	s.mu.Lock()
+	s.epoch++
+	close(s.epochWait)
+	s.epochWait = make(chan struct{})
+	s.mu.Unlock()
 }
 
 // Register mounts the /cache/v1/ routes on mux.
@@ -81,6 +110,7 @@ func (s *CacheServer) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /cache/v1/lock/{name}", s.handleLockAcquire)
 	mux.HandleFunc("GET /cache/v1/lock/{name}", s.handleLockAge)
 	mux.HandleFunc("DELETE /cache/v1/lock/{name}", s.handleLockDelete)
+	mux.HandleFunc("GET /cache/v1/epoch", s.handleEpoch)
 }
 
 // wireStat is Stat's JSON shape (ModTime as unix nanoseconds so the
@@ -91,12 +121,16 @@ type wireStat struct {
 	ModUnixNS int64  `json:"mod_unix_ns"`
 }
 
-// wireLease and wireAge are the lock plane's JSON responses.
+// wireLease and wireAge are the lock plane's JSON responses; wireEpoch is
+// the scheduling-change counter's.
 type wireLease struct {
 	Lease string `json:"lease"`
 }
 type wireAge struct {
 	AgeNS int64 `json:"age_ns"`
+}
+type wireEpoch struct {
+	Epoch uint64 `json:"epoch"`
 }
 
 // statusFor maps the typed error taxonomy onto HTTP statuses; the client
@@ -192,6 +226,12 @@ func (s *CacheServer) handlePut(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	if kind == kindMeta {
+		// Meta objects carry scheduling state (manifests, completion
+		// markers); trace/result bodies do not, and skipping them keeps
+		// bulk artifact traffic from waking parked pollers.
+		s.bumpEpoch()
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -271,6 +311,7 @@ func (s *CacheServer) handleLockAcquire(w http.ResponseWriter, r *http.Request) 
 	tok := s.newToken()
 	s.leases[name] = &serverLease{token: tok, renewed: s.now(), release: release}
 	s.mu.Unlock()
+	s.bumpEpoch()
 	writeJSON(w, wireLease{Lease: tok})
 }
 
@@ -327,5 +368,43 @@ func (s *CacheServer) handleLockDelete(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.bumpEpoch()
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// maxEpochWait caps one long-poll; clients re-issue, so a short cap only
+// costs an extra round trip, never a missed wake.
+const maxEpochWait = 30 * time.Second
+
+func (s *CacheServer) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	after, _ := strconv.ParseUint(q.Get("after"), 10, 64)
+	waitMS, _ := strconv.ParseInt(q.Get("wait_ms"), 10, 64)
+	wait := time.Duration(waitMS) * time.Millisecond
+	if wait > maxEpochWait {
+		wait = maxEpochWait
+	}
+	var deadline <-chan time.Time
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		s.mu.Lock()
+		e, ch := s.epoch, s.epochWait
+		s.mu.Unlock()
+		if e > after || wait <= 0 {
+			writeJSON(w, wireEpoch{Epoch: e})
+			return
+		}
+		select {
+		case <-ch:
+		case <-deadline:
+			writeJSON(w, wireEpoch{Epoch: e})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
 }

@@ -37,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -602,6 +603,169 @@ func (c *Cache) WaitUnlocked(id ID) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// --- Elastic scheduling surface ---
+//
+// The work-stealing sweep pool (internal/harness's elastic scheduler) needs
+// three small primitives beyond the artifact tiers: claims (unit locks whose
+// loss is observable), markers (tiny meta objects recording completed
+// units), and a change wait (so idle workers park instead of poll-spinning).
+// All three ride the existing planes — locks, the meta namespace, and the
+// HTTP server's epoch counter — with the same fail-open posture: a plane
+// that cannot answer degrades to duplicate work, never to a stall or a
+// wrong byte.
+
+// Claim is one held unit claim. Lost() is readable once the underlying
+// lease has been stolen by a stale-takeover (the holder was presumed dead);
+// a holder observing loss must abandon the unit without publishing its
+// completion marker. Claims over backends with no lease plane (the local
+// directory store) can never observe loss: Lost() blocks forever and
+// staleness is judged by lock-file age alone.
+type Claim struct {
+	// Stolen reports that this claim was acquired by breaking a stale
+	// holder's lock — the pool-level "steal" the elastic counters track.
+	Stolen bool
+
+	lost    <-chan struct{}
+	renew   func() error
+	release func()
+}
+
+// Lost is readable once the claim's lease has been stolen. For claims with
+// no lease plane it is nil — receiving from it blocks forever, which is the
+// correct select behavior.
+func (cl *Claim) Lost() <-chan struct{} { return cl.lost }
+
+// Renew refreshes the claim's liveness clock once, synchronously, returning
+// ErrLeaseLost when the lease has been stolen. Claims with no lease plane
+// renew trivially (nil error). Auto-renewal (when enabled on the backend)
+// makes calling this optional; it exists for deterministic tests and for
+// cheap between-cell loss checks.
+func (cl *Claim) Renew() error {
+	if cl.renew == nil {
+		return nil
+	}
+	return cl.renew()
+}
+
+// Release gives the claim back. Idempotent and best-effort, like every
+// lock release in this package.
+func (cl *Claim) Release() { cl.release() }
+
+// TryClaim attempts to claim name on the lock plane: fresh grants win,
+// stale holders (age past StaleLockAge) are broken and re-acquired, fresh
+// holders lose (nil, false). An unavailable lock plane fails open — the
+// caller proceeds as claimant, at worst duplicating a unit's compute; the
+// publication stays idempotent so bytes never differ. Read-only caches
+// claim nothing and everything: there is no store to protect.
+func (c *Cache) TryClaim(name string) (*Claim, bool) {
+	noop := &Claim{release: func() {}}
+	if c.opt.ReadOnly {
+		return noop, true
+	}
+	if c.httpb != nil {
+		if l, err := c.httpb.TryLease(name); err == nil {
+			return &Claim{lost: l.Lost(), renew: l.Renew, release: l.Release}, true
+		} else if !errors.Is(err, ErrLockHeld) {
+			c.unavailableSeen(err)
+			return noop, true
+		}
+	} else {
+		if rel, err := c.b.TryLock(name); err == nil {
+			return &Claim{release: rel}, true
+		} else if !errors.Is(err, ErrLockHeld) {
+			c.unavailableSeen(err)
+			return noop, true
+		}
+	}
+	if age, aerr := c.b.LockAge(name); aerr == nil && age > c.opt.StaleLockAge {
+		c.b.BreakLock(name)
+		if c.httpb != nil {
+			if l, err := c.httpb.TryLease(name); err == nil {
+				return &Claim{Stolen: true, lost: l.Lost(), renew: l.Renew, release: l.Release}, true
+			}
+		} else if rel, err := c.b.TryLock(name); err == nil {
+			return &Claim{Stolen: true, release: rel}, true
+		}
+	}
+	c.mu.Lock()
+	c.c.LockContended++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// PutMarker publishes a small coordination object in the meta namespace.
+// Markers live beside the manifest: outside the artifact tiers, exempt from
+// the byte cap and eviction, named by the caller (content-addressed names
+// make publication idempotent — two workers writing the same marker write
+// the same bytes).
+func (c *Cache) PutMarker(name string, data []byte) error {
+	if c.opt.ReadOnly {
+		return ErrReadOnly
+	}
+	if err := c.b.Put(kindMeta, name, data); err != nil {
+		c.unavailableSeen(err)
+		return err
+	}
+	return nil
+}
+
+// GetMarker loads one marker; ErrMiss when absent.
+func (c *Cache) GetMarker(name string) ([]byte, error) {
+	raw, err := c.b.Get(kindMeta, name)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return nil, ErrMiss
+		}
+		c.unavailableSeen(err)
+		return nil, err
+	}
+	return raw, nil
+}
+
+// ListMarkers returns the sorted names of every marker with the given
+// prefix. An unavailable backend returns the error (the caller's scan loop
+// retries); a healthy empty store returns an empty slice.
+func (c *Cache) ListMarkers(prefix string) ([]string, error) {
+	stats, err := c.b.List(kindMeta)
+	if err != nil {
+		c.unavailableSeen(err)
+		return nil, err
+	}
+	var names []string
+	for _, st := range stats {
+		if strings.HasPrefix(st.Name, prefix) {
+			names = append(names, st.Name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// dirPollCap bounds one WaitChange sleep when there is no epoch plane to
+// park on: a re-list every so often is the directory store's only way to
+// see another process's progress.
+const dirPollCap = 100 * time.Millisecond
+
+// WaitChange parks until the store's scheduling state may have advanced
+// past epoch after, or max elapses, and returns the epoch to pass next
+// time. Backed by the HTTP server's long-poll when available; otherwise a
+// bounded sleep whose return value always forces the caller to rescan.
+func (c *Cache) WaitChange(after uint64, max time.Duration) uint64 {
+	if c.httpb != nil {
+		if e, err := c.httpb.EpochWait(after, max); err == nil {
+			return e
+		}
+	}
+	d := max
+	if d > dirPollCap {
+		d = dirPollCap
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return after + 1
 }
 
 // writeFileSync writes data to path and fsyncs it before closing, so the
